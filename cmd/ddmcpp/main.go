@@ -1,0 +1,69 @@
+// Command ddmcpp is the Data-Driven Multithreading preprocessor (paper
+// §3.4): it reads source code annotated with `//#pragma ddm` directives
+// and emits a complete Go program that builds the Synchronization Graph
+// and invokes the TFlux runtime for the selected target platform.
+//
+// Usage:
+//
+//	ddmcpp -target soft|hard|cell|dist [-o out.go] input.ddm
+//
+// With no -o the generated program is written to stdout. See the
+// internal/ddmcpp package documentation for the directive language, and
+// examples/preprocessed for a complete input/output pair.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"tflux/internal/ddmcpp"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable command body; it returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ddmcpp", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	target := fs.String("target", "soft", "TFlux implementation to generate for: soft|hard|cell|dist")
+	out := fs.String("o", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: ddmcpp -target soft|hard|cell|dist [-o out.go] input.ddm")
+		return 2
+	}
+	tgt, err := ddmcpp.ParseTarget(*target)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	in, err := os.Open(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	defer in.Close()
+	src, err := ddmcpp.Process(fs.Arg(0), in, tgt)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	if *out == "" {
+		if _, err := stdout.Write(src); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		return 0
+	}
+	if err := os.WriteFile(*out, src, 0o644); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `//#pragma ddm startprogram name(t)
+//#pragma ddm thread 1
+x := 1
+_ = x
+//#pragma ddm endthread
+//#pragma ddm endprogram
+`
+
+func writeSample(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "in.ddm")
+	if err := os.WriteFile(path, []byte(sample), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunToStdout(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-target", "hard", writeSample(t)}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "tflux.RunHard") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+func TestRunToFile(t *testing.T) {
+	in := writeSample(t)
+	outPath := filepath.Join(filepath.Dir(in), "out.go")
+	var out, errb bytes.Buffer
+	if code := run([]string{"-o", outPath, in}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "tflux.RunSoft") {
+		t.Fatal("default target should be soft")
+	}
+	if out.Len() != 0 {
+		t.Fatal("wrote to stdout despite -o")
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(nil, &out, &errb); code != 2 {
+		t.Fatalf("no-args exit = %d", code)
+	}
+	if code := run([]string{"-target", "fpga", writeSample(t)}, &out, &errb); code != 2 {
+		t.Fatalf("bad-target exit = %d", code)
+	}
+	if code := run([]string{"-bogusflag"}, &out, &errb); code != 2 {
+		t.Fatalf("bad-flag exit = %d", code)
+	}
+}
+
+func TestRunMissingInput(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"/nonexistent/input.ddm"}, &out, &errb); code != 1 {
+		t.Fatalf("exit = %d", code)
+	}
+}
+
+func TestRunParseErrorPropagates(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.ddm")
+	if err := os.WriteFile(path, []byte("//#pragma ddm bogus\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{path}, &out, &errb); code != 1 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(errb.String(), "bad.ddm:1") {
+		t.Fatalf("stderr lacks position: %s", errb.String())
+	}
+}

@@ -1,0 +1,147 @@
+// Command tfluxbench regenerates the paper's evaluation tables and
+// figures (see DESIGN.md's per-experiment index):
+//
+//	tfluxbench -exp table1            # Table 1: workloads and problem sizes
+//	tfluxbench -exp fig5              # Figure 5: TFluxHard speedups
+//	tfluxbench -exp fig6              # Figure 6: TFluxSoft native speedups
+//	tfluxbench -exp fig7              # Figure 7: TFluxCell speedups
+//	tfluxbench -exp tsulat            # §3.3: TSU latency sensitivity
+//	tfluxbench -exp unroll            # §6.2.2/§6.3: unroll-factor study
+//	tfluxbench -exp budget            # §4.1: TSU transistor estimate
+//	tfluxbench -exp fig5x86           # §6.1.2: 9-core x86 companion machine
+//	tfluxbench -exp groups            # §4.1 extension: multiple TSU Groups
+//	tfluxbench -exp policy            # scheduling-policy ablation
+//	tfluxbench -exp dist              # TFluxDist protocol cost across nodes
+//	tfluxbench -exp all               # everything
+//
+// Native experiments (fig6, fig7, part of unroll) measure wall clock on
+// multicore hosts and fall back to the virtual-time model on single-core
+// hosts; the simulated experiments are deterministic. Row output formats:
+// -format table (default), csv, or chart (text bars like the paper's
+// figures).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"tflux/internal/exp"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable command body; it returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tfluxbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		which   = fs.String("exp", "all", "experiment: table1|fig5|fig6|fig7|fig5x86|groups|policy|dist|tsulat|unroll|budget|all")
+		quick   = fs.Bool("quick", false, "smallest sizes, fewest configurations (seconds instead of minutes)")
+		reps    = fs.Int("reps", 0, "native repetitions per measurement (0 = default)")
+		maxK    = fs.Int("maxkernels", 0, "cap kernel counts (0 = paper configurations)")
+		verbose = fs.Bool("v", false, "print per-configuration progress")
+		format  = fs.String("format", "table", "row output format: table|csv|chart")
+		mode    = fs.String("mode", "auto", "software-platform timing: auto|wallclock|virtual")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	o := exp.Options{Quick: *quick, Reps: *reps, MaxKernels: *maxK}
+	switch *mode {
+	case "auto":
+		o.Mode = exp.ModeAuto
+	case "wallclock":
+		o.Mode = exp.ModeWallClock
+	case "virtual":
+		o.Mode = exp.ModeVirtual
+	default:
+		fmt.Fprintf(stderr, "tfluxbench: unknown mode %q\n", *mode)
+		return 2
+	}
+	if *verbose {
+		o.Progress = func(s string) { fmt.Fprintln(stderr, s) }
+	}
+
+	render := exp.Format
+	switch *format {
+	case "table":
+	case "csv":
+		render = exp.CSV
+	case "chart":
+		render = exp.Chart
+	default:
+		fmt.Fprintf(stderr, "tfluxbench: unknown format %q\n", *format)
+		return 2
+	}
+
+	failed := false
+	runExp := func(name string, f func(exp.Options) ([]exp.Row, error)) {
+		rows, err := f(o)
+		if err != nil {
+			fmt.Fprintf(stderr, "tfluxbench: %s: %v\n", name, err)
+			failed = true
+			return
+		}
+		fmt.Fprintf(stdout, "== %s ==\n%s%s\n\n", name, render(rows), exp.Summary(rows))
+	}
+
+	all := *which == "all"
+	did := false
+	if all || *which == "table1" {
+		fmt.Fprintf(stdout, "== table1 ==\n%s\n", exp.Table1())
+		did = true
+	}
+	if all || *which == "fig5" {
+		runExp("fig5 (TFluxHard, simulated cycles)", exp.Fig5)
+		did = true
+	}
+	if all || *which == "fig6" {
+		runExp("fig6 (TFluxSoft, native)", exp.Fig6)
+		did = true
+	}
+	if all || *which == "fig7" {
+		runExp("fig7 (TFluxCell, native)", exp.Fig7)
+		did = true
+	}
+	if all || *which == "fig5x86" {
+		runExp("fig5x86 (9-core x86 companion, §6.1.2)", exp.Fig5X86)
+		did = true
+	}
+	if all || *which == "groups" {
+		runExp("groups (multiple TSU Groups, §4.1 extension)", exp.Groups)
+		did = true
+	}
+	if all || *which == "policy" {
+		runExp("policy (ready-queue scheduling ablation)", exp.Policies)
+		did = true
+	}
+	if all || *which == "dist" {
+		runExp("dist (TFluxDist protocol cost across nodes)", exp.Dist)
+		did = true
+	}
+	if all || *which == "tsulat" {
+		runExp("tsulat (TSU latency 1..128 cycles)", exp.TSULatency)
+		did = true
+	}
+	if all || *which == "unroll" {
+		runExp("unroll (MMULT across unroll factors)", exp.UnrollSweep)
+		did = true
+	}
+	if all || *which == "budget" {
+		fmt.Fprintf(stdout, "== budget ==\n%s\n", exp.Budget())
+		did = true
+	}
+	if !did {
+		fmt.Fprintf(stderr, "tfluxbench: unknown experiment %q\n", *which)
+		return 2
+	}
+	if failed {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunTable1(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-exp", "table1"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	for _, want := range []string{"TRAPEZ", "MMULT", "QSORT", "SUSAN", "FFT"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("table1 missing %s:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunBudget(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-exp", "budget"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "430K") {
+		t.Fatalf("budget output:\n%s", out.String())
+	}
+}
+
+func TestRunFig5QuickFormats(t *testing.T) {
+	for _, format := range []string{"table", "csv", "chart"} {
+		var out, errb bytes.Buffer
+		code := run([]string{"-exp", "fig5", "-quick", "-format", format}, &out, &errb)
+		if code != 0 {
+			t.Fatalf("format %s exit %d: %s", format, code, errb.String())
+		}
+		if !strings.Contains(out.String(), "TRAPEZ") {
+			t.Fatalf("format %s output:\n%s", format, out.String())
+		}
+		switch format {
+		case "csv":
+			if !strings.Contains(out.String(), "experiment,benchmark") {
+				t.Fatal("no CSV header")
+			}
+		case "chart":
+			if !strings.Contains(out.String(), "█") {
+				t.Fatal("no bars in chart")
+			}
+		}
+	}
+}
+
+func TestRunVerboseProgress(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-exp", "fig5", "-quick", "-v"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(errb.String(), "fig5 TRAPEZ") {
+		t.Fatalf("no progress lines on stderr: %q", errb.String())
+	}
+}
+
+func TestRunVirtualModeFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-exp", "fig6", "-quick", "-mode", "virtual"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "virtual") {
+		t.Fatalf("rows not marked virtual:\n%s", out.String())
+	}
+}
+
+func TestRunBadArgs(t *testing.T) {
+	cases := [][]string{
+		{"-exp", "bogus"},
+		{"-format", "xml", "-exp", "table1"},
+		{"-mode", "psychic", "-exp", "table1"},
+		{"-notaflag"},
+	}
+	for _, args := range cases {
+		var out, errb bytes.Buffer
+		if code := run(args, &out, &errb); code != 2 {
+			t.Fatalf("args %v: exit %d, want 2", args, code)
+		}
+	}
+}

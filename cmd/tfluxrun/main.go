@@ -1,0 +1,209 @@
+// Command tfluxrun executes one suite benchmark on one TFlux platform and
+// reports the sequential baseline, the parallel time and the speedup,
+// verifying the parallel output against the sequential reference.
+//
+//	tfluxrun -bench MMULT -platform hard -size medium -kernels 16 -unroll 4
+//
+// Platforms: soft (native TFluxSoft), hard (cycle-level TFluxHard),
+// cell (TFluxCell substrate), virtual (soft-platform virtual-time model —
+// see the internal/vtime docs). Benchmarks: TRAPEZ, MMULT, QSORT, SUSAN,
+// FFT. Sizes follow Table 1 and depend on the platform.
+//
+// Extras: -dot FILE writes the Synchronization Graph in Graphviz format
+// and exits; -trace FILE (soft platform) records a per-kernel execution
+// timeline; -gantt (soft platform) prints it as an ASCII chart.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"tflux/internal/cellsim"
+	"tflux/internal/core"
+	"tflux/internal/hardsim"
+	"tflux/internal/rts"
+	"tflux/internal/stats"
+	"tflux/internal/vtime"
+	"tflux/internal/workload"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable command body; it returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tfluxrun", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		bench    = fs.String("bench", "TRAPEZ", "benchmark: TRAPEZ|MMULT|QSORT|SUSAN|FFT")
+		platform = fs.String("platform", "soft", "platform: soft|hard|cell|virtual")
+		size     = fs.String("size", "small", "problem size: small|medium|large")
+		kernels  = fs.Int("kernels", 4, "kernels / cores / SPEs")
+		unroll   = fs.Int("unroll", 8, "loop unroll factor (DThread granularity)")
+		reps     = fs.Int("reps", 3, "repetitions for native measurements (min taken)")
+		dotOut   = fs.String("dot", "", "write the Synchronization Graph in DOT format to this file and exit")
+		traceOut = fs.String("trace", "", "write a per-kernel execution timeline to this file (soft platform only)")
+		gantt    = fs.Bool("gantt", false, "print an ASCII per-kernel timeline chart (soft platform only)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "tfluxrun:", err)
+		return 1
+	}
+
+	spec, err := workload.ByName(*bench)
+	if err != nil {
+		return fail(err)
+	}
+	var cls workload.SizeClass
+	switch *size {
+	case "small":
+		cls = workload.Small
+	case "medium":
+		cls = workload.Medium
+	case "large":
+		cls = workload.Large
+	default:
+		return fail(fmt.Errorf("unknown size %q", *size))
+	}
+	var pf workload.Platform
+	switch *platform {
+	case "hard":
+		pf = workload.Simulated
+	case "cell":
+		pf = workload.Cell
+	case "soft", "virtual":
+		pf = workload.Native
+	default:
+		return fail(fmt.Errorf("unknown platform %q", *platform))
+	}
+	sizes, ok := spec.Sizes(pf)
+	if !ok {
+		return fail(fmt.Errorf("%s is not evaluated on platform %s (the paper's Figure 7 omits it)", spec.Name, *platform))
+	}
+	param := sizes[cls]
+	job := spec.Make(param)
+	fmt.Fprintf(stdout, "%s %s on %s, %d kernels, unroll %d\n", spec.Name, spec.SizeLabel(param), *platform, *kernels, *unroll)
+
+	prog, err := job.Build(*kernels, *unroll)
+	if err != nil {
+		return fail(err)
+	}
+	if *dotOut != "" {
+		f, err := os.Create(*dotOut)
+		if err != nil {
+			return fail(err)
+		}
+		if err := core.WriteDOT(f, prog); err != nil {
+			return fail(err)
+		}
+		if err := f.Close(); err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(stdout, "wrote synchronization graph to %s\n", *dotOut)
+		return 0
+	}
+
+	switch *platform {
+	case "hard":
+		seq, err := hardsim.Sequential(prog.Buffers, job.SequentialSteps(), hardsim.Config{})
+		if err != nil {
+			return fail(err)
+		}
+		res, err := hardsim.Run(prog, hardsim.Config{Cores: *kernels})
+		if err != nil {
+			return fail(err)
+		}
+		if err := job.Verify(); err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(stdout, "sequential: %d cycles\nparallel:   %d cycles\nspeedup:    %.2f\n",
+			seq.Cycles, res.Cycles, stats.Speedup(float64(seq.Cycles), float64(res.Cycles)))
+		fmt.Fprintf(stdout, "memory:     %d L2 misses, %d coherence misses, %d upgrades\n",
+			res.Mem.L2Misses, res.Mem.CoherenceMisses, res.Mem.Upgrades)
+		fmt.Fprintf(stdout, "tsu:        busy %d cycles, %d decrements\n", res.TSUBusy, res.TSU.Decrements)
+	default:
+		seqT := stats.Min(stats.Measure(*reps, job.RunSequential))
+		var parT time.Duration
+		switch *platform {
+		case "soft":
+			var tracer *rts.Tracer
+			if *traceOut != "" || *gantt {
+				tracer = rts.NewTracer()
+			}
+			best := time.Duration(0)
+			for r := 0; r < *reps; r++ {
+				job.ResetOutput()
+				st, err := rts.Run(prog, rts.Options{Kernels: *kernels, Trace: tracer})
+				if err != nil {
+					return fail(err)
+				}
+				if best == 0 || st.Elapsed < best {
+					best = st.Elapsed
+				}
+			}
+			parT = best
+			if tracer != nil && *traceOut != "" {
+				f, err := os.Create(*traceOut)
+				if err != nil {
+					return fail(err)
+				}
+				if _, err := tracer.WriteTo(f); err != nil {
+					return fail(err)
+				}
+				if err := f.Close(); err != nil {
+					return fail(err)
+				}
+				fmt.Fprintf(stdout, "trace:      %s (last rep)\n", *traceOut)
+			}
+			if *gantt && tracer != nil {
+				if err := tracer.Gantt(stdout, *kernels, 72); err != nil {
+					return fail(err)
+				}
+			}
+		case "cell":
+			best := time.Duration(0)
+			for r := 0; r < *reps; r++ {
+				job.ResetOutput()
+				st, err := cellsim.Run(prog, job.SharedBuffers(), cellsim.Config{SPEs: *kernels})
+				if err != nil {
+					return fail(err)
+				}
+				if best == 0 || st.Elapsed < best {
+					best = st.Elapsed
+				}
+			}
+			parT = best
+		case "virtual":
+			// Body durations are measured per run; repeat and take the
+			// min so cold-start page faults do not pollute the model.
+			best := time.Duration(0)
+			for r := 0; r < *reps; r++ {
+				job.ResetOutput()
+				res, err := vtime.Run(prog, vtime.Config{Kernels: *kernels})
+				if err != nil {
+					return fail(err)
+				}
+				if best == 0 || res.Makespan < best {
+					best = res.Makespan
+				}
+			}
+			parT = best
+		}
+		if err := job.Verify(); err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(stdout, "sequential: %s\nparallel:   %s\nspeedup:    %.2f\n",
+			stats.FormatDuration(seqT), stats.FormatDuration(parT),
+			stats.Speedup(seqT.Seconds(), parT.Seconds()))
+	}
+	fmt.Fprintln(stdout, "verify:     ok")
+	return 0
+}

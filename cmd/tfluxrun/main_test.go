@@ -1,0 +1,114 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunHardPlatform(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-bench", "TRAPEZ", "-platform", "hard", "-size", "small", "-kernels", "4"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	s := out.String()
+	for _, want := range []string{"TRAPEZ 2^19 on hard", "speedup:", "verify:     ok", "tsu:"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunSoftWithTrace(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.txt")
+	var out, errb bytes.Buffer
+	code := run([]string{"-bench", "TRAPEZ", "-platform", "soft", "-size", "small",
+		"-kernels", "2", "-reps", "1", "-trace", tracePath}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "service") {
+		t.Fatalf("trace content:\n%s", data)
+	}
+}
+
+func TestRunDOTExport(t *testing.T) {
+	dir := t.TempDir()
+	dotPath := filepath.Join(dir, "g.dot")
+	var out, errb bytes.Buffer
+	code := run([]string{"-bench", "QSORT", "-platform", "soft", "-dot", dotPath}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	data, err := os.ReadFile(dotPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "digraph") || !strings.Contains(string(data), "gather") {
+		t.Fatalf("dot content:\n%s", data)
+	}
+}
+
+func TestRunVirtualPlatform(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-bench", "MMULT", "-platform", "virtual", "-size", "small",
+		"-kernels", "3", "-unroll", "16", "-reps", "2"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "verify:     ok") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+func TestRunCellPlatform(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-bench", "QSORT", "-platform", "cell", "-size", "small",
+		"-kernels", "2", "-unroll", "64", "-reps", "1"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "QSORT 3K on cell") {
+		t.Fatalf("cell sizes not applied:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := []struct {
+		args []string
+		code int
+	}{
+		{[]string{"-bench", "NOPE"}, 1},
+		{[]string{"-size", "gigantic"}, 1},
+		{[]string{"-platform", "quantum"}, 1},
+		{[]string{"-bench", "FFT", "-platform", "cell"}, 1}, // FFT not in Figure 7
+		{[]string{"-notaflag"}, 2},
+	}
+	for _, c := range cases {
+		var out, errb bytes.Buffer
+		if code := run(c.args, &out, &errb); code != c.code {
+			t.Fatalf("args %v: exit %d, want %d (stderr: %s)", c.args, code, c.code, errb.String())
+		}
+	}
+}
+
+func TestRunGanttFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-bench", "TRAPEZ", "-platform", "soft", "-size", "small",
+		"-kernels", "2", "-reps", "1", "-unroll", "64", "-gantt"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "k0 ") || !strings.Contains(s, "span ") {
+		t.Fatalf("no gantt chart in output:\n%s", s)
+	}
+}

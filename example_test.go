@@ -1,0 +1,121 @@
+package tflux_test
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"tflux"
+)
+
+// The smallest complete DDM program: a parallel map whose completion
+// releases a reduction. Ordering comes only from the dependency arc.
+func ExampleRunSoft() {
+	doubled := make([]int, 4)
+	var sum int
+
+	p := tflux.NewProgram("example")
+	p.Thread(1, "double", func(ctx tflux.Context) {
+		doubled[ctx] = 2 * int(ctx)
+	}).Instances(4).Then(2, tflux.AllToOne{})
+	p.Thread(2, "sum", func(tflux.Context) {
+		for _, v := range doubled {
+			sum += v
+		}
+	})
+
+	if _, err := tflux.RunSoft(p, tflux.SoftOptions{Kernels: 2}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(sum)
+	// Output: 12
+}
+
+// The same program also runs on the cycle-level TFluxHard simulator; the
+// functional result is identical and the cycle count is deterministic.
+func ExampleRunHard() {
+	var x int
+	p := tflux.NewProgram("example")
+	p.Thread(1, "set", func(tflux.Context) { x = 21 }).Then(2, tflux.AllToOne{})
+	p.Thread(2, "double", func(tflux.Context) { x *= 2 })
+
+	res, err := tflux.RunHard(p, tflux.HardConfig{Cores: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(x, res.Cycles > 0)
+	// Output: 42 true
+}
+
+// Gather expresses merge trees: producer instance i feeds consumer i/Fan,
+// so each merger waits for exactly its Fan children.
+func ExampleGather() {
+	leaves := []string{"d", "c", "b", "a"}
+	merged := make([]string, 2)
+	var final string
+
+	p := tflux.NewProgram("merge")
+	p.Thread(1, "leaf", func(tflux.Context) {}).
+		Instances(4).
+		Then(2, tflux.Gather{Fan: 2})
+	p.Thread(2, "merge", func(ctx tflux.Context) {
+		i := int(ctx)
+		a, b := leaves[2*i], leaves[2*i+1]
+		if a > b {
+			a, b = b, a
+		}
+		merged[i] = a + b
+	}).Instances(2).Then(3, tflux.AllToOne{})
+	p.Thread(3, "final", func(tflux.Context) {
+		final = merged[0] + merged[1]
+	})
+
+	if _, err := tflux.RunSoft(p, tflux.SoftOptions{Kernels: 2}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(final)
+	// Output: cdab
+}
+
+// Blocks sequence phases whose synchronization graphs never coexist in
+// the TSU: the second Block starts only after the first fully drains.
+func ExampleProgram_Block() {
+	var trace []string
+	p := tflux.NewProgram("phases")
+	p.Block()
+	p.Thread(1, "phase1", func(ctx tflux.Context) {}).Instances(3)
+	p.Block()
+	p.Thread(2, "phase2", func(tflux.Context) {
+		trace = append(trace, "phase2 after phase1")
+	})
+
+	st, err := tflux.RunSoft(p, tflux.SoftOptions{Kernels: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(trace[0], st.TSU.Inlets)
+	// Output: phase2 after phase1 2
+}
+
+// WriteDOT renders the Synchronization Graph for Graphviz.
+func ExampleWriteDOT() {
+	p := tflux.NewProgram("tiny")
+	p.Thread(1, "a", func(tflux.Context) {}).Then(2, tflux.OneToAll{})
+	p.Thread(2, "b", func(tflux.Context) {}).Instances(2)
+
+	var sb strings.Builder
+	if err := tflux.WriteDOT(&sb, p); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(strings.Contains(sb.String(), `t1 -> t2 [label="one-to-all"]`))
+	// Output: true
+}
+
+// Validate reports structural problems with source positions before any
+// platform is involved.
+func ExampleProgram_Validate() {
+	p := tflux.NewProgram("broken")
+	p.Thread(1, "a", func(tflux.Context) {}).Then(42, tflux.OneToOne{})
+	fmt.Println(p.Validate() != nil)
+	// Output: true
+}

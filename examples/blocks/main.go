@@ -1,0 +1,68 @@
+// Blocks: why DDM Blocks exist. The TSU holds the Ready Counts of every
+// DThread instance of the resident Block, so a Block can never be larger
+// than the TSU (paper §2). This example first tries to run a 4096-instance
+// pipeline on a 1024-slot TSU in one Block — which the runtime rejects —
+// then splits the same work into four Blocks that execute in sequence,
+// each fitting the TSU.
+//
+//	go run ./examples/blocks
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tflux"
+)
+
+const (
+	totalWork = 4096
+	tsuSlots  = 1024
+	pieces    = 4
+)
+
+func main() {
+	acc := make([]int64, totalWork)
+
+	// Attempt 1: everything in one Block. 4096 instances > 1024 TSU
+	// slots, so the TSU rejects the program before running anything.
+	oneBlock := tflux.NewProgram("monolithic")
+	oneBlock.Thread(1, "work", func(ctx tflux.Context) {
+		acc[ctx] = int64(ctx)
+	}).Instances(totalWork)
+	_, err := tflux.RunSoft(oneBlock, tflux.SoftOptions{Kernels: 4, TSUSize: tsuSlots})
+	if err == nil {
+		log.Fatal("expected the monolithic program to exceed the TSU")
+	}
+	fmt.Printf("monolithic program rejected, as §2 requires:\n  %v\n\n", err)
+
+	// Attempt 2: the DDM way — split into Blocks. Only one Block is
+	// resident at a time; the Outlet of each Block chains to the Inlet of
+	// the next, so the 1024-slot TSU is always enough.
+	split := tflux.NewProgram("blocked")
+	per := tflux.Context(totalWork / pieces)
+	for blk := 0; blk < pieces; blk++ {
+		blk := blk
+		split.Block()
+		split.Thread(tflux.ThreadID(blk+1), fmt.Sprintf("work%d", blk), func(ctx tflux.Context) {
+			i := blk*int(per) + int(ctx)
+			acc[i] = int64(i)
+		}).Instances(per)
+	}
+	stats, err := tflux.RunSoft(split, tflux.SoftOptions{Kernels: 4, TSUSize: tsuSlots})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var sum int64
+	for _, v := range acc {
+		sum += v
+	}
+	want := int64(totalWork) * (totalWork - 1) / 2
+	if sum != want {
+		log.Fatalf("sum = %d, want %d", sum, want)
+	}
+	fmt.Printf("blocked program ran %d DThreads through %d Blocks (%d Inlets, %d Outlets) on a %d-slot TSU\n",
+		stats.TotalExecuted(), pieces, stats.TSU.Inlets, stats.TSU.Outlets, tsuSlots)
+	fmt.Printf("checksum ok: sum 0..%d = %d\n", totalWork-1, sum)
+}

@@ -1,0 +1,46 @@
+// Quickstart: the smallest useful DDM program — a parallel map feeding a
+// reduction — executed by the TFluxSoft runtime.
+//
+//	go run ./examples/quickstart
+//
+// Eight worker DThread instances square their context index in parallel;
+// the reducer runs only after all eight complete (its Ready Count is the
+// number of producers, managed by the TSU). There are no locks and no
+// channels in user code: ordering comes entirely from the dependency arc.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tflux"
+)
+
+func main() {
+	const n = 8
+	squares := make([]int, n)
+	var sum int
+
+	p := tflux.NewProgram("quickstart")
+
+	// A loop DThread: one template, n dynamic instances (contexts).
+	p.Thread(1, "square", func(ctx tflux.Context) {
+		squares[ctx] = int(ctx) * int(ctx)
+	}).Instances(n).
+		// All n instances feed the single reducer instance.
+		Then(2, tflux.AllToOne{})
+
+	p.Thread(2, "reduce", func(tflux.Context) {
+		for _, s := range squares {
+			sum += s
+		}
+	})
+
+	stats, err := tflux.RunSoft(p, tflux.SoftOptions{Kernels: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sum of squares 0..%d = %d\n", n-1, sum)
+	fmt.Printf("executed %d DThreads on %d kernels (TSU fired %d ready counts)\n",
+		stats.TotalExecuted(), stats.Kernels, stats.TSU.Fired)
+}

@@ -1,0 +1,3 @@
+module tflux
+
+go 1.22

@@ -1,0 +1,76 @@
+package byteview
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestFloat64sAliases(t *testing.T) {
+	f := []float64{1.5, -2.25}
+	v := Float64s(f)
+	if len(v) != 16 {
+		t.Fatalf("len = %d, want 16", len(v))
+	}
+	f[0] = 7.75
+	// The view must observe the write, endianness-agnostically: compare
+	// against a fresh view over an equal value.
+	want := Float64s([]float64{7.75, -2.25})
+	if !bytes.Equal(v, want) {
+		t.Fatal("view did not observe write through typed slice")
+	}
+}
+
+func TestUint32sRoundTrip(t *testing.T) {
+	u := []uint32{0xAABBCCDD}
+	v := Uint32s(u)
+	if len(v) != 4 {
+		t.Fatalf("len = %d", len(v))
+	}
+	v[0] ^= 0xFF // mutate through the view
+	if u[0] == 0xAABBCCDD {
+		t.Fatal("typed slice did not observe view write")
+	}
+}
+
+func TestEmptySlices(t *testing.T) {
+	if Float64s(nil) != nil || Uint32s(nil) != nil || Complex128s(nil) != nil || Int32s(nil) != nil {
+		t.Fatal("empty views must be nil")
+	}
+}
+
+func TestComplex128sLen(t *testing.T) {
+	c := make([]complex128, 3)
+	if got := len(Complex128s(c)); got != 48 {
+		t.Fatalf("len = %d, want 48", got)
+	}
+}
+
+func TestInt32sLen(t *testing.T) {
+	s := make([]int32, 5)
+	if got := len(Int32s(s)); got != 20 {
+		t.Fatalf("len = %d, want 20", got)
+	}
+}
+
+func TestBytesIdentity(t *testing.T) {
+	b := []byte{1, 2}
+	if got := Bytes(b); &got[0] != &b[0] {
+		t.Fatal("Bytes must return the same slice")
+	}
+}
+
+func TestUint64sRoundTrip(t *testing.T) {
+	u := []uint64{7}
+	v := Uint64s(u)
+	if len(v) != 8 {
+		t.Fatalf("len = %d", len(v))
+	}
+	u[0] = 0x0102030405060708
+	want := Uint64s([]uint64{0x0102030405060708})
+	if !bytes.Equal(v, want) {
+		t.Fatal("view did not observe write")
+	}
+	if Uint64s(nil) != nil {
+		t.Fatal("empty view must be nil")
+	}
+}

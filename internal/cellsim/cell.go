@@ -1,0 +1,139 @@
+package cellsim
+
+import (
+	"fmt"
+	"sync"
+
+	"tflux/internal/core"
+)
+
+// SharedVariableBuffer is the main-memory area through which DThreads
+// exchange shared variable values (paper §4.3): a registry of the named
+// byte buffers backing the program's core.Buffer declarations.
+type SharedVariableBuffer struct {
+	bufs map[string][]byte
+}
+
+// NewSharedVariableBuffer returns an empty registry.
+func NewSharedVariableBuffer() *SharedVariableBuffer {
+	return &SharedVariableBuffer{bufs: make(map[string][]byte)}
+}
+
+// Register binds a named buffer to its backing bytes. Re-registering a
+// name replaces the binding.
+func (s *SharedVariableBuffer) Register(name string, data []byte) {
+	s.bufs[name] = data
+}
+
+// Bytes returns the backing slice for name, or nil.
+func (s *SharedVariableBuffer) Bytes(name string) []byte { return s.bufs[name] }
+
+// slice resolves a region to its backing bytes, bounds-checked.
+func (s *SharedVariableBuffer) slice(r core.MemRegion) ([]byte, error) {
+	b, ok := s.bufs[r.Buffer]
+	if !ok {
+		return nil, fmt.Errorf("cellsim: region references unregistered buffer %q", r.Buffer)
+	}
+	if r.Offset < 0 || r.Size < 0 || r.Offset+r.Size > int64(len(b)) {
+		return nil, fmt.Errorf("cellsim: region [%d,%d) outside buffer %q (%d bytes)", r.Offset, r.Offset+r.Size, r.Buffer, len(b))
+	}
+	return b[r.Offset : r.Offset+r.Size], nil
+}
+
+// command is one entry a Kernel places into its CommandBuffer: a DThread
+// completion notification.
+type command struct {
+	inst core.Instance
+}
+
+// commandBuffer is the per-SPE command ring the PPE polls. Its bounded
+// capacity mirrors the paper's 128-byte main-memory buffer.
+type commandBuffer struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	buf    []command
+	cap    int
+	closed bool
+}
+
+func newCommandBuffer(capacity int) *commandBuffer {
+	cb := &commandBuffer{buf: make([]command, 0, capacity), cap: capacity}
+	cb.cond = sync.NewCond(&cb.mu)
+	return cb
+}
+
+// push blocks while the ring is full (the SPE stalls on its DMA of the
+// command, as on real hardware). On a closed buffer the command is
+// dropped: the run is aborting.
+func (cb *commandBuffer) push(c command) {
+	cb.mu.Lock()
+	defer cb.mu.Unlock()
+	for len(cb.buf) >= cb.cap && !cb.closed {
+		cb.cond.Wait()
+	}
+	if cb.closed {
+		return
+	}
+	cb.buf = append(cb.buf, c)
+}
+
+// drain moves all pending commands into dst.
+func (cb *commandBuffer) drain(dst []command) []command {
+	cb.mu.Lock()
+	defer cb.mu.Unlock()
+	if len(cb.buf) > 0 {
+		dst = append(dst, cb.buf...)
+		cb.buf = cb.buf[:0]
+		cb.cond.Broadcast()
+	}
+	return dst
+}
+
+func (cb *commandBuffer) close() {
+	cb.mu.Lock()
+	cb.closed = true
+	cb.mu.Unlock()
+	cb.cond.Broadcast()
+}
+
+// dma models one staging engine: chunked copies between main memory and a
+// Local Store arena, with traffic accounting.
+type dma struct {
+	chunk     int64
+	bytesIn   int64
+	bytesOut  int64
+	transfers int64
+}
+
+// stage copies src into the given Local Store window (import) or walks src
+// through it to pay the write-out traffic (export), in chunk-sized
+// transfers. Resident regions land sequentially in the window; streamed
+// regions reuse its start for every chunk (double-buffering). It returns
+// the window bytes consumed (the largest chunk for streamed regions).
+func (d *dma) stage(window []byte, src []byte, out, stream bool) int64 {
+	var moved, used int64
+	for len(src) > 0 {
+		n := d.chunk
+		if n > int64(len(src)) {
+			n = int64(len(src))
+		}
+		if stream {
+			copy(window, src[:n])
+			if n > used {
+				used = n
+			}
+		} else {
+			copy(window[moved:], src[:n])
+			used = moved + n
+		}
+		src = src[n:]
+		moved += n
+		d.transfers++
+	}
+	if out {
+		d.bytesOut += moved
+	} else {
+		d.bytesIn += moved
+	}
+	return used
+}

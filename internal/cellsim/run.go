@@ -1,0 +1,357 @@
+package cellsim
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"tflux/internal/core"
+	"tflux/internal/tsu"
+)
+
+// Config describes the simulated Cell system.
+type Config struct {
+	// SPEs is the number of compute nodes. Zero selects 6, the number of
+	// SPEs available to the programmer on a PlayStation 3.
+	SPEs int
+	// LocalStore is the per-SPE Local Store capacity in bytes (default
+	// 256 KB, as on the real SPU).
+	LocalStore int64
+	// Reserve is Local Store space unavailable for data (code, stack,
+	// runtime); default 32 KB.
+	Reserve int64
+	// MailboxCap is the SPE inbound mailbox depth (default 4).
+	MailboxCap int
+	// CommandBufCap is the CommandBuffer ring capacity (default 16
+	// commands, the paper's 128-byte buffer at 8 bytes per command).
+	CommandBufCap int
+	// DMAChunk is the maximum bytes per DMA transfer (default 16 KB, the
+	// Cell's DMA limit).
+	DMAChunk int64
+	// TSUSize caps the DThread instances per DDM Block (the TSU's slot
+	// count, §2). Zero means unlimited.
+	TSUSize int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.SPEs <= 0 {
+		c.SPEs = 6
+	}
+	if c.LocalStore <= 0 {
+		c.LocalStore = 256 << 10
+	}
+	if c.Reserve <= 0 {
+		c.Reserve = 32 << 10
+	}
+	if c.MailboxCap <= 0 {
+		c.MailboxCap = 4
+	}
+	if c.CommandBufCap <= 0 {
+		c.CommandBufCap = 16
+	}
+	if c.DMAChunk <= 0 {
+		c.DMAChunk = 16 << 10
+	}
+	if 2*c.DMAChunk > c.LocalStore {
+		c.DMAChunk = c.LocalStore / 2
+	}
+	return c
+}
+
+// SPEStats reports one SPE's activity.
+type SPEStats struct {
+	Executed int64 // application DThreads run
+	DMABytes int64 // bytes staged in and out
+}
+
+// Stats is the outcome of a TFluxCell run.
+type Stats struct {
+	Elapsed      time.Duration
+	TSU          tsu.Stats
+	DMABytesIn   int64
+	DMABytesOut  int64
+	DMATransfers int64
+	Commands     int64
+	LSHighWater  int64 // largest per-DThread Local Store footprint seen
+	SPEs         []SPEStats
+}
+
+// Run executes the program on the Cell substrate: DThread bodies on SPE
+// goroutines with Local Store staging, the TSU emulator on the PPE
+// goroutine. Every buffer the program declares must be registered in svb
+// with at least the declared size.
+func Run(p *core.Program, svb *SharedVariableBuffer, cfg Config) (*Stats, error) {
+	cfg = cfg.withDefaults()
+	state, err := tsu.NewStateSized(p, cfg.SPEs, cfg.TSUSize)
+	if err != nil {
+		return nil, err
+	}
+	for _, b := range p.Buffers {
+		got := svb.Bytes(b.Name)
+		if int64(len(got)) < b.Size {
+			return nil, fmt.Errorf("cellsim: buffer %q registered with %d bytes, program declares %d", b.Name, len(got), b.Size)
+		}
+	}
+	r := &cellRunner{
+		cfg:    cfg,
+		state:  state,
+		svb:    svb,
+		rings:  make([]*commandBuffer, cfg.SPEs),
+		boxes:  make([]chan core.Instance, cfg.SPEs),
+		notify: make(chan struct{}, 1),
+		stop:   make(chan struct{}),
+	}
+	stats := &Stats{SPEs: make([]SPEStats, cfg.SPEs)}
+	r.dmas = make([]dma, cfg.SPEs)
+	r.highWater = make([]int64, cfg.SPEs)
+	for i := 0; i < cfg.SPEs; i++ {
+		r.rings[i] = newCommandBuffer(cfg.CommandBufCap)
+		r.boxes[i] = make(chan core.Instance, cfg.MailboxCap)
+		r.dmas[i].chunk = cfg.DMAChunk
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.SPEs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r.spe(i, &stats.SPEs[i])
+		}(i)
+	}
+	ppeErr := r.ppe()
+	wg.Wait()
+	stats.Elapsed = time.Since(start)
+	stats.TSU = state.Stats()
+	stats.Commands = r.commands
+	var hw int64
+	for i := range r.dmas {
+		stats.DMABytesIn += r.dmas[i].bytesIn
+		stats.DMABytesOut += r.dmas[i].bytesOut
+		stats.DMATransfers += r.dmas[i].transfers
+		stats.SPEs[i].DMABytes = r.dmas[i].bytesIn + r.dmas[i].bytesOut
+		if r.highWater[i] > hw {
+			hw = r.highWater[i]
+		}
+	}
+	stats.LSHighWater = hw
+	r.errMu.Lock()
+	err = r.err
+	r.errMu.Unlock()
+	if err == nil {
+		err = ppeErr
+	}
+	return stats, err
+}
+
+type cellRunner struct {
+	cfg   Config
+	state *tsu.State
+	svb   *SharedVariableBuffer
+
+	rings  []*commandBuffer
+	boxes  []chan core.Instance
+	notify chan struct{}
+
+	dmas      []dma
+	highWater []int64
+	commands  int64
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	errMu    sync.Mutex
+	err      error
+}
+
+func (r *cellRunner) fail(err error) {
+	r.errMu.Lock()
+	if r.err == nil {
+		r.err = err
+	}
+	r.errMu.Unlock()
+	r.shutdown()
+}
+
+// shutdown releases every blocked party: SPEs waiting on mailboxes or
+// pushing commands, and the PPE waiting for activity. Mailbox channels are
+// never closed (the PPE may be mid-send); SPEs exit through the stop
+// channel instead.
+func (r *cellRunner) shutdown() {
+	r.stopOnce.Do(func() {
+		close(r.stop)
+		for _, cb := range r.rings {
+			cb.close()
+		}
+	})
+}
+
+func (r *cellRunner) signal() {
+	select {
+	case r.notify <- struct{}{}:
+	default:
+	}
+}
+
+// spe is one Synergistic Processor Element: wait on the mailbox for the
+// next DThread, stage its imports into the Local Store, run it, stage its
+// exports back, and notify the TSU through the CommandBuffer.
+func (r *cellRunner) spe(id int, st *SPEStats) {
+	arena := make([]byte, r.cfg.LocalStore)
+	for {
+		select {
+		case inst := <-r.boxes[id]:
+			if !r.runOne(id, inst, arena, st) {
+				return
+			}
+		case <-r.stop:
+			return
+		}
+	}
+}
+
+// runOne executes a single DThread on SPE id. It returns false on abort.
+func (r *cellRunner) runOne(id int, inst core.Instance, arena []byte, st *SPEStats) (ok bool) {
+	defer func() {
+		if p := recover(); p != nil {
+			r.fail(fmt.Errorf("cellsim: DThread %v panicked on SPE %d: %v", inst, id, p))
+			ok = false
+		}
+	}()
+	var imports, exports []core.MemRegion
+	if !r.state.IsService(inst) {
+		tpl := r.state.Template(inst.Thread)
+		if tpl.Access != nil {
+			for _, reg := range tpl.Access(inst.Ctx) {
+				if reg.Size <= 0 {
+					continue
+				}
+				if reg.Write {
+					exports = append(exports, reg)
+				} else {
+					imports = append(imports, reg)
+				}
+			}
+		}
+		// Resident regions occupy the Local Store for the whole DThread;
+		// streamed regions are double-buffered through a fixed window, so
+		// they cost only their largest DMA piece (two buffers' worth).
+		var footprint, streamWindow int64
+		for _, reg := range append(append([]core.MemRegion(nil), imports...), exports...) {
+			if reg.Stream {
+				piece := reg.Size
+				if piece > r.cfg.DMAChunk {
+					piece = r.cfg.DMAChunk
+				}
+				if 2*piece > streamWindow {
+					streamWindow = 2 * piece
+				}
+				continue
+			}
+			footprint += reg.Size
+		}
+		footprint += streamWindow
+		if footprint > r.cfg.LocalStore-r.cfg.Reserve {
+			r.fail(fmt.Errorf("cellsim: DThread %v needs %d bytes of Local Store, only %d available (problem size does not fit the SPE Local Store; restructure as the paper's §6.3 notes)",
+				inst, footprint, r.cfg.LocalStore-r.cfg.Reserve))
+			return false
+		}
+		if footprint > r.highWater[id] {
+			r.highWater[id] = footprint
+		}
+		// The streaming window sits at the top of the arena; resident
+		// regions fill from the bottom.
+		streamWin := arena[int64(len(arena))-2*r.cfg.DMAChunk:]
+		// DMA-in the imports.
+		var used int64
+		for _, reg := range imports {
+			src, err := r.svb.slice(reg)
+			if err != nil {
+				r.fail(err)
+				return false
+			}
+			if reg.Stream {
+				r.dmas[id].stage(streamWin, src, false, true)
+			} else {
+				used += r.dmas[id].stage(arena[used:], src, false, false)
+			}
+		}
+		tpl.Body(inst.Ctx)
+		st.Executed++
+		// DMA-out the exports (traffic-equivalent staging; see package
+		// doc).
+		used = 0
+		for _, reg := range exports {
+			src, err := r.svb.slice(reg)
+			if err != nil {
+				r.fail(err)
+				return false
+			}
+			if reg.Stream {
+				r.dmas[id].stage(streamWin, src, true, true)
+			} else {
+				used += r.dmas[id].stage(arena[used:], src, true, false)
+			}
+		}
+	}
+	r.rings[id].push(command{inst: inst})
+	r.signal()
+	return true
+}
+
+// ppe is the PPE-side TSU Emulator: loop over all CommandBuffers, apply
+// completions to the TSU state, and mail newly ready DThreads to their
+// owning SPEs.
+func (r *cellRunner) ppe() error {
+	// pending holds ready DThreads whose SPE mailbox was full. Mailbox
+	// sends are never blocking: a full mailbox plus a full CommandBuffer
+	// would otherwise deadlock the PPE against the SPE. Every mailbox
+	// consumption ends in a command push (which signals), so pending work
+	// is always retried.
+	pending := make([][]core.Instance, r.cfg.SPEs)
+	flush := func() {
+		for i := range pending {
+		sendLoop:
+			for len(pending[i]) > 0 {
+				select {
+				case r.boxes[i] <- pending[i][0]:
+					pending[i] = pending[i][1:]
+				default:
+					break sendLoop
+				}
+			}
+		}
+	}
+
+	first := r.state.Start()
+	pending[int(first.Kernel)] = append(pending[int(first.Kernel)], first.Inst)
+	flush()
+
+	var cmds []command
+	for {
+		cmds = cmds[:0]
+		for _, cb := range r.rings {
+			cmds = cb.drain(cmds)
+		}
+		if len(cmds) == 0 {
+			flush()
+			select {
+			case <-r.notify:
+				continue
+			case <-r.stop:
+				return nil
+			}
+		}
+		for _, c := range cmds {
+			r.commands++
+			res := r.state.Complete(c.inst, r.state.KernelOf(c.inst))
+			for _, rd := range res.NewReady {
+				pending[int(rd.Kernel)] = append(pending[int(rd.Kernel)], rd.Inst)
+			}
+			if res.ProgramDone {
+				r.shutdown()
+				return nil
+			}
+		}
+		flush()
+	}
+}

@@ -1,0 +1,51 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteDOT(t *testing.T) {
+	p := NewProgram(`the "graph"`)
+	b0 := p.AddBlock()
+	src := NewTemplate(1, "src", noop)
+	work := NewTemplate(2, "work", noop)
+	work.Instances = 8
+	work.Affinity = 1
+	src.Then(2, Scatter{Fan: 8})
+	b0.Add(src)
+	b0.Add(work)
+	b1 := p.AddBlock()
+	b1.Add(NewTemplate(3, "tail", noop))
+
+	var sb strings.Builder
+	if err := WriteDOT(&sb, p); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"digraph",
+		"cluster_block0",
+		"cluster_block1",
+		"t1 -> t2",
+		"scatter(fan=8)",
+		"×8",
+		"@kernel 1",
+		"block order",
+		`\"graph\"`, // quotes escaped
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteDOTEmptyProgram(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteDOT(&sb, NewProgram("empty")); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "digraph") {
+		t.Fatal("no digraph header")
+	}
+}

@@ -1,0 +1,188 @@
+package core
+
+import "fmt"
+
+// Mapping relates producer contexts to consumer contexts along an Arc.
+//
+// Both directions are needed: the forward direction (AppendTargets) is used
+// by the post-processing phase after a producer instance completes, to find
+// which consumer Ready Counts to decrement; the inverse direction
+// (InDegree) is used when a Block is loaded into the TSU, to initialize the
+// Ready Count of each consumer instance.
+//
+// Implementations must be pure: the same inputs always produce the same
+// outputs, with no side effects, so that they can be consulted concurrently
+// by all kernels without locking.
+type Mapping interface {
+	// AppendTargets appends the consumer contexts enabled by the
+	// completion of producer context pctx and returns the extended slice.
+	// pInst and cInst are the instance counts of the producer and consumer
+	// templates.
+	AppendTargets(dst []Context, pctx, pInst, cInst Context) []Context
+
+	// InDegree returns how many producer completions consumer context cctx
+	// waits for along this arc.
+	InDegree(cctx, pInst, cInst Context) uint32
+
+	// String describes the mapping for diagnostics.
+	String() string
+}
+
+// Monotone is implemented by mappings that guarantee every target context
+// is strictly greater than its producer context. Such mappings may be
+// used on self-arcs (a template depending on its own later contexts —
+// wavefront and pipeline dependency patterns), because the instance-level
+// dependency graph is then provably acyclic even though the template-level
+// graph has a self loop.
+type Monotone interface {
+	// StrictlyIncreasing reports target > producer for every produced
+	// target context.
+	StrictlyIncreasing() bool
+}
+
+// OneToOne maps producer context i to consumer context i. The two templates
+// must have the same number of instances.
+type OneToOne struct{}
+
+// AppendTargets implements Mapping.
+func (OneToOne) AppendTargets(dst []Context, pctx, pInst, cInst Context) []Context {
+	if pctx < cInst {
+		dst = append(dst, pctx)
+	}
+	return dst
+}
+
+// InDegree implements Mapping.
+func (OneToOne) InDegree(cctx, pInst, cInst Context) uint32 {
+	if cctx < pInst {
+		return 1
+	}
+	return 0
+}
+
+func (OneToOne) String() string { return "one-to-one" }
+
+// AllToOne maps every producer context to the single consumer context
+// Target: a reduction. The consumer instance waits for all pInst producers.
+type AllToOne struct{ Target Context }
+
+// AppendTargets implements Mapping.
+func (m AllToOne) AppendTargets(dst []Context, pctx, pInst, cInst Context) []Context {
+	if m.Target < cInst {
+		dst = append(dst, m.Target)
+	}
+	return dst
+}
+
+// InDegree implements Mapping.
+func (m AllToOne) InDegree(cctx, pInst, cInst Context) uint32 {
+	if cctx == m.Target {
+		return uint32(pInst)
+	}
+	return 0
+}
+
+func (m AllToOne) String() string { return fmt.Sprintf("all-to-one(%d)", m.Target) }
+
+// OneToAll maps every producer context to every consumer context: a
+// broadcast / barrier arc. Each consumer context waits for all producers.
+// This is how phase boundaries (e.g. between FFT stages) are expressed.
+type OneToAll struct{}
+
+// AppendTargets implements Mapping.
+func (OneToAll) AppendTargets(dst []Context, pctx, pInst, cInst Context) []Context {
+	for c := Context(0); c < cInst; c++ {
+		dst = append(dst, c)
+	}
+	return dst
+}
+
+// InDegree implements Mapping.
+func (OneToAll) InDegree(cctx, pInst, cInst Context) uint32 { return uint32(pInst) }
+
+func (OneToAll) String() string { return "one-to-all" }
+
+// Gather maps producer context i to consumer context i/Fan: each consumer
+// instance waits for its Fan children. This is the merge-tree arc used by
+// QSORT (Fan == 2 gives the paper's two-level binary merge).
+type Gather struct{ Fan Context }
+
+// AppendTargets implements Mapping.
+func (m Gather) AppendTargets(dst []Context, pctx, pInst, cInst Context) []Context {
+	if m.Fan == 0 {
+		return dst
+	}
+	if c := pctx / m.Fan; c < cInst {
+		dst = append(dst, c)
+	}
+	return dst
+}
+
+// InDegree implements Mapping.
+func (m Gather) InDegree(cctx, pInst, cInst Context) uint32 {
+	if m.Fan == 0 {
+		return 0
+	}
+	lo := cctx * m.Fan
+	if lo >= pInst {
+		return 0
+	}
+	hi := lo + m.Fan
+	if hi > pInst {
+		hi = pInst
+	}
+	return uint32(hi - lo)
+}
+
+func (m Gather) String() string { return fmt.Sprintf("gather(fan=%d)", m.Fan) }
+
+// Scatter maps producer context i to the consumer contexts
+// [i*Fan, (i+1)*Fan): a fork. Each consumer instance waits for exactly one
+// producer.
+type Scatter struct{ Fan Context }
+
+// AppendTargets implements Mapping.
+func (m Scatter) AppendTargets(dst []Context, pctx, pInst, cInst Context) []Context {
+	lo := pctx * m.Fan
+	for c := lo; c < lo+m.Fan && c < cInst; c++ {
+		dst = append(dst, c)
+	}
+	return dst
+}
+
+// InDegree implements Mapping.
+func (m Scatter) InDegree(cctx, pInst, cInst Context) uint32 {
+	if m.Fan == 0 {
+		return 0
+	}
+	if cctx/m.Fan < pInst {
+		return 1
+	}
+	return 0
+}
+
+func (m Scatter) String() string { return fmt.Sprintf("scatter(fan=%d)", m.Fan) }
+
+// Const maps every producer context to the fixed consumer context Target —
+// identical to AllToOne but kept as a distinct named mapping because the
+// DDM directives distinguish "depends on thread t" (Const from a
+// single-instance producer) from reductions.
+type Const struct{ Target Context }
+
+// AppendTargets implements Mapping.
+func (m Const) AppendTargets(dst []Context, pctx, pInst, cInst Context) []Context {
+	if m.Target < cInst {
+		dst = append(dst, m.Target)
+	}
+	return dst
+}
+
+// InDegree implements Mapping.
+func (m Const) InDegree(cctx, pInst, cInst Context) uint32 {
+	if cctx == m.Target {
+		return uint32(pInst)
+	}
+	return 0
+}
+
+func (m Const) String() string { return fmt.Sprintf("const(%d)", m.Target) }

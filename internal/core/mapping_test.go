@@ -1,0 +1,157 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// mappingUnderTest enumerates every Mapping kind with small random
+// parameters so properties are exercised across the whole family.
+func mappingUnderTest(kind int, r *rand.Rand, cInst Context) Mapping {
+	switch kind % 6 {
+	case 0:
+		return OneToOne{}
+	case 1:
+		return AllToOne{Target: Context(r.Intn(int(cInst)))}
+	case 2:
+		return OneToAll{}
+	case 3:
+		return Gather{Fan: Context(1 + r.Intn(4))}
+	case 4:
+		return Scatter{Fan: Context(1 + r.Intn(4))}
+	default:
+		return Const{Target: Context(r.Intn(int(cInst)))}
+	}
+}
+
+// TestMappingForwardInverseConsistency checks, for every mapping kind, the
+// fundamental Ready Count identity: the in-degree of a consumer context
+// equals the number of (producer context, target) pairs that hit it. If
+// this ever breaks, the TSU either deadlocks (counts too high) or fires
+// threads early (counts too low).
+func TestMappingForwardInverseConsistency(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	f := func(kind uint8, pInstRaw, cInstRaw uint8) bool {
+		pInst := Context(pInstRaw%40 + 1)
+		cInst := Context(cInstRaw%40 + 1)
+		m := mappingUnderTest(int(kind), r, cInst)
+		hits := make([]uint32, cInst)
+		var buf []Context
+		for p := Context(0); p < pInst; p++ {
+			buf = m.AppendTargets(buf[:0], p, pInst, cInst)
+			for _, c := range buf {
+				if c >= cInst {
+					t.Errorf("%s: target %d out of range (cInst=%d)", m, c, cInst)
+					return false
+				}
+				hits[c]++
+			}
+		}
+		for c := Context(0); c < cInst; c++ {
+			if got, want := m.InDegree(c, pInst, cInst), hits[c]; got != want {
+				t.Errorf("%s pInst=%d cInst=%d ctx=%d: InDegree=%d but %d forward hits", m, pInst, cInst, c, got, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOneToOne(t *testing.T) {
+	m := OneToOne{}
+	got := m.AppendTargets(nil, 3, 8, 8)
+	if len(got) != 1 || got[0] != 3 {
+		t.Fatalf("targets = %v, want [3]", got)
+	}
+	if d := m.InDegree(3, 8, 8); d != 1 {
+		t.Fatalf("InDegree = %d, want 1", d)
+	}
+}
+
+func TestAllToOneReduction(t *testing.T) {
+	m := AllToOne{Target: 0}
+	for p := Context(0); p < 5; p++ {
+		got := m.AppendTargets(nil, p, 5, 1)
+		if len(got) != 1 || got[0] != 0 {
+			t.Fatalf("producer %d: targets = %v, want [0]", p, got)
+		}
+	}
+	if d := m.InDegree(0, 5, 1); d != 5 {
+		t.Fatalf("InDegree = %d, want 5", d)
+	}
+}
+
+func TestOneToAllBarrier(t *testing.T) {
+	m := OneToAll{}
+	got := m.AppendTargets(nil, 2, 4, 3)
+	if len(got) != 3 {
+		t.Fatalf("targets = %v, want all 3 consumers", got)
+	}
+	for c := Context(0); c < 3; c++ {
+		if d := m.InDegree(c, 4, 3); d != 4 {
+			t.Fatalf("InDegree(%d) = %d, want 4", c, d)
+		}
+	}
+}
+
+func TestGatherMergeTree(t *testing.T) {
+	// 8 sorters feeding 4 mergers with fan 2: producer i -> consumer i/2.
+	m := Gather{Fan: 2}
+	for p := Context(0); p < 8; p++ {
+		got := m.AppendTargets(nil, p, 8, 4)
+		if len(got) != 1 || got[0] != p/2 {
+			t.Fatalf("producer %d: targets = %v, want [%d]", p, got, p/2)
+		}
+	}
+	for c := Context(0); c < 4; c++ {
+		if d := m.InDegree(c, 8, 4); d != 2 {
+			t.Fatalf("InDegree(%d) = %d, want 2", c, d)
+		}
+	}
+}
+
+func TestGatherRaggedTail(t *testing.T) {
+	// 5 producers, fan 2, 3 consumers: consumer 2 has a single producer.
+	m := Gather{Fan: 2}
+	if d := m.InDegree(2, 5, 3); d != 1 {
+		t.Fatalf("InDegree(2) = %d, want 1", d)
+	}
+	if d := m.InDegree(3, 5, 3); d != 0 {
+		t.Fatalf("InDegree(3) = %d, want 0 (out of producer range)", d)
+	}
+}
+
+func TestScatterFork(t *testing.T) {
+	m := Scatter{Fan: 3}
+	got := m.AppendTargets(nil, 1, 2, 6)
+	want := []Context{3, 4, 5}
+	if len(got) != len(want) {
+		t.Fatalf("targets = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("targets = %v, want %v", got, want)
+		}
+	}
+	for c := Context(0); c < 6; c++ {
+		if d := m.InDegree(c, 2, 6); d != 1 {
+			t.Fatalf("InDegree(%d) = %d, want 1", c, d)
+		}
+	}
+}
+
+func TestZeroFanDegenerate(t *testing.T) {
+	if got := (Gather{}).AppendTargets(nil, 0, 4, 4); len(got) != 0 {
+		t.Fatalf("gather fan 0 produced targets %v", got)
+	}
+	if d := (Gather{}).InDegree(0, 4, 4); d != 0 {
+		t.Fatalf("gather fan 0 InDegree = %d, want 0", d)
+	}
+	if d := (Scatter{}).InDegree(0, 4, 4); d != 0 {
+		t.Fatalf("scatter fan 0 InDegree = %d, want 0", d)
+	}
+}

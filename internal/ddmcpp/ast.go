@@ -1,0 +1,108 @@
+package ddmcpp
+
+import "fmt"
+
+// File is the parsed representation of one annotated source file: the
+// front-end's output and the back-ends' input.
+type File struct {
+	Input   string   // file name, for diagnostics
+	Name    string   // program name (startprogram name(...)), default "ddm"
+	Uses    []string // extra import paths (`use` directives)
+	Prelude []string
+	Setup   []string
+	Vars    []Var
+	Blocks  []*Block
+}
+
+// Var is a shared-buffer declaration: `var <name> <bytes>` for a raw
+// byte buffer, or `var <name> <type> <count>` for a typed slice (type in
+// byte|u32|i32|f64|c128). Size is always the byte size.
+type Var struct {
+	Name  string
+	Type  string // "", or one of byte|u32|i32|f64|c128
+	Count int64  // element count for typed vars
+	Size  int64  // byte size
+	Line  int
+}
+
+// Block is one DDM Block.
+type Block struct {
+	Line    int
+	Threads []*Thread
+}
+
+// Thread is one DThread declaration with its body.
+type Thread struct {
+	ID        int
+	Line      int
+	Instances int // >= 1
+	Kernel    int // -1 = unpinned
+	Imports   []string
+	Exports   []string
+	// Cost is the optional per-instance compute-cycle model for the hard
+	// target (`cost(n)` clause); 0 means unspecified.
+	Cost int64
+	// Loop-thread fields (`for thread` directive): the body is one
+	// iteration over `i` in [RangeLo, RangeHi); each DThread instance
+	// executes Unroll consecutive iterations.
+	IsLoop           bool
+	RangeLo, RangeHi int
+	Unroll           int
+	Depends          []Dep
+	Body             []string
+}
+
+// MapKind is a dependency context mapping selector.
+type MapKind int
+
+// The directive mapping keywords.
+const (
+	MapDefault MapKind = iota // resolved by sema
+	MapOne
+	MapAll
+	MapBroadcast
+	MapGather
+	MapScatter
+)
+
+func (m MapKind) String() string {
+	switch m {
+	case MapDefault:
+		return "default"
+	case MapOne:
+		return "one"
+	case MapAll:
+		return "all"
+	case MapBroadcast:
+		return "broadcast"
+	case MapGather:
+		return "gather"
+	case MapScatter:
+		return "scatter"
+	}
+	return "?"
+}
+
+// Dep is one `depends(...)` entry on a consumer thread: this thread waits
+// for producer On under the given mapping.
+type Dep struct {
+	On   int
+	Map  MapKind
+	Arg  int // fan for gather/scatter
+	Line int
+}
+
+// Error is a diagnostic with source position.
+type Error struct {
+	File string
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("%s:%d: %s", e.File, e.Line, e.Msg)
+}
+
+func errf(file string, line int, format string, args ...any) error {
+	return &Error{File: file, Line: line, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,47 @@
+// Package ddmcpp implements the Data-Driven Multithreading preprocessor
+// (DDMCPP, paper §3.4): a source-to-source tool that turns ordinary code
+// annotated with `#pragma ddm` directives into a complete program that
+// invokes the TFlux runtime.
+//
+// As in the paper, the tool is split into a target-independent front-end —
+// a directive parser and semantic analyzer producing a small AST — and
+// per-target back-ends that emit the runtime-support code: one back-end
+// per TFlux implementation (soft, hard, cell). The host language of thread
+// bodies here is Go rather than ANSI C, because the emitted program must
+// compile with this repository's commodity toolchain; the directive
+// language and the architecture are those of DDMCPP.
+//
+// Directive language (one directive per line, inside Go line comments;
+// the complete reference with clause semantics is DIRECTIVES.md at the
+// repository root):
+//
+//	//#pragma ddm use <import-path>
+//	//#pragma ddm startprogram [name(ident)]
+//	//#pragma ddm var <name> <bytes>          raw shared buffer
+//	//#pragma ddm var <name> <type> <count>   typed buffer (byte|u32|i32|f64|c128)
+//	//#pragma ddm block                       start a new DDM Block
+//	//#pragma ddm thread <id> [instances(n)] [kernel(k)] [cost(c)]
+//	//                       [import(buf,...)] [export(buf,...)]
+//	//                       [depends(id[:map[:arg]][, ...])]
+//	//	... Go statements: the DThread body; `ctx` is the context ...
+//	//#pragma ddm endthread
+//	//#pragma ddm for thread <id> range(lo,hi) [unroll(u)] [clauses...]
+//	//	... one loop iteration; `i` is the loop variable ...
+//	//#pragma ddm endfor
+//	//#pragma ddm endblock
+//	//#pragma ddm endprogram
+//
+// Dependency mappings: `one` (one-to-one), `all` (reduction to context 0),
+// `broadcast` (all-to-all barrier), `gather:N`, `scatter:N`. When omitted,
+// the mapping defaults to `one` for equal instance counts, `all` when the
+// consumer has a single instance, and `broadcast` otherwise.
+//
+// Lines before `startprogram` pass through verbatim above the generated
+// main (helper funcs); lines between directives inside the program become
+// setup code at the top of main. `var` buffers become top-level slices
+// with the declared name, so thread bodies address them directly; the
+// cell and dist back-ends register them (via zero-copy byte views for
+// typed vars) for DMA staging or wire transfer. Four back-ends exist —
+// soft, hard, cell and dist — one per TFlux implementation, as §3.4
+// prescribes.
+package ddmcpp

@@ -1,0 +1,35 @@
+package ddmcpp
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse feeds arbitrary text through the whole preprocessor pipeline:
+// the front-end must either return a structured error or an AST that
+// analyzes and generates cleanly — never panic.
+func FuzzParse(f *testing.F) {
+	f.Add(minimal)
+	f.Add("//#pragma ddm startprogram name(x)\n//#pragma ddm var v 8\n" +
+		"//#pragma ddm thread 1 instances(2) export(v)\n_ = ctx\n//#pragma ddm endthread\n" +
+		"//#pragma ddm thread 2 depends(1:all) import(v)\n_ = ctx\n//#pragma ddm endthread\n" +
+		"//#pragma ddm endprogram\n")
+	f.Add("//#pragma ddm startprogram\n//#pragma ddm thread 1 depends(2:gather:3)\n//#pragma ddm endthread\n//#pragma ddm endprogram\n")
+	f.Add("//#pragma ddm")
+	f.Add("//#pragma ddm thread 0xfff")
+	f.Add("//#pragma ddm startprogram\n//#pragma ddm block\n//#pragma ddm endblock\n//#pragma ddm endprogram\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		file, err := Parse("fuzz.ddm", strings.NewReader(src))
+		if err != nil {
+			return // structured rejection is fine
+		}
+		if err := Analyze(file); err != nil {
+			return
+		}
+		// Generation may reject bodies that are not valid Go, but must
+		// not panic.
+		for _, tgt := range []Target{TargetSoft, TargetHard, TargetCell} {
+			_, _ = Generate(file, tgt)
+		}
+	})
+}

@@ -1,0 +1,45 @@
+package ddmcpp
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestPreprocessedExamplesInSync regenerates the committed preprocessed
+// examples from their .ddm sources and checks the outputs match, so the
+// examples can never drift from the preprocessor.
+func TestPreprocessedExamplesInSync(t *testing.T) {
+	cases := []struct {
+		dir, in string
+		target  Target
+	}{
+		{"preprocessed", "pipeline.ddm", TargetSoft},
+		{"preprocessed-cell", "stage.ddm", TargetCell},
+		{"preprocessed-dist", "pipeline.ddm", TargetDist},
+	}
+	for _, c := range cases {
+		dir := filepath.Join("..", "..", "examples", c.dir)
+		in, err := os.Open(filepath.Join(dir, c.in))
+		if err != nil {
+			t.Fatalf("example source not present: %v", err)
+		}
+		want, err := os.ReadFile(filepath.Join(dir, "main.go"))
+		if err != nil {
+			in.Close()
+			t.Fatal(err)
+		}
+		// Use the path the committed file was generated with, so the
+		// input name embedded in comments matches.
+		got, err := Process(filepath.Join("examples", c.dir, c.in), in, c.target)
+		in.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("examples/%s/main.go is out of date; regenerate with:\n  go run ./cmd/ddmcpp -target %s -o examples/%s/main.go examples/%s/%s",
+				c.dir, c.target, c.dir, c.dir, c.in)
+		}
+	}
+}

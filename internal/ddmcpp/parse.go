@@ -1,0 +1,411 @@
+package ddmcpp
+
+import (
+	"bufio"
+	"io"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// directiveRE recognizes a DDM pragma line and captures its payload.
+var directiveRE = regexp.MustCompile(`^\s*//\s*#pragma\s+ddm\b\s*(.*?)\s*$`)
+
+// clauseRE matches one `key(arg,arg,...)` clause.
+var clauseRE = regexp.MustCompile(`^([a-zA-Z_][a-zA-Z0-9_]*)\((.*)\)$`)
+
+// parserState tracks where in the file the parser is.
+type parserState int
+
+const (
+	stPrelude parserState = iota // before startprogram
+	stProgram                    // inside program, outside any thread
+	stThread                     // inside thread ... endthread
+	stDone                       // after endprogram
+)
+
+// Parse reads annotated source and returns its AST. It is the
+// target-independent half of the preprocessor front-end; call Analyze on
+// the result before code generation.
+func Parse(name string, r io.Reader) (*File, error) {
+	f := &File{Input: name, Name: "ddm"}
+	state := stPrelude
+	var curBlock *Block
+	var curThread *Thread
+	lineNo := 0
+
+	ensureBlock := func(line int) {
+		if curBlock == nil {
+			curBlock = &Block{Line: line}
+			f.Blocks = append(f.Blocks, curBlock)
+		}
+	}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		m := directiveRE.FindStringSubmatch(line)
+		if m == nil {
+			switch state {
+			case stPrelude:
+				f.Prelude = append(f.Prelude, line)
+			case stProgram:
+				f.Setup = append(f.Setup, line)
+			case stThread:
+				curThread.Body = append(curThread.Body, line)
+			case stDone:
+				if strings.TrimSpace(line) != "" {
+					return nil, errf(name, lineNo, "content after endprogram")
+				}
+			}
+			continue
+		}
+		fields := splitDirective(m[1])
+		if len(fields) == 0 {
+			return nil, errf(name, lineNo, "empty ddm directive")
+		}
+		kw := fields[0]
+		args := fields[1:]
+		if state == stPrelude && kw != "startprogram" && kw != "use" {
+			return nil, errf(name, lineNo, "directive %q before startprogram", kw)
+		}
+		if state == stDone {
+			return nil, errf(name, lineNo, "directive %q after endprogram", kw)
+		}
+		switch kw {
+		case "startprogram":
+			if state != stPrelude {
+				return nil, errf(name, lineNo, "startprogram must be the first directive")
+			}
+			state = stProgram
+			for _, a := range args {
+				key, vals, ok := clause(a)
+				if !ok || key != "name" || len(vals) != 1 {
+					return nil, errf(name, lineNo, "bad startprogram argument %q (want name(ident))", a)
+				}
+				f.Name = vals[0]
+			}
+		case "endprogram":
+			if state != stProgram {
+				return nil, errf(name, lineNo, "endprogram outside program (missing endthread/endblock?)")
+			}
+			state = stDone
+		case "use":
+			if state == stThread || state == stDone {
+				return nil, errf(name, lineNo, "use directive not allowed here")
+			}
+			if len(args) != 1 {
+				return nil, errf(name, lineNo, "use wants one import path")
+			}
+			f.Uses = append(f.Uses, strings.Trim(args[0], `"`))
+		case "var":
+			if state != stProgram {
+				return nil, errf(name, lineNo, "var directive must appear inside the program, outside threads")
+			}
+			v, err := parseVar(name, lineNo, args)
+			if err != nil {
+				return nil, err
+			}
+			f.Vars = append(f.Vars, v)
+		case "block":
+			if state != stProgram {
+				return nil, errf(name, lineNo, "block directive inside a thread")
+			}
+			curBlock = &Block{Line: lineNo}
+			f.Blocks = append(f.Blocks, curBlock)
+		case "endblock":
+			if state != stProgram || curBlock == nil {
+				return nil, errf(name, lineNo, "endblock without open block")
+			}
+			curBlock = nil
+		case "thread":
+			if state != stProgram {
+				return nil, errf(name, lineNo, "thread directive not allowed here (nested thread?)")
+			}
+			th, err := parseThread(name, lineNo, args)
+			if err != nil {
+				return nil, err
+			}
+			if th.IsLoop {
+				return nil, errf(name, lineNo, "range/unroll clauses are only valid on `for thread` directives")
+			}
+			ensureBlock(lineNo)
+			curBlock.Threads = append(curBlock.Threads, th)
+			curThread = th
+			state = stThread
+		case "for":
+			// Loop thread: `for thread <id> range(lo,hi) [unroll(n)] ...`.
+			if state != stProgram {
+				return nil, errf(name, lineNo, "for-thread directive not allowed here")
+			}
+			if len(args) == 0 || args[0] != "thread" {
+				return nil, errf(name, lineNo, "for wants: for thread <id> range(lo,hi) [unroll(n)] ...")
+			}
+			th, err := parseForThread(name, lineNo, args[1:])
+			if err != nil {
+				return nil, err
+			}
+			ensureBlock(lineNo)
+			curBlock.Threads = append(curBlock.Threads, th)
+			curThread = th
+			state = stThread
+		case "endthread":
+			if state != stThread {
+				return nil, errf(name, lineNo, "endthread without open thread")
+			}
+			if curThread.IsLoop {
+				return nil, errf(name, lineNo, "loop thread %d must end with endfor", curThread.ID)
+			}
+			curThread = nil
+			state = stProgram
+		case "endfor":
+			if state != stThread || !curThread.IsLoop {
+				return nil, errf(name, lineNo, "endfor without open for-thread")
+			}
+			curThread = nil
+			state = stProgram
+		default:
+			return nil, errf(name, lineNo, "unknown ddm directive %q", kw)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	switch state {
+	case stPrelude:
+		return nil, errf(name, lineNo, "no startprogram directive found")
+	case stProgram:
+		return nil, errf(name, lineNo, "missing endprogram")
+	case stThread:
+		return nil, errf(name, lineNo, "missing endthread for thread %d", curThread.ID)
+	}
+	return f, nil
+}
+
+// parseThread parses `thread <id> [clauses...]`.
+func parseThread(file string, line int, args []string) (*Thread, error) {
+	if len(args) == 0 {
+		return nil, errf(file, line, "thread wants an integer id")
+	}
+	id, err := strconv.Atoi(args[0])
+	if err != nil || id <= 0 {
+		return nil, errf(file, line, "bad thread id %q (want positive integer)", args[0])
+	}
+	th := &Thread{ID: id, Line: line, Instances: 1, Kernel: -1}
+	for _, a := range args[1:] {
+		key, vals, ok := clause(a)
+		if !ok {
+			return nil, errf(file, line, "bad thread clause %q", a)
+		}
+		switch key {
+		case "instances":
+			if len(vals) != 1 {
+				return nil, errf(file, line, "instances wants one integer")
+			}
+			n, err := strconv.Atoi(vals[0])
+			if err != nil || n < 1 {
+				return nil, errf(file, line, "bad instances %q", vals[0])
+			}
+			th.Instances = n
+		case "cost":
+			if len(vals) != 1 {
+				return nil, errf(file, line, "cost wants one integer (cycles per instance)")
+			}
+			n, err := strconv.ParseInt(vals[0], 10, 64)
+			if err != nil || n < 1 {
+				return nil, errf(file, line, "bad cost %q", vals[0])
+			}
+			th.Cost = n
+		case "kernel":
+			if len(vals) != 1 {
+				return nil, errf(file, line, "kernel wants one integer")
+			}
+			k, err := strconv.Atoi(vals[0])
+			if err != nil || k < 0 {
+				return nil, errf(file, line, "bad kernel %q", vals[0])
+			}
+			th.Kernel = k
+		case "import":
+			th.Imports = append(th.Imports, vals...)
+		case "export":
+			th.Exports = append(th.Exports, vals...)
+		case "depends":
+			for _, v := range vals {
+				d, err := parseDep(file, line, v)
+				if err != nil {
+					return nil, err
+				}
+				th.Depends = append(th.Depends, d)
+			}
+		case "range", "unroll":
+			// Loop-thread clauses, validated by parseForThread; plain
+			// threads reject them below via the loop flag check.
+			th.IsLoop = true
+		default:
+			return nil, errf(file, line, "unknown thread clause %q", key)
+		}
+	}
+	return th, nil
+}
+
+// varElemSize maps typed-var type names to element byte sizes.
+var varElemSize = map[string]int64{"byte": 1, "u32": 4, "i32": 4, "f64": 8, "c128": 16}
+
+// parseVar parses `var <name> <bytes>` or `var <name> <type> <count>`.
+func parseVar(file string, line int, args []string) (Var, error) {
+	switch len(args) {
+	case 2:
+		size, err := strconv.ParseInt(args[1], 10, 64)
+		if err != nil || size <= 0 {
+			return Var{}, errf(file, line, "var %s: bad size %q", args[0], args[1])
+		}
+		return Var{Name: args[0], Size: size, Line: line}, nil
+	case 3:
+		elem, ok := varElemSize[args[1]]
+		if !ok {
+			return Var{}, errf(file, line, "var %s: unknown type %q (want byte|u32|i32|f64|c128)", args[0], args[1])
+		}
+		count, err := strconv.ParseInt(args[2], 10, 64)
+		if err != nil || count <= 0 {
+			return Var{}, errf(file, line, "var %s: bad count %q", args[0], args[2])
+		}
+		return Var{Name: args[0], Type: args[1], Count: count, Size: count * elem, Line: line}, nil
+	}
+	return Var{}, errf(file, line, "var wants: var <name> <bytes> or var <name> <type> <count>")
+}
+
+// parseForThread parses the loop-thread form. The range and unroll
+// clauses determine the instance count: ceil((hi-lo)/unroll).
+func parseForThread(file string, line int, args []string) (*Thread, error) {
+	th, err := parseThread(file, line, args)
+	if err != nil {
+		return nil, err
+	}
+	th.IsLoop = true
+	th.Unroll = 1
+	haveRange := false
+	// Re-scan the clauses parseThread does not know about.
+	for _, a := range args[1:] {
+		key, vals, ok := clause(a)
+		if !ok {
+			continue
+		}
+		switch key {
+		case "range":
+			if len(vals) != 2 {
+				return nil, errf(file, line, "range wants two integers: range(lo,hi)")
+			}
+			lo, err1 := strconv.Atoi(vals[0])
+			hi, err2 := strconv.Atoi(vals[1])
+			if err1 != nil || err2 != nil || hi <= lo {
+				return nil, errf(file, line, "bad range (%s,%s)", vals[0], vals[1])
+			}
+			th.RangeLo, th.RangeHi = lo, hi
+			haveRange = true
+		case "unroll":
+			if len(vals) != 1 {
+				return nil, errf(file, line, "unroll wants one integer")
+			}
+			u, err := strconv.Atoi(vals[0])
+			if err != nil || u < 1 {
+				return nil, errf(file, line, "bad unroll %q", vals[0])
+			}
+			th.Unroll = u
+		}
+	}
+	if !haveRange {
+		return nil, errf(file, line, "for thread %d needs a range(lo,hi) clause", th.ID)
+	}
+	if th.Instances != 1 {
+		return nil, errf(file, line, "for thread %d: instances() is derived from range/unroll; do not set it", th.ID)
+	}
+	total := th.RangeHi - th.RangeLo
+	th.Instances = (total + th.Unroll - 1) / th.Unroll
+	return th, nil
+}
+
+// parseDep parses `id`, `id:map` or `id:map:arg`.
+func parseDep(file string, line int, s string) (Dep, error) {
+	parts := strings.Split(s, ":")
+	id, err := strconv.Atoi(strings.TrimSpace(parts[0]))
+	if err != nil || id <= 0 {
+		return Dep{}, errf(file, line, "bad depends id %q", parts[0])
+	}
+	d := Dep{On: id, Map: MapDefault, Line: line}
+	if len(parts) >= 2 {
+		switch strings.TrimSpace(parts[1]) {
+		case "one":
+			d.Map = MapOne
+		case "all":
+			d.Map = MapAll
+		case "broadcast":
+			d.Map = MapBroadcast
+		case "gather":
+			d.Map = MapGather
+		case "scatter":
+			d.Map = MapScatter
+		default:
+			return Dep{}, errf(file, line, "unknown mapping %q (want one|all|broadcast|gather|scatter)", parts[1])
+		}
+	}
+	if d.Map == MapGather || d.Map == MapScatter {
+		if len(parts) != 3 {
+			return Dep{}, errf(file, line, "%s mapping wants a fan: %s:<n>", d.Map, d.Map)
+		}
+		fan, err := strconv.Atoi(strings.TrimSpace(parts[2]))
+		if err != nil || fan < 1 {
+			return Dep{}, errf(file, line, "bad fan %q", parts[2])
+		}
+		d.Arg = fan
+	} else if len(parts) > 2 {
+		return Dep{}, errf(file, line, "mapping %q takes no argument", parts[1])
+	}
+	return d, nil
+}
+
+// splitDirective tokenizes a directive payload into words, keeping
+// parenthesized clauses (which may contain spaces and commas) intact.
+func splitDirective(s string) []string {
+	var out []string
+	var cur strings.Builder
+	depth := 0
+	flush := func() {
+		if cur.Len() > 0 {
+			out = append(out, cur.String())
+			cur.Reset()
+		}
+	}
+	for _, r := range s {
+		switch {
+		case r == '(':
+			depth++
+			cur.WriteRune(r)
+		case r == ')':
+			depth--
+			cur.WriteRune(r)
+		case (r == ' ' || r == '\t') && depth == 0:
+			flush()
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	flush()
+	return out
+}
+
+// clause splits `key(a, b, c)` into its key and trimmed arguments.
+func clause(s string) (key string, vals []string, ok bool) {
+	m := clauseRE.FindStringSubmatch(s)
+	if m == nil {
+		return "", nil, false
+	}
+	if strings.TrimSpace(m[2]) == "" {
+		return m[1], nil, true
+	}
+	for _, v := range strings.Split(m[2], ",") {
+		vals = append(vals, strings.TrimSpace(v))
+	}
+	return m[1], vals, true
+}

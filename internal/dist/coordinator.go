@@ -1,0 +1,213 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"tflux/internal/cellsim"
+	"tflux/internal/core"
+	"tflux/internal/tsu"
+)
+
+// NodeStats reports one worker node's activity.
+type NodeStats struct {
+	Kernels  int
+	Executed int64
+}
+
+// Stats is the outcome of a distributed run.
+type Stats struct {
+	Elapsed  time.Duration
+	TSU      tsu.Stats
+	BytesOut int64 // import bytes shipped to workers
+	BytesIn  int64 // export bytes received from workers
+	Messages int64
+	Nodes    []NodeStats
+}
+
+// Coordinate runs the DDM program across the given worker connections:
+// the TSU emulator and the canonical shared buffers live here; DThreads
+// execute on the workers. Every buffer the program declares must be
+// registered in svb with at least the declared size. It blocks until the
+// final Block's Outlet completes.
+func Coordinate(prog *core.Program, svb *cellsim.SharedVariableBuffer, conns []net.Conn) (*Stats, error) {
+	if len(conns) == 0 {
+		return nil, errors.New("dist: no worker connections")
+	}
+	// Coordinate owns the connections from here on: every early error
+	// must release the workers (they may already be blocked reading).
+	failEarly := func(err error) (*Stats, error) {
+		for _, c := range conns {
+			c.Close() //nolint:errcheck // unblocking teardown
+		}
+		return nil, err
+	}
+	for _, b := range prog.Buffers {
+		if got := svb.Bytes(b.Name); int64(len(got)) < b.Size {
+			return failEarly(fmt.Errorf("dist: buffer %q registered with %d bytes, program declares %d", b.Name, len(got), b.Size))
+		}
+	}
+
+	links := make([]*link, len(conns))
+	stats := &Stats{Nodes: make([]NodeStats, len(conns))}
+	totalKernels := 0
+	kernelBase := make([]int, len(conns)) // global id of each node's kernel 0
+	for i, c := range conns {
+		links[i] = newLink(c)
+		e, err := links[i].recv()
+		if err != nil || e.Hello == nil {
+			return failEarly(fmt.Errorf("dist: handshake with node %d failed: %v", i, err))
+		}
+		kernelBase[i] = totalKernels
+		stats.Nodes[i].Kernels = e.Hello.Kernels
+		totalKernels += e.Hello.Kernels
+	}
+	nodeOf := func(global tsu.KernelID) (node, local int) {
+		for i := len(kernelBase) - 1; i >= 0; i-- {
+			if int(global) >= kernelBase[i] {
+				return i, int(global) - kernelBase[i]
+			}
+		}
+		return 0, 0
+	}
+
+	state, err := tsu.NewState(prog, totalKernels)
+	if err != nil {
+		return failEarly(err)
+	}
+
+	type doneOrErr struct {
+		done *Done
+		node int
+		err  error
+	}
+	completions := make(chan doneOrErr, totalKernels*2)
+	for i, l := range links {
+		go func(i int, l *link) {
+			for {
+				e, err := l.recv()
+				if err != nil {
+					completions <- doneOrErr{node: i, err: err}
+					return
+				}
+				if e.Done == nil {
+					completions <- doneOrErr{node: i, err: fmt.Errorf("dist: unexpected frame from node %d", i)}
+					return
+				}
+				completions <- doneOrErr{done: e.Done, node: i}
+			}
+		}(i, l)
+	}
+
+	// shutdownAll asks workers to exit; they close their end, which also
+	// unwinds the reader goroutines. Connections are force-closed only on
+	// the error path (clean workers must get a chance to read Shutdown).
+	shutdownAll := func(force bool) {
+		for _, l := range links {
+			l.send(envelope{Shutdown: &Shutdown{}}) //nolint:errcheck // best effort
+			if force {
+				l.close() //nolint:errcheck
+			}
+		}
+	}
+
+	// dispatch sends one application instance to its owner node, or
+	// processes a service instance (Inlet/Outlet) locally at the TSU and
+	// returns the newly ready set.
+	outstanding := 0
+	var dispatch func(rd tsu.Ready) error
+	dispatch = func(rd tsu.Ready) error {
+		if state.IsService(rd.Inst) {
+			res := state.Complete(rd.Inst, rd.Kernel)
+			if res.ProgramDone {
+				return errProgramDone
+			}
+			for _, next := range res.NewReady {
+				if err := dispatch(next); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		tpl := state.Template(rd.Inst.Thread)
+		ex := Exec{Inst: rd.Inst}
+		node, local := nodeOf(rd.Kernel)
+		ex.Kernel = local
+		if tpl.Access != nil {
+			for _, r := range tpl.Access(rd.Inst.Ctx) {
+				if r.Write || r.Size <= 0 {
+					continue
+				}
+				b := svb.Bytes(r.Buffer)
+				if b == nil {
+					return fmt.Errorf("dist: import references unregistered buffer %q", r.Buffer)
+				}
+				rdata, err := readRegion(b, r)
+				if err != nil {
+					return err
+				}
+				stats.BytesOut += int64(len(rdata.Data))
+				ex.Imports = append(ex.Imports, rdata)
+			}
+		}
+		stats.Messages++
+		outstanding++
+		return links[node].send(envelope{Exec: &ex})
+	}
+
+	start := time.Now()
+	runErr := func() error {
+		if err := dispatch(state.Start()); err != nil {
+			return err
+		}
+		for {
+			c := <-completions
+			if c.err != nil {
+				return c.err
+			}
+			d := c.done
+			outstanding--
+			stats.Messages++
+			if d.Err != "" {
+				return errors.New("dist: " + d.Err)
+			}
+			for _, rdata := range d.Exports {
+				b := svb.Bytes(rdata.Buffer)
+				if b == nil {
+					return fmt.Errorf("dist: export references unregistered buffer %q", rdata.Buffer)
+				}
+				if err := writeRegion(b, rdata); err != nil {
+					return err
+				}
+				stats.BytesIn += int64(len(rdata.Data))
+			}
+			stats.Nodes[c.node].Executed++
+			global := tsu.KernelID(kernelBase[c.node] + d.Kernel)
+			res := state.Complete(d.Inst, global)
+			if res.ProgramDone {
+				return errProgramDone
+			}
+			for _, next := range res.NewReady {
+				if err := dispatch(next); err != nil {
+					return err
+				}
+			}
+			if outstanding == 0 && state.Finished() {
+				return errProgramDone
+			}
+		}
+	}()
+	stats.Elapsed = time.Since(start)
+	stats.TSU = state.Stats()
+	if errors.Is(runErr, errProgramDone) {
+		shutdownAll(false)
+		return stats, nil
+	}
+	shutdownAll(true)
+	return stats, runErr
+}
+
+// errProgramDone is the internal sentinel for normal termination.
+var errProgramDone = errors.New("dist: program done")

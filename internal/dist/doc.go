@@ -1,0 +1,49 @@
+// Package dist implements TFluxDist: the TFlux runtime for
+// distributed-memory machines.
+//
+// The paper's Runtime Support section (§3.1) states the two requirements
+// for running DDM "in either a shared-memory or a distributed memory
+// multiprocessor": the runtime must give DThreads access to the shared
+// variables of their producer/consumer relationships, and it must provide
+// efficient application↔TSU communication. TFlux's predecessor, D²NOW
+// (§7), ran DDM on a network of workstations. This package provides that
+// configuration for TFlux: the TSU emulator runs in a coordinator; worker
+// nodes host Kernels and hold *replicas* of the shared buffers; the only
+// communication between address spaces is the DDM protocol itself, over
+// TCP (or any net.Conn).
+//
+// Execution model:
+//
+//   - The coordinator owns the tsu.State and the canonical
+//     SharedVariableBuffer. Synthesized Inlet/Outlet DThreads execute at
+//     the coordinator (the TSU's own load/clear work).
+//
+//   - When an application DThread instance becomes ready, the coordinator
+//     looks up its owning kernel in the TKT, maps the kernel to a node,
+//     and sends an Exec message carrying the instance plus the *bytes* of
+//     its declared import regions, read from the canonical buffers.
+//
+//   - The worker copies the imports into its replica buffers, runs the
+//     body on one of its Kernel goroutines, reads its declared export
+//     regions out of the replica, and replies with a Done message
+//     carrying the export bytes.
+//
+//   - The coordinator applies the exports to the canonical buffers
+//     *before* performing the Post-Processing Phase, so any consumer
+//     dispatched as a result always receives fresh data. This is the
+//     import/export contract of the DDM directives, enforced with real
+//     address-space separation: a body that touches shared data it did
+//     not declare reads stale replica bytes, exactly as it would on a
+//     network of workstations.
+//
+// Within a node, staging and DThread bodies hold the node's memory lock:
+// concurrently dispatched DThreads may declare overlapping import regions
+// (stencil halos), so unlocked staging could overlap a running body's
+// reads. Parallelism across nodes is the distributed axis; a node's
+// kernels overlap protocol work (decode, replies) with execution.
+//
+// Everything needed for tests and demos runs in one process via
+// RunLocal, which starts the workers on loopback TCP connections; Serve
+// and Coordinate are the building blocks for genuinely remote workers.
+// The wire format is encoding/gob.
+package dist

@@ -1,0 +1,68 @@
+package dist
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"tflux/internal/cellsim"
+	"tflux/internal/core"
+)
+
+// RunLocal runs a distributed execution entirely inside this process:
+// `nodes` worker goroutines, each with `kernelsPerNode` Kernels and its
+// own replica of the program (built by a fresh call to build), connected
+// to the coordinator over loopback TCP.
+//
+// This is the demonstration and test harness for the distributed
+// transport; production deployments call Serve in worker processes and
+// Coordinate with real connections.
+// It returns the coordinator's canonical buffers so callers can read the
+// program's results.
+func RunLocal(build func() (*core.Program, *cellsim.SharedVariableBuffer), nodes, kernelsPerNode int) (*Stats, *cellsim.SharedVariableBuffer, error) {
+	if nodes < 1 {
+		nodes = 1
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, nil, err
+	}
+	defer ln.Close()
+
+	var wg sync.WaitGroup
+	workerErrs := make([]error, nodes)
+	for i := 0; i < nodes; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", ln.Addr().String())
+			if err != nil {
+				workerErrs[i] = err
+				return
+			}
+			workerErrs[i] = Serve(conn, kernelsPerNode, build)
+		}(i)
+	}
+
+	conns := make([]net.Conn, nodes)
+	for i := range conns {
+		c, err := ln.Accept()
+		if err != nil {
+			return nil, nil, err
+		}
+		conns[i] = c
+	}
+
+	prog, svb := build()
+	stats, err := Coordinate(prog, svb, conns)
+	wg.Wait()
+	if err != nil {
+		return stats, svb, err
+	}
+	for i, werr := range workerErrs {
+		if werr != nil {
+			return stats, svb, fmt.Errorf("dist: node %d: %w", i, werr)
+		}
+	}
+	return stats, svb, nil
+}

@@ -1,0 +1,97 @@
+package dist
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+
+	"tflux/internal/core"
+)
+
+// RegionData is the bytes of one shared-buffer region in flight.
+type RegionData struct {
+	Buffer string
+	Offset int64
+	Data   []byte
+}
+
+// Hello is the worker's handshake: how many Kernels the node hosts.
+type Hello struct {
+	Kernels int
+}
+
+// Exec dispatches one DThread instance to a worker, with the bytes of its
+// import regions.
+type Exec struct {
+	Inst    core.Instance
+	Kernel  int // node-local kernel index
+	Imports []RegionData
+}
+
+// Done reports a completed instance with the bytes of its export regions.
+type Done struct {
+	Inst    core.Instance
+	Kernel  int // node-local kernel index
+	Exports []RegionData
+	// Err carries a body panic or staging failure; non-empty aborts the
+	// run.
+	Err string
+}
+
+// Shutdown tells a worker to exit its serve loop.
+type Shutdown struct{}
+
+// envelope is the gob wire frame: exactly one field is non-nil.
+type envelope struct {
+	Hello    *Hello
+	Exec     *Exec
+	Done     *Done
+	Shutdown *Shutdown
+}
+
+// link wraps a connection with gob codecs and a write lock so multiple
+// goroutines can send frames.
+type link struct {
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+	wmu  sync.Mutex
+}
+
+func newLink(conn net.Conn) *link {
+	return &link{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
+}
+
+func (l *link) send(e envelope) error {
+	l.wmu.Lock()
+	defer l.wmu.Unlock()
+	return l.enc.Encode(&e)
+}
+
+func (l *link) recv() (envelope, error) {
+	var e envelope
+	err := l.dec.Decode(&e)
+	return e, err
+}
+
+func (l *link) close() error { return l.conn.Close() }
+
+// readRegion copies a region's bytes out of a buffer registry.
+func readRegion(buf []byte, r core.MemRegion) (RegionData, error) {
+	if r.Offset < 0 || r.Offset+r.Size > int64(len(buf)) {
+		return RegionData{}, fmt.Errorf("dist: region [%d,%d) outside buffer %q (%d bytes)", r.Offset, r.Offset+r.Size, r.Buffer, len(buf))
+	}
+	out := make([]byte, r.Size)
+	copy(out, buf[r.Offset:r.Offset+r.Size])
+	return RegionData{Buffer: r.Buffer, Offset: r.Offset, Data: out}, nil
+}
+
+// writeRegion applies region bytes into a buffer registry.
+func writeRegion(buf []byte, rd RegionData) error {
+	if rd.Offset < 0 || rd.Offset+int64(len(rd.Data)) > int64(len(buf)) {
+		return fmt.Errorf("dist: region [%d,%d) outside buffer %q (%d bytes)", rd.Offset, rd.Offset+int64(len(rd.Data)), rd.Buffer, len(buf))
+	}
+	copy(buf[rd.Offset:], rd.Data)
+	return nil
+}

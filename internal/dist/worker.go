@@ -1,0 +1,135 @@
+package dist
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"tflux/internal/cellsim"
+	"tflux/internal/core"
+)
+
+// Serve runs one worker node: it builds the node's replica of the program
+// (bodies + buffers) with build, announces its kernel count, and executes
+// Exec requests until the coordinator sends Shutdown or the connection
+// drops. It returns nil on a clean shutdown.
+//
+// build must return a program structurally identical to the
+// coordinator's (same thread IDs, instances and Access models — typically
+// both sides call the same constructor) plus the registry of this node's
+// replica buffers.
+func Serve(conn net.Conn, kernels int, build func() (*core.Program, *cellsim.SharedVariableBuffer)) error {
+	if kernels < 1 {
+		kernels = 1
+	}
+	prog, bufs := build()
+	if err := prog.Validate(); err != nil {
+		return err
+	}
+	templates := make(map[core.ThreadID]*core.Template)
+	for _, b := range prog.Blocks {
+		for _, t := range b.Templates {
+			templates[t.ID] = t
+		}
+	}
+
+	l := newLink(conn)
+	defer l.close() //nolint:errcheck // worker owns its end
+	if err := l.send(envelope{Hello: &Hello{Kernels: kernels}}); err != nil {
+		return err
+	}
+
+	// Kernel goroutines: each drains its own queue, overlapping frame
+	// decode, staging and replies. Bodies and staging hold the node's
+	// memory lock: DThreads dispatched concurrently to one node may have
+	// overlapping import regions (e.g. stencil halos), so an unlocked
+	// staging write could overlap another body's read of the shared
+	// replica. Parallel execution is the business of multiple nodes;
+	// within a node the replica behaves like the single memory it is.
+	var memMu sync.Mutex
+	queues := make([]chan Exec, kernels)
+	for k := range queues {
+		queues[k] = make(chan Exec, 16)
+		go func(q <-chan Exec) {
+			for ex := range q {
+				memMu.Lock()
+				done := execOne(templates, bufs, ex)
+				memMu.Unlock()
+				l.send(envelope{Done: done}) //nolint:errcheck // conn errors surface in recv
+			}
+		}(queues[k])
+	}
+	defer func() {
+		for _, q := range queues {
+			close(q)
+		}
+	}()
+
+	for {
+		e, err := l.recv()
+		if err != nil {
+			return fmt.Errorf("dist worker: %w", err)
+		}
+		switch {
+		case e.Exec != nil:
+			k := e.Exec.Kernel
+			if k < 0 || k >= kernels {
+				k = 0
+			}
+			queues[k] <- *e.Exec
+		case e.Shutdown != nil:
+			return nil
+		default:
+			return fmt.Errorf("dist worker: unexpected frame %+v", e)
+		}
+	}
+}
+
+// execOne stages imports into the replica, runs the body, and collects
+// exports.
+func execOne(templates map[core.ThreadID]*core.Template, bufs *cellsim.SharedVariableBuffer, ex Exec) (done *Done) {
+	done = &Done{Inst: ex.Inst, Kernel: ex.Kernel}
+	defer func() {
+		if p := recover(); p != nil {
+			done.Err = fmt.Sprintf("DThread %v panicked on worker: %v", ex.Inst, p)
+		}
+	}()
+	tpl := templates[ex.Inst.Thread]
+	if tpl == nil {
+		done.Err = fmt.Sprintf("unknown thread %d (worker program out of sync)", ex.Inst.Thread)
+		return done
+	}
+	// Stage imports into the replica buffers.
+	for _, rd := range ex.Imports {
+		b := bufs.Bytes(rd.Buffer)
+		if b == nil {
+			done.Err = fmt.Sprintf("import references unregistered buffer %q", rd.Buffer)
+			return done
+		}
+		if err := writeRegion(b, rd); err != nil {
+			done.Err = err.Error()
+			return done
+		}
+	}
+	tpl.Body(ex.Inst.Ctx)
+	// Collect exports from the replica.
+	if tpl.Access != nil {
+		for _, r := range tpl.Access(ex.Inst.Ctx) {
+			if !r.Write || r.Size <= 0 {
+				continue
+			}
+			b := bufs.Bytes(r.Buffer)
+			if b == nil {
+				done.Err = fmt.Sprintf("export references unregistered buffer %q", r.Buffer)
+				return done
+			}
+			rd, err := readRegion(b, r)
+			if err != nil {
+				done.Err = err.Error()
+				return done
+			}
+			done.Exports = append(done.Exports, rd)
+		}
+	}
+	return done
+}

@@ -1,0 +1,63 @@
+package dist
+
+import (
+	"sync"
+	"testing"
+
+	"tflux/internal/cellsim"
+	"tflux/internal/core"
+	"tflux/internal/workload"
+)
+
+// TestDistributedWorkloads runs every suite benchmark on the distributed
+// runtime at a small size: 2 nodes × 2 kernels, each node holding its own
+// replica built from the same deterministic constructor. The coordinator's
+// job (whose arrays back the canonical buffers) must verify against the
+// sequential reference — proving the import/export declarations carry all
+// inter-thread data across address spaces.
+func TestDistributedWorkloads(t *testing.T) {
+	smalls := map[string]int{
+		"TRAPEZ": 12,
+		"MMULT":  24,
+		"QSORT":  1200,
+		"SUSAN":  48<<16 | 36,
+		"FFT":    16,
+	}
+	for _, spec := range workload.Suite() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			param := smalls[spec.Name]
+			var mu sync.Mutex
+			jobs := map[*cellsim.SharedVariableBuffer]workload.Job{}
+			build := func() (*core.Program, *cellsim.SharedVariableBuffer) {
+				job := spec.Make(param)
+				p, err := job.Build(4, 16)
+				if err != nil {
+					t.Error(err)
+					return nil, nil
+				}
+				svb := job.SharedBuffers()
+				mu.Lock()
+				jobs[svb] = job
+				mu.Unlock()
+				return p, svb
+			}
+			st, svb, err := RunLocal(build, 2, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mu.Lock()
+			job := jobs[svb]
+			mu.Unlock()
+			if job == nil {
+				t.Fatal("coordinator job not recorded")
+			}
+			if err := job.Verify(); err != nil {
+				t.Fatal(err)
+			}
+			if st.BytesIn == 0 {
+				t.Fatal("no export traffic — results cannot have crossed address spaces")
+			}
+		})
+	}
+}

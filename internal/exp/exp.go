@@ -1,0 +1,588 @@
+// Package exp defines one runnable experiment per table and figure of the
+// paper's evaluation (§5–§6), plus the sensitivity studies described in
+// the text:
+//
+//	table1  — the workload/problem-size table (Table 1)
+//	fig5    — TFluxHard speedups: 5 benchmarks × {2,4,8,16,27} kernels ×
+//	          {S,M,L} on the simulated 28-core CMP (Figure 5)
+//	fig6    — TFluxSoft native speedups: 5 benchmarks × {2,4,6} kernels ×
+//	          {S,M,L} (Figure 6)
+//	fig7    — TFluxCell speedups: 4 benchmarks × {2,4,6} kernels ×
+//	          {S,M,L} (Figure 7)
+//	tsulat  — TSU processing latency 1→128 cycles, <1% impact (§3.3/§4.1)
+//	unroll  — the loop-unrolling study: best unroll per platform (§6.2.2,
+//	          §6.3)
+//	budget  — the TSU hardware cost estimate (§4.1, ≈430K transistors)
+//	fig5x86 — the 9-core x86 companion machine (§6.1.2)
+//	groups  — multiple TSU Groups (§4.1's "under development" extension)
+//	policy  — ready-queue scheduling ablation (§3.1's locality pick)
+//	dist    — TFluxDist protocol cost across worker nodes
+//
+// Each experiment verifies every parallel run against the sequential
+// reference before reporting its speedup; a verification failure aborts
+// the experiment.
+package exp
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"strings"
+	"text/tabwriter"
+
+	"tflux/internal/cellsim"
+	"tflux/internal/hardsim"
+	"tflux/internal/rts"
+	"tflux/internal/sim"
+	"tflux/internal/stats"
+	"tflux/internal/vtime"
+	"tflux/internal/workload"
+)
+
+// Row is one data point of an experiment: one (benchmark, platform,
+// kernels, size) cell of a paper figure.
+type Row struct {
+	Experiment string
+	Benchmark  string
+	Platform   string
+	Size       string
+	Class      workload.SizeClass
+	Kernels    int
+	Unroll     int     // the unroll factor that won the min-over-unroll selection
+	Seq        float64 // sequential baseline (Unit)
+	Par        float64 // parallel execution (Unit)
+	Unit       string  // "cycles" (simulated) or "s" (native wall clock)
+	Mode       string  // "sim", "wallclock" or "virtual"
+	Speedup    float64
+}
+
+// Options tunes experiment scope.
+type Options struct {
+	// Quick restricts each experiment to its smallest configuration
+	// (Small sizes, fewest kernels, one unroll candidate, one rep) so the
+	// whole harness runs in seconds; used by tests.
+	Quick bool
+	// Reps is the number of native repetitions per measurement (the paper
+	// runs native configurations multiple times; min is taken). Zero
+	// selects 3, or 1 under Quick.
+	Reps int
+	// MaxKernels caps kernel counts (useful on small hosts). Zero means
+	// no cap.
+	MaxKernels int
+	// Progress, when non-nil, receives one line per completed
+	// configuration.
+	Progress func(string)
+	// Mode selects how the software platforms (fig6, fig7, unroll) are
+	// timed: real wall clock, the virtual-time model of package vtime, or
+	// automatic (virtual only when the host cannot actually run kernels
+	// in parallel). See the vtime package documentation for the
+	// substitution rationale.
+	Mode Mode
+}
+
+// Mode selects the software-platform timing method.
+type Mode int
+
+// Timing modes.
+const (
+	ModeAuto Mode = iota
+	ModeWallClock
+	ModeVirtual
+)
+
+// virtual reports whether software platforms should use virtual time.
+func (o Options) virtual() bool {
+	switch o.Mode {
+	case ModeWallClock:
+		return false
+	case ModeVirtual:
+		return true
+	}
+	return runtime.GOMAXPROCS(0) < 2
+}
+
+func (o Options) reps() int {
+	if o.Reps > 0 {
+		return o.Reps
+	}
+	if o.Quick {
+		return 1
+	}
+	return 3
+}
+
+func (o Options) progress(format string, args ...any) {
+	if o.Progress != nil {
+		o.Progress(fmt.Sprintf(format, args...))
+	}
+}
+
+func (o Options) classes() []workload.SizeClass {
+	if o.Quick {
+		return []workload.SizeClass{workload.Small}
+	}
+	return []workload.SizeClass{workload.Small, workload.Medium, workload.Large}
+}
+
+func (o Options) kernelCounts(all []int) []int {
+	if o.Quick {
+		all = all[:1]
+	}
+	if o.MaxKernels <= 0 {
+		return all
+	}
+	var out []int
+	for _, k := range all {
+		if k <= o.MaxKernels {
+			out = append(out, k)
+		}
+	}
+	if len(out) == 0 {
+		out = []int{o.MaxKernels}
+	}
+	return out
+}
+
+// hardUnrolls are the unroll candidates per platform for the
+// min-over-unroll selection (§5): TFluxHard peaks at small factors,
+// TFluxSoft needs ≥16, TFluxCell needs ~64 (§6.2.2, §6.3).
+func (o Options) unrolls(pf workload.Platform) []int {
+	if o.Quick {
+		switch pf {
+		case workload.Simulated:
+			return []int{4}
+		case workload.Cell:
+			return []int{64}
+		default:
+			return []int{32}
+		}
+	}
+	switch pf {
+	case workload.Simulated:
+		return []int{2, 4, 8}
+	case workload.Cell:
+		return []int{32, 64}
+	default:
+		return []int{16, 32, 64}
+	}
+}
+
+// Fig5 regenerates Figure 5: TFluxHard speedup per benchmark, kernel count
+// and problem size, in simulated cycles.
+func Fig5(o Options) ([]Row, error) {
+	kernelCounts := o.kernelCounts([]int{2, 4, 8, 16, 27})
+	var rows []Row
+	for _, spec := range workload.Suite() {
+		sizes, ok := spec.Sizes(workload.Simulated)
+		if !ok {
+			continue
+		}
+		for _, cls := range o.classes() {
+			param := sizes[cls]
+			// Sequential baseline: one cold run of the original program
+			// through the same machine model.
+			job := spec.Make(param)
+			prog, err := job.Build(1, 1)
+			if err != nil {
+				return nil, err
+			}
+			seqRes, err := hardsim.Sequential(prog.Buffers, job.SequentialSteps(), hardsim.Config{})
+			if err != nil {
+				return nil, err
+			}
+			seq := float64(seqRes.Cycles)
+			for _, kernels := range kernelCounts {
+				best := math.Inf(1)
+				bestU := 0
+				for _, u := range o.unrolls(workload.Simulated) {
+					job.ResetOutput()
+					p, err := job.Build(kernels, u)
+					if err != nil {
+						return nil, err
+					}
+					res, err := hardsim.Run(p, hardsim.Config{Cores: kernels})
+					if err != nil {
+						return nil, fmt.Errorf("fig5 %s k=%d u=%d: %w", spec.Name, kernels, u, err)
+					}
+					if err := job.Verify(); err != nil {
+						return nil, fmt.Errorf("fig5 %s k=%d u=%d: %w", spec.Name, kernels, u, err)
+					}
+					if c := float64(res.Cycles); c < best {
+						best, bestU = c, u
+					}
+				}
+				rows = append(rows, Row{
+					Experiment: "fig5", Benchmark: spec.Name, Platform: "TFluxHard",
+					Size: spec.SizeLabel(param), Class: cls, Kernels: kernels,
+					Unroll: bestU, Seq: seq, Par: best, Unit: "cycles", Mode: "sim",
+					Speedup: stats.Speedup(seq, best),
+				})
+				o.progress("fig5 %s %s k=%d: speedup %.2f", spec.Name, spec.SizeLabel(param), kernels, stats.Speedup(seq, best))
+			}
+		}
+	}
+	return rows, nil
+}
+
+// measurePar times one parallel configuration of a software platform,
+// honoring the wall-clock/virtual mode, and verifies the output. It
+// returns the best time in seconds over the configured repetitions.
+func measurePar(o Options, job workload.Job, kernels, unroll int, cell bool) (float64, error) {
+	p, err := job.Build(kernels, unroll)
+	if err != nil {
+		return 0, err
+	}
+	reps := o.reps()
+	var best float64
+	if o.virtual() {
+		best = math.Inf(1)
+		for r := 0; r < reps; r++ {
+			job.ResetOutput()
+			res, err := vtime.Run(p, vtime.Config{Kernels: kernels, Cell: cell})
+			if err != nil {
+				return 0, err
+			}
+			if s := res.Makespan.Seconds(); s < best {
+				best = s
+			}
+		}
+	} else {
+		var runErr error
+		t := stats.Min(stats.Measure(reps, func() {
+			job.ResetOutput()
+			if cell {
+				if _, err := cellsim.Run(p, job.SharedBuffers(), cellsim.Config{SPEs: kernels}); err != nil && runErr == nil {
+					runErr = err
+				}
+			} else {
+				if _, err := rts.Run(p, rts.Options{Kernels: kernels}); err != nil && runErr == nil {
+					runErr = err
+				}
+			}
+		}))
+		if runErr != nil {
+			return 0, runErr
+		}
+		best = t.Seconds()
+	}
+	if err := job.Verify(); err != nil {
+		return 0, err
+	}
+	return best, nil
+}
+
+// softMode names the timing mode for Row.Mode.
+func (o Options) softMode() string {
+	if o.virtual() {
+		return "virtual"
+	}
+	return "wallclock"
+}
+
+// Fig6 regenerates Figure 6: TFluxSoft native speedups (wall clock on
+// multicore hosts, virtual time on single-core hosts).
+func Fig6(o Options) ([]Row, error) {
+	kernelCounts := o.kernelCounts([]int{2, 4, 6})
+	reps := o.reps()
+	var rows []Row
+	for _, spec := range workload.Suite() {
+		sizes, ok := spec.Sizes(workload.Native)
+		if !ok {
+			continue
+		}
+		for _, cls := range o.classes() {
+			param := sizes[cls]
+			job := spec.Make(param)
+			seqT := stats.Min(stats.Measure(reps, job.RunSequential))
+			seq := seqT.Seconds()
+			for _, kernels := range kernelCounts {
+				best := math.Inf(1)
+				bestU := 0
+				for _, u := range o.unrolls(workload.Native) {
+					s, err := measurePar(o, job, kernels, u, false)
+					if err != nil {
+						return nil, fmt.Errorf("fig6 %s k=%d u=%d: %w", spec.Name, kernels, u, err)
+					}
+					if s < best {
+						best, bestU = s, u
+					}
+				}
+				rows = append(rows, Row{
+					Experiment: "fig6", Benchmark: spec.Name, Platform: "TFluxSoft",
+					Size: spec.SizeLabel(param), Class: cls, Kernels: kernels,
+					Unroll: bestU, Seq: seq, Par: best, Unit: "s", Mode: o.softMode(),
+					Speedup: stats.Speedup(seq, best),
+				})
+				o.progress("fig6 %s %s k=%d: speedup %.2f", spec.Name, spec.SizeLabel(param), kernels, stats.Speedup(seq, best))
+			}
+		}
+	}
+	return rows, nil
+}
+
+// Fig7 regenerates Figure 7: TFluxCell speedups (wall clock) for the four
+// benchmarks the paper evaluates on the Cell.
+func Fig7(o Options) ([]Row, error) {
+	kernelCounts := o.kernelCounts([]int{2, 4, 6})
+	reps := o.reps()
+	var rows []Row
+	for _, spec := range workload.Suite() {
+		sizes, ok := spec.Sizes(workload.Cell)
+		if !ok {
+			continue // FFT: not in Figure 7
+		}
+		for _, cls := range o.classes() {
+			param := sizes[cls]
+			job := spec.Make(param)
+			seqT := stats.Min(stats.Measure(reps, job.RunSequential))
+			seq := seqT.Seconds()
+			for _, kernels := range kernelCounts {
+				best := math.Inf(1)
+				bestU := 0
+				for _, u := range o.unrolls(workload.Cell) {
+					s, err := measurePar(o, job, kernels, u, true)
+					if err != nil {
+						return nil, fmt.Errorf("fig7 %s k=%d u=%d: %w", spec.Name, kernels, u, err)
+					}
+					if s < best {
+						best, bestU = s, u
+					}
+				}
+				rows = append(rows, Row{
+					Experiment: "fig7", Benchmark: spec.Name, Platform: "TFluxCell",
+					Size: spec.SizeLabel(param), Class: cls, Kernels: kernels,
+					Unroll: bestU, Seq: seq, Par: best, Unit: "s", Mode: o.softMode(),
+					Speedup: stats.Speedup(seq, best),
+				})
+				o.progress("fig7 %s %s k=%d: speedup %.2f", spec.Name, spec.SizeLabel(param), kernels, stats.Speedup(seq, best))
+			}
+		}
+	}
+	return rows, nil
+}
+
+// TSULatency regenerates the §3.3/§4.1 sensitivity study: TFluxHard
+// execution time as the TSU processing latency grows from 1 to 128 cycles
+// (the paper reports <1% impact). Speedup here is relative to the
+// 1-cycle configuration.
+func TSULatency(o Options) ([]Row, error) {
+	lats := []sim.Time{1, 4, 16, 64, 128}
+	if o.Quick {
+		lats = []sim.Time{1, 128}
+	}
+	kernels := 16
+	if o.MaxKernels > 0 && o.MaxKernels < kernels {
+		kernels = o.MaxKernels
+	}
+	var rows []Row
+	for _, name := range []string{"TRAPEZ", "MMULT"} {
+		spec, err := workload.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		sizes, _ := spec.Sizes(workload.Simulated)
+		param := sizes[workload.Medium]
+		job := spec.Make(param)
+		var base float64
+		for _, lat := range lats {
+			job.ResetOutput()
+			// Unroll 8: the coarse-grain regime where the paper states
+			// the <1% claim holds.
+			p, err := job.Build(kernels, 8)
+			if err != nil {
+				return nil, err
+			}
+			res, err := hardsim.Run(p, hardsim.Config{Cores: kernels, TSULat: lat})
+			if err != nil {
+				return nil, err
+			}
+			if err := job.Verify(); err != nil {
+				return nil, err
+			}
+			c := float64(res.Cycles)
+			if lat == lats[0] {
+				base = c
+			}
+			rows = append(rows, Row{
+				Experiment: "tsulat", Benchmark: spec.Name, Platform: "TFluxHard",
+				Size: spec.SizeLabel(param), Class: workload.Medium, Kernels: kernels,
+				Unroll: int(lat), // the swept variable, reported in the Unroll column
+				Seq:    base, Par: c, Unit: "cycles", Mode: "sim",
+				Speedup: stats.Speedup(base, c),
+			})
+			o.progress("tsulat %s lat=%d: %.4f of baseline", spec.Name, lat, c/base)
+		}
+	}
+	return rows, nil
+}
+
+// UnrollSweep regenerates the unroll-factor study: speedup of MMULT
+// (Medium) on each platform across unroll factors 1..64, showing that
+// TFluxHard peaks at small factors while the software TSUs need coarser
+// DThreads (§6.2.2, §6.3).
+func UnrollSweep(o Options) ([]Row, error) {
+	unrolls := []int{1, 2, 4, 8, 16, 32, 64}
+	if o.Quick {
+		unrolls = []int{1, 64}
+	}
+	reps := o.reps()
+	var rows []Row
+
+	// TFluxHard (simulated cycles).
+	{
+		spec, _ := workload.ByName("MMULT")
+		sizes, _ := spec.Sizes(workload.Simulated)
+		param := sizes[workload.Medium]
+		job := spec.Make(param)
+		prog, err := job.Build(1, 1)
+		if err != nil {
+			return nil, err
+		}
+		seqRes, err := hardsim.Sequential(prog.Buffers, job.SequentialSteps(), hardsim.Config{})
+		if err != nil {
+			return nil, err
+		}
+		seq := float64(seqRes.Cycles)
+		kernels := 16
+		if o.MaxKernels > 0 && o.MaxKernels < kernels {
+			kernels = o.MaxKernels
+		}
+		for _, u := range unrolls {
+			job.ResetOutput()
+			p, err := job.Build(kernels, u)
+			if err != nil {
+				return nil, err
+			}
+			res, err := hardsim.Run(p, hardsim.Config{Cores: kernels})
+			if err != nil {
+				return nil, err
+			}
+			if err := job.Verify(); err != nil {
+				return nil, err
+			}
+			rows = append(rows, Row{
+				Experiment: "unroll", Benchmark: "MMULT", Platform: "TFluxHard",
+				Size: spec.SizeLabel(param), Class: workload.Medium, Kernels: kernels,
+				Unroll: u, Seq: seq, Par: float64(res.Cycles), Unit: "cycles", Mode: "sim",
+				Speedup: stats.Speedup(seq, float64(res.Cycles)),
+			})
+			o.progress("unroll hard u=%d: speedup %.2f", u, stats.Speedup(seq, float64(res.Cycles)))
+		}
+	}
+
+	// TFluxSoft and TFluxCell (wall clock).
+	for _, pf := range []workload.Platform{workload.Native, workload.Cell} {
+		spec, _ := workload.ByName("MMULT")
+		sizes, _ := spec.Sizes(pf)
+		param := sizes[workload.Medium]
+		job := spec.Make(param)
+		seq := stats.Min(stats.Measure(reps, job.RunSequential)).Seconds()
+		kernels := 6
+		if o.MaxKernels > 0 && o.MaxKernels < kernels {
+			kernels = o.MaxKernels
+		}
+		platform := "TFluxSoft"
+		if pf == workload.Cell {
+			platform = "TFluxCell"
+		}
+		for _, u := range unrolls {
+			s, err := measurePar(o, job, kernels, u, pf == workload.Cell)
+			if err != nil {
+				return nil, fmt.Errorf("unroll %s u=%d: %w", platform, u, err)
+			}
+			rows = append(rows, Row{
+				Experiment: "unroll", Benchmark: "MMULT", Platform: platform,
+				Size: spec.SizeLabel(param), Class: workload.Medium, Kernels: kernels,
+				Unroll: u, Seq: seq, Par: s, Unit: "s", Mode: o.softMode(),
+				Speedup: stats.Speedup(seq, s),
+			})
+			o.progress("unroll %s u=%d: speedup %.2f", platform, u, stats.Speedup(seq, s))
+		}
+	}
+	return rows, nil
+}
+
+// Table1 renders the workload description table (Table 1).
+func Table1() string {
+	var b strings.Builder
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Benchmark\tSource\tDescription\tPlatforms\tSmall\tMedium\tLarge")
+	for _, s := range workload.Suite() {
+		printed := map[string]bool{}
+		for _, pf := range []workload.Platform{workload.Simulated, workload.Native, workload.Cell} {
+			sizes, ok := s.Sizes(pf)
+			if !ok {
+				continue
+			}
+			key := fmt.Sprintf("%v", sizes)
+			if printed[key] {
+				continue
+			}
+			printed[key] = true
+			tag := map[workload.Platform]string{workload.Simulated: "S", workload.Native: "N", workload.Cell: "C"}
+			tags := ""
+			for _, p2 := range []workload.Platform{workload.Simulated, workload.Native, workload.Cell} {
+				if s2, ok2 := s.Sizes(p2); ok2 && fmt.Sprintf("%v", s2) == key {
+					tags += tag[p2]
+				}
+			}
+			fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%s\t%s\t%s\n",
+				s.Name, s.Source, s.Description, tags,
+				s.SizeLabel(sizes[0]), s.SizeLabel(sizes[1]), s.SizeLabel(sizes[2]))
+		}
+	}
+	w.Flush()
+	return b.String()
+}
+
+// Budget renders the TSU hardware-cost estimate (§4.1).
+func Budget() string {
+	est := hardsim.TransistorBudget(256, 27)
+	return fmt.Sprintf(
+		"TSU Group hardware estimate (256 DThread slots, 27 per-CPU units):\n"+
+			"  this model: %dK transistors\n"+
+			"  paper §4.1: ~430K transistors\n", est/1000)
+}
+
+// Format renders rows as an aligned text table.
+func Format(rows []Row) string {
+	var b strings.Builder
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "experiment\tbenchmark\tplatform\tmode\tsize\tkernels\tunroll\tseq\tpar\tspeedup")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%s\t%d\t%d\t%.4g %s\t%.4g %s\t%.2f\n",
+			r.Experiment, r.Benchmark, r.Platform, r.Mode, r.Size, r.Kernels, r.Unroll,
+			r.Seq, r.Unit, r.Par, r.Unit, r.Speedup)
+	}
+	w.Flush()
+	return b.String()
+}
+
+// Summary computes the headline claims from a row set: the geometric-mean
+// speedup at the largest kernel count present (the paper reports 21x on 27
+// TFluxHard nodes and 4.4x on 6 software nodes, at the largest sizes).
+func Summary(rows []Row) string {
+	maxK := 0
+	for _, r := range rows {
+		if r.Kernels > maxK {
+			maxK = r.Kernels
+		}
+	}
+	maxClass := workload.Small
+	for _, r := range rows {
+		if r.Class > maxClass {
+			maxClass = r.Class
+		}
+	}
+	var sp []float64
+	for _, r := range rows {
+		if r.Kernels == maxK && r.Class == maxClass && !math.IsNaN(r.Speedup) {
+			sp = append(sp, r.Speedup)
+		}
+	}
+	if len(sp) == 0 {
+		return "no rows"
+	}
+	return fmt.Sprintf("mean speedup at %d kernels (largest size): %.1fx (geomean %.1fx) over %d benchmarks",
+		maxK, stats.Mean(sp), stats.GeoMean(sp), len(sp))
+}

@@ -1,0 +1,161 @@
+package exp
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"tflux/internal/workload"
+)
+
+func quick() Options { return Options{Quick: true} }
+
+func TestFig5Quick(t *testing.T) {
+	rows, err := Fig5(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 { // 5 benchmarks × 1 kernel count × Small
+		t.Fatalf("fig5 quick rows = %d, want 5", len(rows))
+	}
+	for _, r := range rows {
+		if r.Unit != "cycles" || r.Platform != "TFluxHard" {
+			t.Fatalf("row %+v", r)
+		}
+		if math.IsNaN(r.Speedup) || r.Speedup <= 0 {
+			t.Fatalf("bad speedup in %+v", r)
+		}
+	}
+}
+
+func TestFig6Quick(t *testing.T) {
+	rows, err := Fig6(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("fig6 quick rows = %d, want 5", len(rows))
+	}
+	for _, r := range rows {
+		if r.Unit != "s" || r.Platform != "TFluxSoft" {
+			t.Fatalf("row %+v", r)
+		}
+	}
+}
+
+func TestFig7Quick(t *testing.T) {
+	rows, err := Fig7(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 { // FFT is not in Figure 7
+		t.Fatalf("fig7 quick rows = %d, want 4", len(rows))
+	}
+	for _, r := range rows {
+		if r.Benchmark == "FFT" {
+			t.Fatal("FFT must not appear in fig7")
+		}
+		if r.Platform != "TFluxCell" {
+			t.Fatalf("row %+v", r)
+		}
+	}
+}
+
+func TestTSULatencyQuick(t *testing.T) {
+	o := quick()
+	o.MaxKernels = 4
+	rows, err := TSULatency(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 { // 2 benchmarks × {1,128}
+		t.Fatalf("tsulat rows = %d, want 4", len(rows))
+	}
+	for _, r := range rows {
+		// The paper's claim: <1% impact across the latency range. Allow a
+		// slightly looser bound in quick mode (small problem).
+		if r.Speedup < 0.95 || r.Speedup > 1.05 {
+			t.Fatalf("TSU latency sensitivity out of range: %+v", r)
+		}
+	}
+}
+
+func TestUnrollSweepQuick(t *testing.T) {
+	o := quick()
+	o.MaxKernels = 4
+	rows, err := UnrollSweep(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 { // 3 platforms × {1,64}
+		t.Fatalf("unroll rows = %d, want 6", len(rows))
+	}
+	platforms := map[string]bool{}
+	for _, r := range rows {
+		platforms[r.Platform] = true
+	}
+	for _, p := range []string{"TFluxHard", "TFluxSoft", "TFluxCell"} {
+		if !platforms[p] {
+			t.Fatalf("unroll sweep missing platform %s", p)
+		}
+	}
+}
+
+func TestTable1(t *testing.T) {
+	s := Table1()
+	for _, want := range []string{"TRAPEZ", "MMULT", "QSORT", "SUSAN", "FFT", "MiBench", "NAS", "1024x1024", "2^23", "12K"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("Table1 missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestBudget(t *testing.T) {
+	s := Budget()
+	if !strings.Contains(s, "430K") || !strings.Contains(s, "transistors") {
+		t.Fatalf("Budget output: %s", s)
+	}
+}
+
+func TestFormatAndSummary(t *testing.T) {
+	rows := []Row{
+		{Experiment: "x", Benchmark: "B", Platform: "P", Size: "s", Class: workload.Large, Kernels: 4, Unroll: 2, Seq: 10, Par: 2, Unit: "s", Speedup: 5},
+		{Experiment: "x", Benchmark: "C", Platform: "P", Size: "s", Class: workload.Large, Kernels: 4, Unroll: 2, Seq: 10, Par: 5, Unit: "s", Speedup: 2},
+	}
+	f := Format(rows)
+	if !strings.Contains(f, "speedup") || !strings.Contains(f, "5.00") {
+		t.Fatalf("Format output:\n%s", f)
+	}
+	sum := Summary(rows)
+	if !strings.Contains(sum, "4 kernels") || !strings.Contains(sum, "3.5x") {
+		t.Fatalf("Summary output: %s", sum)
+	}
+	if Summary(nil) != "no rows" {
+		t.Fatal("empty summary")
+	}
+}
+
+func TestProgressCallback(t *testing.T) {
+	var lines []string
+	o := quick()
+	o.Progress = func(s string) { lines = append(lines, s) }
+	if _, err := Fig5(o); err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != 5 {
+		t.Fatalf("progress lines = %d, want 5", len(lines))
+	}
+}
+
+func TestKernelCountsCap(t *testing.T) {
+	o := Options{MaxKernels: 5}
+	got := o.kernelCounts([]int{2, 4, 8, 16, 27})
+	if len(got) != 2 || got[0] != 2 || got[1] != 4 {
+		t.Fatalf("capped kernel counts = %v", got)
+	}
+	o = Options{MaxKernels: 1}
+	got = o.kernelCounts([]int{2, 4})
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("floor kernel counts = %v", got)
+	}
+}

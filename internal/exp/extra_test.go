@@ -1,0 +1,145 @@
+package exp
+
+import (
+	"testing"
+
+	"tflux/internal/workload"
+)
+
+func TestFig5X86Quick(t *testing.T) {
+	rows, err := Fig5X86(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(rows))
+	}
+	for _, r := range rows {
+		if r.Platform != "TFluxHard/x86" || r.Unit != "cycles" {
+			t.Fatalf("row %+v", r)
+		}
+		if r.Speedup <= 0 {
+			t.Fatalf("bad speedup %+v", r)
+		}
+	}
+}
+
+// TestFig5X86SimilarConclusions checks the paper's §6.1.2 statement: the
+// x86 machine's speedups resemble the Sparc machine's at matched kernel
+// counts (within a generous factor — "similar", not identical).
+func TestFig5X86SimilarConclusions(t *testing.T) {
+	o := Options{Quick: true, MaxKernels: 8}
+	sparc, err := Fig5(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x86, err := Fig5X86(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bySparc := map[string]float64{}
+	for _, r := range sparc {
+		bySparc[r.Benchmark] = r.Speedup
+	}
+	for _, r := range x86 {
+		s, ok := bySparc[r.Benchmark]
+		if !ok {
+			continue
+		}
+		ratio := r.Speedup / s
+		if ratio < 0.5 || ratio > 2.0 {
+			t.Fatalf("%s: x86 speedup %.2f vs sparc %.2f — not similar", r.Benchmark, r.Speedup, s)
+		}
+	}
+}
+
+func TestGroupsRelievesTSUBottleneck(t *testing.T) {
+	o := Options{MaxKernels: 16}
+	rows, err := Groups(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	if rows[0].Unroll != 1 || rows[0].Speedup != 1.0 {
+		t.Fatalf("baseline row %+v", rows[0])
+	}
+	// More groups must not be slower, and 4 groups should visibly beat 1
+	// on this deliberately TSU-bound configuration.
+	if rows[2].Speedup < 1.05 {
+		t.Fatalf("4 TSU groups speedup = %.3f over 1 group, want > 1.05", rows[2].Speedup)
+	}
+	if rows[1].Speedup < 1.0-1e-9 {
+		t.Fatalf("2 groups slower than 1: %+v", rows[1])
+	}
+}
+
+func TestPoliciesQuick(t *testing.T) {
+	o := quick()
+	rows, err := Policies(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	names := map[string]bool{}
+	for _, r := range rows {
+		names[r.Benchmark] = true
+		if r.Par <= 0 {
+			t.Fatalf("row %+v", r)
+		}
+	}
+	for _, want := range []string{"MMULT/locality", "MMULT/fifo", "MMULT/lifo"} {
+		if !names[want] {
+			t.Fatalf("missing policy row %s (have %v)", want, names)
+		}
+	}
+}
+
+func TestDistExperimentQuick(t *testing.T) {
+	rows, err := Dist(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].Platform != "TFluxDist" {
+		t.Fatalf("rows = %+v", rows)
+	}
+	if rows[0].Par <= 0 || rows[0].Seq <= 0 {
+		t.Fatalf("no protocol traffic recorded: %+v", rows[0])
+	}
+}
+
+// TestFig5OrderingMatchesPaper pins the evaluation's qualitative result:
+// at high kernel counts QSORT trails everything, FFT trails the
+// embarrassingly parallel three, and TRAPEZ/SUSAN lead (Figure 5). Runs
+// the full Small-size column, so it is skipped in -short mode.
+func TestFig5OrderingMatchesPaper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full fig5 column")
+	}
+	o := Options{MaxKernels: 27}
+	rows, err := Fig5(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at27 := map[string]float64{}
+	for _, r := range rows {
+		if r.Kernels == 27 && r.Class == workload.Large {
+			at27[r.Benchmark] = r.Speedup
+		}
+	}
+	if len(at27) != 5 {
+		t.Fatalf("rows at 27 kernels: %v", at27)
+	}
+	if !(at27["QSORT"] < at27["FFT"] && at27["FFT"] < at27["MMULT"]) {
+		t.Fatalf("ordering broken: %v", at27)
+	}
+	if at27["TRAPEZ"] < 20 || at27["SUSAN"] < 20 {
+		t.Fatalf("embarrassingly parallel benchmarks below 20x: %v", at27)
+	}
+	if at27["QSORT"] > 10 {
+		t.Fatalf("QSORT implausibly fast: %v", at27)
+	}
+}

@@ -1,0 +1,88 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"tflux/internal/workload"
+)
+
+func sampleRows() []Row {
+	return []Row{
+		{Experiment: "fig5", Benchmark: "TRAPEZ", Platform: "TFluxHard", Mode: "sim",
+			Size: "2^19", Class: workload.Small, Kernels: 2, Unroll: 4,
+			Seq: 100, Par: 50, Unit: "cycles", Speedup: 2},
+		{Experiment: "fig5", Benchmark: "TRAPEZ", Platform: "TFluxHard", Mode: "sim",
+			Size: "2^23", Class: workload.Large, Kernels: 27, Unroll: 8,
+			Seq: 1000, Par: 37.2, Unit: "cycles", Speedup: 26.9},
+		{Experiment: "fig5", Benchmark: `QS,"ORT`, Platform: "TFluxHard", Mode: "sim",
+			Size: "10K", Class: workload.Small, Kernels: 2, Unroll: 4,
+			Seq: 10, Par: 8, Unit: "cycles", Speedup: 1.25},
+	}
+}
+
+func TestCSV(t *testing.T) {
+	out := CSV(sampleRows())
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d, want header + 3", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "experiment,benchmark") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "TRAPEZ") || !strings.Contains(lines[1], "2.0000") {
+		t.Fatalf("row = %q", lines[1])
+	}
+	// The comma-and-quote benchmark name must be escaped.
+	if !strings.Contains(lines[3], `"QS,""ORT"`) {
+		t.Fatalf("escaping wrong: %q", lines[3])
+	}
+}
+
+func TestChart(t *testing.T) {
+	out := Chart(sampleRows())
+	if !strings.Contains(out, "TRAPEZ (TFluxHard)") {
+		t.Fatalf("chart missing group header:\n%s", out)
+	}
+	if !strings.Contains(out, "26.90") || !strings.Contains(out, "2.00") {
+		t.Fatalf("chart missing values:\n%s", out)
+	}
+	// The 26.9 bar must be much longer than the 2.0 bar.
+	var short, long int
+	for _, line := range strings.Split(out, "\n") {
+		n := strings.Count(line, "█")
+		if strings.Contains(line, "26.90") {
+			long = n
+		}
+		if strings.Contains(line, "2.00") {
+			short = n
+		}
+	}
+	if long < 10*short {
+		t.Fatalf("bar scaling wrong: short=%d long=%d\n%s", short, long, out)
+	}
+	if !strings.Contains(out, "scale: full bar") {
+		t.Fatal("missing scale line")
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	if Chart(nil) != "(no rows)\n" {
+		t.Fatal("empty chart")
+	}
+}
+
+func TestChartOrdersByClassThenKernels(t *testing.T) {
+	rows := []Row{
+		{Benchmark: "B", Platform: "P", Class: workload.Large, Kernels: 2, Size: "L", Speedup: 1},
+		{Benchmark: "B", Platform: "P", Class: workload.Small, Kernels: 27, Size: "S", Speedup: 2},
+		{Benchmark: "B", Platform: "P", Class: workload.Small, Kernels: 2, Size: "S", Speedup: 3},
+	}
+	out := Chart(rows)
+	first := strings.Index(out, "2k S")
+	second := strings.Index(out, "27k S")
+	third := strings.Index(out, "2k L")
+	if !(first >= 0 && first < second && second < third) {
+		t.Fatalf("ordering wrong:\n%s", out)
+	}
+}

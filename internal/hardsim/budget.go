@@ -1,0 +1,29 @@
+package hardsim
+
+// TransistorBudget estimates the hardware cost of the TSU Group in
+// transistors, following the accounting methodology the paper cites
+// (Stavrou et al., ACSAC'06 [16]): SRAM structures at 6 transistors per
+// bit plus a fixed fraction for control logic. The paper reports ≈430K
+// transistors for its configuration; this model reproduces that number for
+// a 256-slot TSU with 27 per-CPU units so the `budget` experiment can
+// print the estimate next to the paper's.
+//
+// threads is the number of DThread slots (the maximum DDM Block size);
+// kernels is the number of per-CPU units in the TSU Group.
+func TransistorBudget(threads, kernels int) int64 {
+	const (
+		transistorsPerBit = 6
+		// Per DThread slot: Ready Count (16b), thread metadata — code
+		// address and block id (64b) — and the consumer-list entry (64b).
+		bitsPerThreadSlot = 16 + 64 + 64
+		// Per per-CPU unit: a 64-entry ready queue of 16-bit thread IDs.
+		readyQueueEntries = 64
+		bitsPerQueueEntry = 16
+		// Decode/arbitration/MMI control logic on top of the SRAM.
+		controlOverhead = 0.10
+	)
+	sramBits := int64(threads)*bitsPerThreadSlot +
+		int64(kernels)*readyQueueEntries*bitsPerQueueEntry
+	t := float64(sramBits * transistorsPerBit)
+	return int64(t * (1 + controlOverhead))
+}

@@ -1,0 +1,32 @@
+// Package hardsim models TFluxHard: a shared-memory chip multiprocessor
+// whose TSU Group is a hardware unit attached to the system network as a
+// memory-mapped device (paper §4.1, evaluated in §6.1 on a Simics-simulated
+// 28-core Sparc machine).
+//
+// The machine model, replacing the paper's Simics setup:
+//
+//   - Cores execute DThreads. A DThread's functional result is computed by
+//     running its Go body natively (the simulation is single-threaded and
+//     fires bodies in dataflow order, so results are exact); its timing is
+//     the template's compute-cost model plus the cycles its declared
+//     memory regions cost when replayed through the MESI cache hierarchy
+//     of package mem. This is the standard trace-driven compromise; the
+//     per-benchmark models live in package workload.
+//
+//   - The TSU Group is a single device shared by all cores, reached
+//     through the Memory-Mapped Interface (MMI): every CPU↔TSU exchange
+//     pays the MMI latency, and the device serializes command processing,
+//     taking TSULat cycles per operation plus DecLat per Ready Count
+//     decrement. Increasing TSULat from 1 to 128 cycles is the paper's
+//     §3.3 sensitivity experiment; the grouping of all per-CPU TSUs into
+//     one unit (one network connection) is what makes the device a single
+//     serializing resource here.
+//
+//   - Program buffers are laid out in a simulated physical address space
+//     (page-aligned), so distinct buffers never share cache lines but
+//     DThreads touching the same buffer region contend coherently —
+//     MMULT's coherency misses (§6.1.2) come from exactly this.
+//
+// Everything is deterministic: same program, same configuration, same
+// cycle count.
+package hardsim

@@ -1,0 +1,400 @@
+package hardsim
+
+import (
+	"fmt"
+
+	"tflux/internal/core"
+	"tflux/internal/mem"
+	"tflux/internal/sim"
+	"tflux/internal/tsu"
+)
+
+// Config describes the simulated TFluxHard machine.
+type Config struct {
+	// Cores is the number of CPUs executing Kernels. The paper's Bagle
+	// machine has 28 cores with one reserved for the OS, so the largest
+	// evaluated configuration is 27.
+	Cores int
+	// Mem configures the cache hierarchy; zero value selects the paper's
+	// §6.1.1 geometry (mem.DefaultConfig).
+	Mem mem.Config
+	// TSULat is the TSU Group's processing time per command, in cycles.
+	// The paper charges 4 cycles on top of an L1 access and reports <1%
+	// sensitivity up to 128. Zero selects 4.
+	TSULat sim.Time
+	// MMILat is the Memory-Mapped Interface cost of one CPU↔TSU exchange.
+	// Zero selects the L1 read latency (the TSU is addressed like memory).
+	MMILat sim.Time
+	// DecLat is the device time per Ready Count decrement during the
+	// Post-Processing Phase. Zero selects 1.
+	DecLat sim.Time
+	// ServiceCost is the compute cost charged to Inlet/Outlet DThreads
+	// (TSU load/clear work). Zero selects 64 cycles plus one cycle per
+	// instance loaded.
+	ServiceCost sim.Time
+	// TSUGroups is the number of TSU Groups. The paper's base design
+	// groups all per-CPU TSUs into one unit (one network connection,
+	// §3.3); §4.1 notes that "for systems with very large number of CPUs
+	// it may be beneficial to have multiple TSU Groups" and that such a
+	// version was under development — this implements it. Cores are
+	// partitioned across groups in contiguous chunks; each group
+	// serializes its own command processing, and a completion whose
+	// consumer is owned by a different group pays GroupXferLat for the
+	// TSU-to-TSU transfer that the single-group design handles
+	// internally. Zero selects 1.
+	TSUGroups int
+	// GroupXferLat is the inter-group notification latency in cycles
+	// (only meaningful with TSUGroups > 1). Zero selects 16.
+	GroupXferLat sim.Time
+	// TSUSize caps the DThread instances per DDM Block (the hardware
+	// TSU's slot count, §2). Zero means unlimited.
+	TSUSize int64
+	// MaxEvents bounds the event loop as a runaway backstop (0 = none).
+	MaxEvents int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Cores <= 0 {
+		c.Cores = 1
+	}
+	if c.Mem.L1.Size == 0 {
+		c.Mem = mem.DefaultConfig()
+	}
+	if c.TSULat <= 0 {
+		c.TSULat = 4
+	}
+	if c.MMILat <= 0 {
+		c.MMILat = sim.Time(c.Mem.L1.ReadLat)
+	}
+	if c.DecLat <= 0 {
+		c.DecLat = 1
+	}
+	if c.ServiceCost <= 0 {
+		c.ServiceCost = 64
+	}
+	if c.TSUGroups <= 0 {
+		c.TSUGroups = 1
+	}
+	if c.TSUGroups > c.Cores {
+		c.TSUGroups = c.Cores
+	}
+	if c.GroupXferLat <= 0 {
+		c.GroupXferLat = 16
+	}
+	return c
+}
+
+// CoreStats reports one simulated CPU's activity.
+type CoreStats struct {
+	Executed int64    // application DThread instances run
+	Busy     sim.Time // cycles spent executing DThread bodies
+}
+
+// Result is the outcome of a simulated run.
+type Result struct {
+	Cycles  sim.Time // total execution time in cycles
+	Mem     mem.Stats
+	TSU     tsu.Stats
+	TSUBusy sim.Time // cycles the TSU device spent processing commands
+	Cores   []CoreStats
+}
+
+// pageSize aligns buffer bases so buffers never share cache lines.
+const pageSize = 4096
+
+// layout assigns simulated physical addresses to the program's buffers.
+type layout struct {
+	base map[string]uint64
+	end  uint64
+}
+
+func newLayout(bufs []core.Buffer) *layout {
+	l := &layout{base: make(map[string]uint64, len(bufs)), end: pageSize}
+	for _, b := range bufs {
+		l.base[b.Name] = l.end
+		sz := (uint64(b.Size) + pageSize - 1) &^ (pageSize - 1)
+		l.end += sz + pageSize // guard page between buffers
+	}
+	return l
+}
+
+func (l *layout) addr(r core.MemRegion) (uint64, error) {
+	base, ok := l.base[r.Buffer]
+	if !ok {
+		return 0, fmt.Errorf("hardsim: region references undeclared buffer %q", r.Buffer)
+	}
+	return base + uint64(r.Offset), nil
+}
+
+// machine is the simulated system state during one run.
+type machine struct {
+	cfg     Config
+	prog    *core.Program
+	eng     sim.Engine
+	hier    *mem.Hierarchy
+	state   *tsu.State
+	lay     *layout
+	devices []sim.Resource // one per TSU Group
+
+	ready   [][]core.Instance // per-core pending ready DThreads
+	waiting []bool            // core idles awaiting a dispatch
+	last    []core.Instance   // locality hint per core
+	cores   []CoreStats
+
+	done bool
+	err  error
+}
+
+// Run simulates the program on the configured machine and returns the
+// cycle-level result.
+func Run(p *core.Program, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	state, err := tsu.NewStateSized(p, cfg.Cores, cfg.TSUSize)
+	if err != nil {
+		return nil, err
+	}
+	m := &machine{
+		cfg:     cfg,
+		prog:    p,
+		hier:    mem.NewHierarchy(cfg.Cores, cfg.Mem),
+		state:   state,
+		lay:     newLayout(p.Buffers),
+		devices: make([]sim.Resource, cfg.TSUGroups),
+		ready:   make([][]core.Instance, cfg.Cores),
+		waiting: make([]bool, cfg.Cores),
+		last:    make([]core.Instance, cfg.Cores),
+		cores:   make([]CoreStats, cfg.Cores),
+	}
+	first := state.Start()
+	m.ready[int(first.Kernel)] = append(m.ready[int(first.Kernel)], first.Inst)
+	for c := 0; c < cfg.Cores; c++ {
+		c := c
+		m.eng.At(0, func() { m.requestThread(c) })
+	}
+	m.eng.Run(cfg.MaxEvents)
+	if m.err != nil {
+		return nil, m.err
+	}
+	if !m.done {
+		return nil, fmt.Errorf("hardsim: simulation stalled after %d cycles (deadlock or MaxEvents hit)", m.eng.Now())
+	}
+	res := &Result{
+		Cycles: m.eng.Now(),
+		Mem:    m.hier.Stats(),
+		TSU:    state.Stats(),
+		Cores:  m.cores,
+	}
+	for i := range m.devices {
+		res.TSUBusy += m.devices[i].Busy
+	}
+	return res, nil
+}
+
+// groupOf returns the TSU Group serving a core (contiguous partition).
+func (m *machine) groupOf(c int) int {
+	return c * m.cfg.TSUGroups / m.cfg.Cores
+}
+
+// requestThread models the CPU querying the TSU for its next ready
+// DThread: an MMI transaction plus serialized device processing.
+func (m *machine) requestThread(c int) {
+	if m.done || m.err != nil {
+		return
+	}
+	arrive := m.eng.Now() + m.cfg.MMILat
+	done := m.devices[m.groupOf(c)].Acquire(arrive, m.cfg.TSULat)
+	m.eng.At(done, func() {
+		if m.done || m.err != nil {
+			return
+		}
+		if inst, ok := m.pop(c); ok {
+			m.eng.At(m.eng.Now()+m.cfg.MMILat, func() { m.execute(c, inst) })
+			return
+		}
+		// No ready DThread: the TSU forces the CPU to wait; a later
+		// dispatch wakes it.
+		m.waiting[c] = true
+	})
+}
+
+// pop removes the locality-preferred ready instance for core c.
+func (m *machine) pop(c int) (core.Instance, bool) {
+	q := m.ready[c]
+	if len(q) == 0 {
+		return core.Instance{}, false
+	}
+	pick := 0
+	lastInst := m.last[c]
+	same := -1
+	for i, it := range q {
+		if it.Thread != lastInst.Thread {
+			continue
+		}
+		if it.Ctx == lastInst.Ctx+1 {
+			pick = i
+			same = -2
+			break
+		}
+		if same < 0 {
+			same = i
+		}
+	}
+	if same >= 0 {
+		pick = same
+	}
+	inst := q[pick]
+	m.ready[c] = append(q[:pick], q[pick+1:]...)
+	return inst, true
+}
+
+// execute runs one DThread on core c: native body for the functional
+// result, cost model + cache replay for the timing.
+func (m *machine) execute(c int, inst core.Instance) {
+	if m.done || m.err != nil {
+		return
+	}
+	var cycles sim.Time
+	if m.state.IsService(inst) {
+		// Inlet DThreads load the block's metadata into the TSU: charge
+		// one cycle per DThread instance loaded on top of the base cost.
+		cycles = m.cfg.ServiceCost
+		if name := m.state.ServiceName(inst); len(name) > 5 && name[:5] == "inlet" {
+			blk := m.state.Stats().Inlets // blocks loaded so far = next block index
+			if blk < len(m.prog.Blocks) {
+				cycles += sim.Time(m.prog.Blocks[blk].TotalInstances())
+			}
+		}
+	} else {
+		tpl := m.state.Template(inst.Thread)
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					m.err = fmt.Errorf("hardsim: DThread %v panicked on core %d: %v", inst, c, p)
+				}
+			}()
+			tpl.Body(inst.Ctx)
+		}()
+		if m.err != nil {
+			return
+		}
+		if tpl.Cost != nil {
+			cycles += sim.Time(tpl.Cost(inst.Ctx))
+		}
+		if tpl.Access != nil {
+			for _, r := range tpl.Access(inst.Ctx) {
+				addr, err := m.lay.addr(r)
+				if err != nil {
+					m.err = err
+					return
+				}
+				cycles += sim.Time(m.hier.Access(c, addr, r.Size, r.Write))
+			}
+		}
+		m.cores[c].Executed++
+	}
+	if cycles < 1 {
+		cycles = 1
+	}
+	m.cores[c].Busy += cycles
+	m.last[c] = inst
+	m.eng.After(cycles, func() { m.complete(c, inst) })
+}
+
+// complete models the CPU notifying the TSU Group (MMI store) and the
+// device performing the Post-Processing Phase: consumer expansion, Ready
+// Count decrements, block sequencing, and dispatch of newly ready
+// DThreads. The CPU immediately queues its next-thread request behind the
+// post-processing (the device serializes both).
+func (m *machine) complete(c int, inst core.Instance) {
+	if m.done || m.err != nil {
+		return
+	}
+	consumers := m.state.AppendConsumers(nil, inst)
+	dur := m.cfg.TSULat + m.cfg.DecLat*sim.Time(len(consumers))
+	arrive := m.eng.Now() + m.cfg.MMILat
+	group := m.groupOf(c)
+	done := m.devices[group].Acquire(arrive, dur)
+	m.eng.At(done, func() {
+		if m.done || m.err != nil {
+			return
+		}
+		for _, tgt := range consumers {
+			if m.state.Decrement(tgt) {
+				m.dispatch(group, tsu.Ready{Inst: tgt, Kernel: m.state.KernelOf(tgt)})
+			}
+		}
+		res := m.state.Done(inst, tsu.KernelID(c))
+		for _, rd := range res.NewReady {
+			m.dispatch(group, rd)
+		}
+		if res.ProgramDone {
+			m.done = true
+		}
+	})
+	m.requestThread(c)
+}
+
+// dispatch hands a ready DThread to its owner core, waking the core with
+// an MMI transfer if it is stalled in the TSU wait loop. When the owner
+// belongs to a different TSU Group than the one that processed the
+// completion, the TSU-to-TSU transfer costs GroupXferLat extra cycles
+// (in the single-group design this communication is internal, §3.3).
+func (m *machine) dispatch(fromGroup int, rd tsu.Ready) {
+	c := int(rd.Kernel)
+	xfer := sim.Time(0)
+	if m.groupOf(c) != fromGroup {
+		xfer = m.cfg.GroupXferLat
+	}
+	if m.waiting[c] {
+		m.waiting[c] = false
+		inst := rd.Inst
+		m.eng.After(m.cfg.MMILat+xfer, func() { m.execute(c, inst) })
+		return
+	}
+	if xfer > 0 {
+		inst := rd.Inst
+		m.eng.After(xfer, func() {
+			if m.waiting[c] {
+				m.waiting[c] = false
+				m.eng.After(m.cfg.MMILat, func() { m.execute(c, inst) })
+				return
+			}
+			m.ready[c] = append(m.ready[c], inst)
+		})
+		return
+	}
+	m.ready[c] = append(m.ready[c], rd.Inst)
+}
+
+// Step is one unit of a sequential job: a compute cost plus the memory
+// regions it touches.
+type Step struct {
+	Cost    int64
+	Regions []core.MemRegion
+}
+
+// Sequential simulates the original single-threaded program (no TFlux
+// overheads) on one core of the same machine: the paper's speedup
+// baseline. Steps execute back-to-back; only compute cost and memory
+// cycles accumulate.
+func Sequential(buffers []core.Buffer, steps []Step, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	hier := mem.NewHierarchy(1, cfg.Mem)
+	lay := newLayout(buffers)
+	var cycles sim.Time
+	for _, s := range steps {
+		cycles += sim.Time(s.Cost)
+		for _, r := range s.Regions {
+			addr, err := lay.addr(r)
+			if err != nil {
+				return nil, err
+			}
+			cycles += sim.Time(hier.Access(0, addr, r.Size, r.Write))
+		}
+	}
+	return &Result{
+		Cycles: cycles,
+		Mem:    hier.Stats(),
+		Cores:  []CoreStats{{Executed: int64(len(steps)), Busy: cycles}},
+	}, nil
+}

@@ -1,0 +1,240 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// tinyConfig keeps geometry small so eviction paths are exercised.
+func tinyConfig() Config {
+	return Config{
+		L1:     CacheConfig{Size: 256, Line: 64, Ways: 1, ReadLat: 2, WriteLat: 0},
+		L2:     CacheConfig{Size: 1024, Line: 128, Ways: 2, ReadLat: 20, WriteLat: 20},
+		MemLat: 200,
+		C2CLat: 60,
+		BusLat: 10,
+	}
+}
+
+func TestColdReadGetsExclusive(t *testing.T) {
+	h := NewHierarchy(2, tinyConfig())
+	cost := h.Access(0, 0x1000, 8, false)
+	if cost != 10+200 { // bus + memory
+		t.Fatalf("cold read cost = %d, want 210", cost)
+	}
+	if st := h.State(0, 0x1000); st != Exclusive {
+		t.Fatalf("state = %v, want E", st)
+	}
+	st := h.Stats()
+	if st.L2Misses != 1 || st.CoherenceMisses != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestSecondReaderSharesLine(t *testing.T) {
+	h := NewHierarchy(2, tinyConfig())
+	h.Access(0, 0x1000, 8, false)
+	h.Access(1, 0x1000, 8, false)
+	if st := h.State(0, 0x1000); st != Shared {
+		t.Fatalf("core0 state = %v, want S", st)
+	}
+	if st := h.State(1, 0x1000); st != Shared {
+		t.Fatalf("core1 state = %v, want S", st)
+	}
+}
+
+func TestWriteInvalidatesSharers(t *testing.T) {
+	h := NewHierarchy(3, tinyConfig())
+	h.Access(0, 0x1000, 8, false)
+	h.Access(1, 0x1000, 8, false)
+	h.Access(2, 0x1000, 8, true)
+	if st := h.State(2, 0x1000); st != Modified {
+		t.Fatalf("writer state = %v, want M", st)
+	}
+	if st := h.State(0, 0x1000); st != Invalid {
+		t.Fatalf("old sharer 0 state = %v, want I", st)
+	}
+	if st := h.State(1, 0x1000); st != Invalid {
+		t.Fatalf("old sharer 1 state = %v, want I", st)
+	}
+	if s := h.Stats(); s.Invalidations != 2 || s.CoherenceMisses == 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestUpgradeOnWriteToSharedLine(t *testing.T) {
+	h := NewHierarchy(2, tinyConfig())
+	h.Access(0, 0x1000, 8, false)
+	h.Access(1, 0x1000, 8, false)
+	// Core 0 has the line in L1 (hit) but Shared in L2: must upgrade.
+	h.Access(0, 0x1000, 8, true)
+	if st := h.State(0, 0x1000); st != Modified {
+		t.Fatalf("state = %v, want M", st)
+	}
+	if st := h.State(1, 0x1000); st != Invalid {
+		t.Fatalf("remote state = %v, want I", st)
+	}
+	if s := h.Stats(); s.Upgrades != 1 {
+		t.Fatalf("upgrades = %d, want 1", s.Upgrades)
+	}
+}
+
+func TestDirtySupplyC2C(t *testing.T) {
+	h := NewHierarchy(2, tinyConfig())
+	h.Access(0, 0x1000, 8, true) // core 0 dirties the line
+	cost := h.Access(1, 0x1000, 8, false)
+	cfg := tinyConfig()
+	if cost != cfg.BusLat+cfg.C2CLat { // supplied by owner, not memory
+		t.Fatalf("dirty read cost = %d, want %d", cost, cfg.BusLat+cfg.C2CLat)
+	}
+	if st := h.State(0, 0x1000); st != Shared {
+		t.Fatalf("old owner state = %v, want S", st)
+	}
+	s := h.Stats()
+	if s.C2CTransfers != 1 || s.Writebacks != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestExclusiveSilentUpgrade(t *testing.T) {
+	h := NewHierarchy(2, tinyConfig())
+	h.Access(0, 0x1000, 8, false) // E
+	before := h.Stats().Upgrades
+	h.Access(0, 0x1000, 8, true) // E -> M, no bus traffic
+	if h.Stats().Upgrades != before {
+		t.Fatal("E->M should not issue an upgrade transaction")
+	}
+	if st := h.State(0, 0x1000); st != Modified {
+		t.Fatalf("state = %v, want M", st)
+	}
+}
+
+func TestL1HitFastPath(t *testing.T) {
+	h := NewHierarchy(1, tinyConfig())
+	h.Access(0, 0x1000, 8, false)
+	cost := h.Access(0, 0x1000, 8, false)
+	if cost != 2 {
+		t.Fatalf("L1 hit cost = %d, want 2", cost)
+	}
+	if s := h.Stats(); s.L1Hits != 1 {
+		t.Fatalf("L1 hits = %d, want 1", s.L1Hits)
+	}
+}
+
+func TestRemoteWriteBackInvalidatesL1(t *testing.T) {
+	h := NewHierarchy(2, tinyConfig())
+	h.Access(0, 0x1000, 8, false)
+	h.Access(1, 0x1000, 8, true) // invalidates core 0's copies
+	cost := h.Access(0, 0x1000, 8, false)
+	if cost <= 2 {
+		t.Fatalf("post-invalidation read cost = %d, want a miss", cost)
+	}
+}
+
+func TestEvictionWritebackAndBackInvalidation(t *testing.T) {
+	cfg := tinyConfig() // L2: 4 sets x 2 ways, 128B lines
+	h := NewHierarchy(1, cfg)
+	// Three addresses mapping to L2 set 0: stride = sets*line = 512.
+	a, b, c := uint64(0), uint64(512), uint64(1024)
+	h.Access(0, a, 8, true) // M
+	h.Access(0, b, 8, false)
+	wbBefore := h.Stats().Writebacks
+	h.Access(0, c, 8, false) // evicts a (LRU, dirty)
+	if h.Stats().Writebacks != wbBefore+1 {
+		t.Fatal("dirty eviction did not write back")
+	}
+	// a must now miss in L1 too (back-invalidated).
+	if cost := h.Access(0, a, 8, false); cost <= 2 {
+		t.Fatalf("evicted line still hits: cost %d", cost)
+	}
+}
+
+func TestMultiLineAccessWalksLines(t *testing.T) {
+	h := NewHierarchy(1, tinyConfig())
+	h.Access(0, 0, 256, false) // 4 L1 lines
+	if s := h.Stats(); s.Accesses != 4 {
+		t.Fatalf("accesses = %d, want 4", s.Accesses)
+	}
+	if h.Access(0, 0, 1, false) != 2 {
+		t.Fatal("first line not resident after region access")
+	}
+}
+
+func TestZeroSizeAccessFree(t *testing.T) {
+	h := NewHierarchy(1, tinyConfig())
+	if c := h.Access(0, 0x40, 0, true); c != 0 {
+		t.Fatalf("zero-size cost = %d", c)
+	}
+}
+
+// TestSWMRInvariantProperty drives random accesses from random cores and
+// checks the Single-Writer/Multiple-Reader invariant after every access:
+// a Modified line in one cache never coexists with any copy elsewhere.
+func TestSWMRInvariantProperty(t *testing.T) {
+	const cores = 4
+	addrs := []uint64{0, 128, 256, 512, 640, 1024, 2048}
+	for seed := int64(0); seed < 10; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		h := NewHierarchy(cores, tinyConfig())
+		for step := 0; step < 3000; step++ {
+			c := r.Intn(cores)
+			a := addrs[r.Intn(len(addrs))]
+			h.Access(c, a, 8, r.Intn(2) == 0)
+			for _, a := range addrs {
+				var m, other int
+				for cc := 0; cc < cores; cc++ {
+					switch h.State(cc, a) {
+					case Modified:
+						m++
+					case Shared, Exclusive:
+						other++
+					}
+				}
+				if m > 1 || (m == 1 && other > 0) {
+					t.Fatalf("seed %d step %d: SWMR violated at %#x (M=%d, other=%d)", seed, step, a, m, other)
+				}
+				// Exclusive must also be unique.
+				var e int
+				for cc := 0; cc < cores; cc++ {
+					if h.State(cc, a) == Exclusive {
+						e++
+					}
+				}
+				if e > 1 {
+					t.Fatalf("seed %d step %d: two Exclusive copies at %#x", seed, step, a)
+				}
+			}
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() Stats {
+		h := NewHierarchy(3, DefaultConfig())
+		r := rand.New(rand.NewSource(7))
+		for i := 0; i < 5000; i++ {
+			h.Access(r.Intn(3), uint64(r.Intn(1<<16)), 64, r.Intn(3) == 0)
+		}
+		return h.Stats()
+	}
+	if run() != run() {
+		t.Fatal("identical access streams produced different stats")
+	}
+}
+
+func TestMESIStateString(t *testing.T) {
+	if Invalid.String() != "I" || Shared.String() != "S" || Exclusive.String() != "E" ||
+		Modified.String() != "M" || MESIState(9).String() != "?" {
+		t.Fatal("state names wrong")
+	}
+}
+
+func TestDefaultConfigGeometry(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.L1.Sets() != 128 { // 32K / (64*4)
+		t.Fatalf("L1 sets = %d, want 128", cfg.L1.Sets())
+	}
+	if cfg.L2.Sets() != 2048 { // 2M / (128*8)
+		t.Fatalf("L2 sets = %d, want 2048", cfg.L2.Sets())
+	}
+}

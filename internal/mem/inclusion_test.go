@@ -1,0 +1,108 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// l1Resident reports whether addr hits core c's L1 without mutating
+// coherence state (lookup only touches LRU).
+func (h *Hierarchy) l1Resident(c int, addr uint64) bool {
+	return h.nodes[c].l1.lookup(addr) != nil
+}
+
+// l2Resident reports whether addr hits core c's L2.
+func (h *Hierarchy) l2Resident(c int, addr uint64) bool {
+	return h.nodes[c].l2.lookup(addr) != nil
+}
+
+// TestInclusionProperty: after any access sequence, every valid L1 line is
+// covered by a valid L2 line in the same core (the model maintains
+// inclusion by back-invalidating L1 on every L2 eviction/invalidation).
+func TestInclusionProperty(t *testing.T) {
+	const cores = 3
+	cfg := tinyConfig() // tiny so evictions are constant
+	addrs := make([]uint64, 0, 64)
+	for i := 0; i < 64; i++ {
+		addrs = append(addrs, uint64(i)*64)
+	}
+	for seed := int64(0); seed < 8; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		h := NewHierarchy(cores, cfg)
+		for step := 0; step < 4000; step++ {
+			h.Access(r.Intn(cores), addrs[r.Intn(len(addrs))], 8, r.Intn(2) == 0)
+			if step%97 != 0 {
+				continue // full scan is expensive; sample
+			}
+			for c := 0; c < cores; c++ {
+				for _, a := range addrs {
+					if h.l1Resident(c, a) && !h.l2Resident(c, a) {
+						t.Fatalf("seed %d step %d: core %d holds %#x in L1 but not L2 (inclusion violated)", seed, step, c, a)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCoherentValueVisibility uses the state machine to check the protocol
+// guarantee the runtime relies on: after a writer's line is snooped by a
+// reader, the writer's state is demoted so its next write must re-arbitrate
+// (no stale exclusivity).
+func TestCoherentValueVisibility(t *testing.T) {
+	h := NewHierarchy(2, tinyConfig())
+	h.Access(0, 0, 8, true) // M at core 0
+	h.Access(1, 0, 8, false)
+	if st := h.State(0, 0); st != Shared {
+		t.Fatalf("writer state after remote read = %v, want S", st)
+	}
+	// Writing again must go through an upgrade (bus transaction).
+	up := h.Stats().Upgrades
+	h.Access(0, 0, 8, true)
+	if h.Stats().Upgrades != up+1 {
+		t.Fatal("write to demoted line did not upgrade")
+	}
+}
+
+// TestCleanC2CSupplyCost verifies the CMP clean-sharing option: with
+// CleanC2C a second reader is served from the first reader's cache at
+// C2CLat instead of MemLat.
+func TestCleanC2CSupplyCost(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.CleanC2C = true
+	h := NewHierarchy(2, cfg)
+	h.Access(0, 0x2000, 8, false) // E at core 0
+	cost := h.Access(1, 0x2000, 8, false)
+	if want := cfg.BusLat + cfg.C2CLat; cost != want {
+		t.Fatalf("clean C2C read cost = %d, want %d", cost, want)
+	}
+	if h.Stats().C2CTransfers != 1 {
+		t.Fatalf("stats = %+v", h.Stats())
+	}
+	// Writes still go to memory price (RdX fetches exclusively).
+	h2 := NewHierarchy(2, cfg)
+	h2.Access(0, 0x2000, 8, false)
+	wcost := h2.Access(1, 0x2000, 8, true)
+	if wcost != cfg.BusLat+cfg.MemLat {
+		t.Fatalf("write-miss cost with clean sharer = %d, want %d", wcost, cfg.BusLat+cfg.MemLat)
+	}
+}
+
+// TestX86ConfigGeometry pins the companion machine's cache shape.
+func TestX86ConfigGeometry(t *testing.T) {
+	cfg := X86Config()
+	if cfg.L1.Sets() != 64 { // 32K/(64*8)
+		t.Fatalf("x86 L1 sets = %d", cfg.L1.Sets())
+	}
+	if cfg.L2.Sets() != 4096 { // 4M/(64*16)
+		t.Fatalf("x86 L2 sets = %d", cfg.L2.Sets())
+	}
+	if !cfg.CleanC2C {
+		t.Fatal("x86 config should supply clean lines on chip")
+	}
+	// Must drive a hierarchy without panicking.
+	h := NewHierarchy(9, cfg)
+	for i := 0; i < 1000; i++ {
+		h.Access(i%9, uint64(i)*64, 64, i%5 == 0)
+	}
+}

@@ -1,0 +1,29 @@
+// Package rts is the TFlux Runtime Support: the user-level layer that
+// executes DDM programs on top of an unmodified operating system (paper
+// §3.1–3.2), in the TFluxSoft configuration (§4.2) where the TSU is a
+// software module.
+//
+// Run launches n Kernels. A Kernel is a worker loop that requests the next
+// ready DThread from the TSU, jumps to the DThread's code, and on
+// completion performs the kernel-side half of the Post-Processing Phase:
+// it expands the completed thread's consumer arcs and deposits the
+// resulting update record into the Thread-to-Update Buffer (TUB). The
+// TSU Emulator — one additional worker, mirroring the dedicated CPU of the
+// paper's Figure 4 — drains the TUB, decrements Ready Counts in the
+// per-kernel Synchronization Memories (locating them directly through the
+// Thread-to-Kernel Table), and dispatches newly ready DThreads to the
+// ready queue of their owning Kernel.
+//
+// The paper maps Kernels to POSIX threads; here each Kernel is a
+// goroutine, and the Go scheduler plays the role of the OS scheduler the
+// runtime sits on. Inlet and Outlet DThreads are scheduled to Kernels like
+// any other DThread; their TSU-load/TSU-clear work happens when their
+// completion is processed.
+//
+// Scheduling policy: when a Kernel's ready queue holds several DThreads,
+// the queue returns the one "most likely to maximize the spatial locality"
+// (§3.1) — by default the instance of the same template with the next
+// context relative to the last DThread the Kernel executed, falling back
+// to any instance of the same template, then FIFO order. FIFO and LIFO
+// policies are available for ablation.
+package rts

@@ -1,0 +1,193 @@
+package rts
+
+import (
+	"sync"
+	"time"
+
+	"tflux/internal/core"
+)
+
+// Policy selects how a Kernel's ready queue picks among multiple ready
+// DThreads.
+type Policy int
+
+const (
+	// PolicyLocality prefers the next context of the template the Kernel
+	// executed last (spatial locality), then any context of that template,
+	// then FIFO. This is the paper's default TSU behaviour.
+	PolicyLocality Policy = iota
+	// PolicyFIFO returns ready DThreads in arrival order.
+	PolicyFIFO
+	// PolicyLIFO returns the most recently readied DThread (cache-hot).
+	PolicyLIFO
+)
+
+func (p Policy) String() string {
+	switch p {
+	case PolicyLocality:
+		return "locality"
+	case PolicyFIFO:
+		return "fifo"
+	case PolicyLIFO:
+		return "lifo"
+	}
+	return "unknown"
+}
+
+// readyQueue is one Kernel's ready-thread queue, fed by the TSU emulator
+// and drained by the Kernel.
+type readyQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []core.Instance
+	closed bool
+	policy Policy
+	scan   int // bounded lookahead for the locality policy
+
+	idle time.Duration // total time the Kernel spent blocked here
+}
+
+func newReadyQueue(policy Policy, scan int) *readyQueue {
+	if scan <= 0 {
+		scan = 64
+	}
+	q := &readyQueue{policy: policy, scan: scan}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push enqueues a ready instance. On a closed queue (error-path shutdown
+// racing the emulator's last batch) the instance is dropped: the run is
+// already aborted.
+func (q *readyQueue) push(inst core.Instance) {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return
+	}
+	q.items = append(q.items, inst)
+	q.mu.Unlock()
+	q.cond.Signal()
+}
+
+// close wakes the Kernel for exit once the program finishes.
+func (q *readyQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// pop blocks until an instance is available (choosing per policy, with
+// last as the locality hint) or the queue is closed. The second result is
+// false on close. Waiting time is accumulated into q.idle.
+func (q *readyQueue) pop(last core.Instance) (core.Instance, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 {
+		if q.closed {
+			return core.Instance{}, false
+		}
+		start := time.Now()
+		q.cond.Wait()
+		q.idle += time.Since(start)
+	}
+	i := q.pick(last)
+	inst := q.items[i]
+	q.items = append(q.items[:i], q.items[i+1:]...)
+	return inst, true
+}
+
+// pick selects the index to dequeue. Caller holds q.mu.
+func (q *readyQueue) pick(last core.Instance) int {
+	switch q.policy {
+	case PolicyLIFO:
+		return len(q.items) - 1
+	case PolicyFIFO:
+		return 0
+	}
+	// Locality: same template, next context; else same template; else FIFO.
+	n := len(q.items)
+	if n > q.scan {
+		n = q.scan
+	}
+	sameTemplate := -1
+	for i := 0; i < n; i++ {
+		it := q.items[i]
+		if it.Thread != last.Thread {
+			continue
+		}
+		if it.Ctx == last.Ctx+1 {
+			return i
+		}
+		if sameTemplate < 0 {
+			sameTemplate = i
+		}
+	}
+	if sameTemplate >= 0 {
+		return sameTemplate
+	}
+	return 0
+}
+
+// idleTime returns the accumulated blocking time (safe after the Kernel
+// has exited).
+func (q *readyQueue) idleTime() time.Duration {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.idle
+}
+
+// trySteal removes the newest queued instance without blocking, for a
+// work-stealing kernel. Stealing the newest (LIFO end) leaves the oldest
+// items — the owner's locality-preferred work — in place.
+func (q *readyQueue) trySteal() (core.Instance, bool) {
+	if !q.mu.TryLock() {
+		return core.Instance{}, false
+	}
+	defer q.mu.Unlock()
+	if len(q.items) == 0 {
+		return core.Instance{}, false
+	}
+	inst := q.items[len(q.items)-1]
+	q.items = q.items[:len(q.items)-1]
+	return inst, true
+}
+
+// tryPop removes the locality-preferred instance without blocking.
+func (q *readyQueue) tryPop(last core.Instance) (core.Instance, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.items) == 0 || q.closed {
+		return core.Instance{}, false
+	}
+	i := q.pick(last)
+	inst := q.items[i]
+	q.items = append(q.items[:i], q.items[i+1:]...)
+	return inst, true
+}
+
+// popTimeout is like pop but wakes periodically so a stealing kernel can
+// scan its victims; ok=false only on close.
+func (q *readyQueue) popTimeout(last core.Instance, wait time.Duration) (core.Instance, bool, bool) {
+	if inst, ok := q.tryPop(last); ok {
+		return inst, true, false
+	}
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return core.Instance{}, false, true
+	}
+	q.mu.Unlock()
+	// Briefly sleep instead of a timed condvar wait: steals are the rare
+	// slow path and a fixed backoff keeps the queue logic simple.
+	time.Sleep(wait)
+	if inst, ok := q.tryPop(last); ok {
+		return inst, true, false
+	}
+	q.mu.Lock()
+	closed := q.closed
+	q.idle += wait
+	q.mu.Unlock()
+	return core.Instance{}, false, closed
+}

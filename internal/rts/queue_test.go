@@ -1,0 +1,111 @@
+package rts
+
+import (
+	"testing"
+	"time"
+
+	"tflux/internal/core"
+)
+
+func inst(t core.ThreadID, c core.Context) core.Instance {
+	return core.Instance{Thread: t, Ctx: c}
+}
+
+func TestQueueLocalityPrefersNextContext(t *testing.T) {
+	q := newReadyQueue(PolicyLocality, 0)
+	q.push(inst(9, 0))
+	q.push(inst(5, 7))
+	q.push(inst(5, 3))
+	got, ok := q.pop(inst(5, 2)) // last executed T5.2
+	if !ok || got != inst(5, 3) {
+		t.Fatalf("pop = %v, want T5.3", got)
+	}
+	// No next-context match left: falls back to same template.
+	got, ok = q.pop(inst(5, 3))
+	if !ok || got != inst(5, 7) {
+		t.Fatalf("pop = %v, want T5.7 (same template)", got)
+	}
+	// Nothing matches: FIFO.
+	got, ok = q.pop(inst(5, 7))
+	if !ok || got != inst(9, 0) {
+		t.Fatalf("pop = %v, want T9.0", got)
+	}
+}
+
+func TestQueueFIFOOrder(t *testing.T) {
+	q := newReadyQueue(PolicyFIFO, 0)
+	for i := core.Context(0); i < 5; i++ {
+		q.push(inst(1, i))
+	}
+	for i := core.Context(0); i < 5; i++ {
+		got, _ := q.pop(core.Instance{})
+		if got != inst(1, i) {
+			t.Fatalf("pop %d = %v", i, got)
+		}
+	}
+}
+
+func TestQueueLIFOOrder(t *testing.T) {
+	q := newReadyQueue(PolicyLIFO, 0)
+	for i := core.Context(0); i < 5; i++ {
+		q.push(inst(1, i))
+	}
+	for i := core.Context(4); ; i-- {
+		got, _ := q.pop(core.Instance{})
+		if got != inst(1, i) {
+			t.Fatalf("pop = %v, want ctx %d", got, i)
+		}
+		if i == 0 {
+			break
+		}
+	}
+}
+
+func TestQueueCloseUnblocksPop(t *testing.T) {
+	q := newReadyQueue(PolicyLocality, 0)
+	done := make(chan bool)
+	go func() {
+		_, ok := q.pop(core.Instance{})
+		done <- ok
+	}()
+	time.Sleep(5 * time.Millisecond)
+	q.close()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("pop returned ok on closed queue")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("pop did not unblock on close")
+	}
+	if q.idleTime() == 0 {
+		t.Fatal("idle time not recorded")
+	}
+}
+
+func TestQueuePushAfterCloseDrops(t *testing.T) {
+	q := newReadyQueue(PolicyFIFO, 0)
+	q.close()
+	q.push(inst(1, 0)) // must not panic
+	if _, ok := q.pop(core.Instance{}); ok {
+		t.Fatal("pop returned item pushed after close")
+	}
+}
+
+func TestQueueScanBound(t *testing.T) {
+	q := newReadyQueue(PolicyLocality, 2)
+	q.push(inst(1, 0))
+	q.push(inst(1, 1))
+	q.push(inst(5, 3)) // the locality match, but beyond scan depth 2
+	got, _ := q.pop(inst(5, 2))
+	if got != inst(1, 0) {
+		t.Fatalf("pop = %v, want FIFO head when match is beyond scan bound", got)
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if PolicyLocality.String() != "locality" || PolicyFIFO.String() != "fifo" ||
+		PolicyLIFO.String() != "lifo" || Policy(99).String() != "unknown" {
+		t.Fatal("policy names wrong")
+	}
+}

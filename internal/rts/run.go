@@ -1,0 +1,277 @@
+package rts
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"tflux/internal/core"
+	"tflux/internal/tsu"
+)
+
+// Options configures a TFluxSoft run.
+type Options struct {
+	// Kernels is the number of worker loops executing DThreads. The TSU
+	// emulator is one extra goroutine on top (the paper dedicates a CPU to
+	// it). Zero selects 1.
+	Kernels int
+	// TUB configures the Thread-to-Update Buffer.
+	TUB tsu.TUBConfig
+	// Policy is the ready-queue scheduling policy (default locality).
+	Policy Policy
+	// QueueScan bounds the locality policy's lookahead (default 64).
+	QueueScan int
+	// Trace, when non-nil, records a per-kernel execution timeline.
+	Trace *Tracer
+	// TSUSize caps the number of DThread instances a single DDM Block may
+	// hold (the TSU's slot count, §2). Zero means unlimited.
+	TSUSize int64
+	// PinEmulator binds the TSU-emulator goroutine to an OS thread
+	// (runtime.LockOSThread), approximating the paper's dedication of one
+	// CPU to the TSU Emulation process (Figure 4).
+	PinEmulator bool
+	// Steal lets an idle Kernel execute ready DThreads queued for other
+	// Kernels. The paper's TSU binds each DThread to one kernel through
+	// the TKT; stealing is an ablation of that static distribution —
+	// readiness bookkeeping stays in the owner's Synchronization Memory,
+	// only the executing CPU changes.
+	Steal bool
+}
+
+// Stats reports what a run did and how long it took.
+type Stats struct {
+	Elapsed time.Duration
+	Kernels int
+	TSU     tsu.Stats
+	TUB     tsu.TUBStats
+	// Executed counts application DThread instances per kernel.
+	Executed []int64
+	// Service counts Inlet/Outlet executions per kernel.
+	Service []int64
+	// Idle is per-kernel time spent blocked waiting for a ready DThread.
+	Idle []time.Duration
+}
+
+// TotalExecuted sums per-kernel application instance counts.
+func (s *Stats) TotalExecuted() int64 {
+	var n int64
+	for _, e := range s.Executed {
+		n += e
+	}
+	return n
+}
+
+// Run executes a DDM program under the TFluxSoft runtime and blocks until
+// the final Block's Outlet completes. The program is validated first. A
+// panic inside a DThread body is recovered, aborts the run, and is
+// reported as an error naming the instance.
+func Run(p *core.Program, opt Options) (*Stats, error) {
+	if opt.Kernels <= 0 {
+		opt.Kernels = 1
+	}
+	state, err := tsu.NewStateSized(p, opt.Kernels, opt.TSUSize)
+	if err != nil {
+		return nil, err
+	}
+	r := &runner{
+		state:  state,
+		tub:    tsu.NewTUB(opt.Kernels, opt.TUB),
+		queues: make([]*readyQueue, opt.Kernels),
+		stop:   make(chan struct{}),
+		trace:  opt.Trace,
+	}
+	if r.trace != nil {
+		r.trace.begin()
+	}
+	for i := range r.queues {
+		r.queues[i] = newReadyQueue(opt.Policy, opt.QueueScan)
+	}
+	stats := &Stats{
+		Kernels:  opt.Kernels,
+		Executed: make([]int64, opt.Kernels),
+		Service:  make([]int64, opt.Kernels),
+		Idle:     make([]time.Duration, opt.Kernels),
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if opt.PinEmulator {
+			runtime.LockOSThread()
+			defer runtime.UnlockOSThread()
+		}
+		r.emulate()
+	}()
+	r.steal = opt.Steal
+	for k := 0; k < opt.Kernels; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			r.kernel(tsu.KernelID(k), &stats.Executed[k], &stats.Service[k])
+		}(k)
+	}
+	// Bootstrap: the Inlet DThread of the first Block is the first thing a
+	// Kernel executes.
+	first := state.Start()
+	r.queues[int(first.Kernel)].push(first.Inst)
+	wg.Wait()
+
+	stats.Elapsed = time.Since(start)
+	stats.TSU = state.Stats()
+	stats.TUB = r.tub.Stats()
+	for k, q := range r.queues {
+		stats.Idle[k] = q.idleTime()
+	}
+	r.errMu.Lock()
+	err = r.err
+	r.errMu.Unlock()
+	return stats, err
+}
+
+type runner struct {
+	state  *tsu.State
+	tub    *tsu.TUB
+	queues []*readyQueue
+	trace  *Tracer
+	steal  bool
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	errMu    sync.Mutex
+	err      error
+}
+
+// fail records the first error and tears the run down.
+func (r *runner) fail(err error) {
+	r.errMu.Lock()
+	if r.err == nil {
+		r.err = err
+	}
+	r.errMu.Unlock()
+	r.shutdown()
+	r.tub.Close()
+}
+
+func (r *runner) shutdown() {
+	r.stopOnce.Do(func() {
+		close(r.stop)
+		for _, q := range r.queues {
+			q.close()
+		}
+	})
+}
+
+// kernel is the Kernel loop of Figure 2: find a ready DThread, run its
+// code, then perform the kernel-side Post-Processing (arc expansion into
+// the TUB) and loop.
+func (r *runner) kernel(k tsu.KernelID, executed, service *int64) {
+	q := r.queues[int(k)]
+	var last core.Instance
+	for {
+		var inst core.Instance
+		var ok bool
+		if r.steal {
+			var closed bool
+			inst, ok, closed = r.next(int(k), last)
+			if closed {
+				return
+			}
+			if !ok {
+				continue
+			}
+		} else {
+			inst, ok = q.pop(last)
+			if !ok {
+				return
+			}
+		}
+		if r.execute(k, inst, executed, service) {
+			return
+		}
+		last = inst
+	}
+}
+
+// next finds work for a stealing kernel: its own queue first (locality
+// pick), then a sweep over the other kernels' queues, then a short
+// backoff wait on its own queue.
+func (r *runner) next(k int, last core.Instance) (core.Instance, bool, bool) {
+	if inst, ok := r.queues[k].tryPop(last); ok {
+		return inst, true, false
+	}
+	for off := 1; off < len(r.queues); off++ {
+		victim := (k + off) % len(r.queues)
+		if inst, ok := r.queues[victim].trySteal(); ok {
+			return inst, true, false
+		}
+	}
+	return r.queues[k].popTimeout(last, 100*time.Microsecond)
+}
+
+// execute runs one DThread body and deposits its completion record. It
+// returns true when the kernel must exit (a body panicked).
+func (r *runner) execute(k tsu.KernelID, inst core.Instance, executed, service *int64) (abort bool) {
+	defer func() {
+		if p := recover(); p != nil {
+			r.fail(fmt.Errorf("rts: DThread %v panicked on kernel %d: %v", inst, k, p))
+			abort = true
+		}
+	}()
+	body := r.state.Body(inst)
+	if r.trace != nil {
+		start := time.Now()
+		body(inst.Ctx)
+		r.trace.record(inst, int(k), start, r.state.IsService(inst))
+	} else {
+		body(inst.Ctx)
+	}
+	if r.state.IsService(inst) {
+		*service++
+	} else {
+		*executed++
+	}
+	targets := r.tub.AcquireTargets()
+	targets = r.state.AppendConsumers(targets, inst)
+	r.tub.Push(tsu.Completion{Inst: inst, Kernel: k, Targets: targets})
+	return false
+}
+
+// emulate is the TSU Emulator loop: drain the TUB, apply Ready Count
+// decrements through the TKT-indexed Synchronization Memories, process
+// completions (block sequencing), and dispatch newly ready DThreads to
+// their owning Kernel's queue.
+func (r *runner) emulate() {
+	var recs []tsu.Completion
+	for {
+		recs = r.tub.Drain(recs[:0])
+		if len(recs) == 0 {
+			if !r.tub.Wait(r.stop) {
+				return
+			}
+			continue
+		}
+		for _, rec := range recs {
+			for _, tgt := range rec.Targets {
+				if r.state.Decrement(tgt) {
+					r.dispatch(tsu.Ready{Inst: tgt, Kernel: r.state.KernelOf(tgt)})
+				}
+			}
+			r.tub.ReleaseTargets(rec.Targets)
+			res := r.state.Done(rec.Inst, rec.Kernel)
+			for _, rd := range res.NewReady {
+				r.dispatch(rd)
+			}
+			if res.ProgramDone {
+				r.shutdown()
+				return
+			}
+		}
+	}
+}
+
+func (r *runner) dispatch(rd tsu.Ready) {
+	r.queues[int(rd.Kernel)].push(rd.Inst)
+}

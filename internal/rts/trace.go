@@ -1,0 +1,167 @@
+package rts
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"tflux/internal/core"
+)
+
+// TraceEvent records the execution of one DThread instance on one kernel.
+type TraceEvent struct {
+	Inst    core.Instance
+	Kernel  int
+	Start   time.Duration // since run start
+	End     time.Duration
+	Service bool // Inlet/Outlet rather than application thread
+}
+
+// Tracer collects a per-kernel execution timeline of a TFluxSoft run.
+// Enable it through Options.Trace; read it after Run returns. A Tracer
+// must not be shared between concurrent runs.
+type Tracer struct {
+	mu     sync.Mutex
+	start  time.Time
+	events []TraceEvent
+}
+
+// NewTracer returns an empty tracer.
+func NewTracer() *Tracer { return &Tracer{} }
+
+func (t *Tracer) begin() {
+	t.mu.Lock()
+	t.start = time.Now()
+	t.events = t.events[:0]
+	t.mu.Unlock()
+}
+
+func (t *Tracer) record(inst core.Instance, kernel int, start time.Time, service bool) {
+	end := time.Now()
+	t.mu.Lock()
+	t.events = append(t.events, TraceEvent{
+		Inst:    inst,
+		Kernel:  kernel,
+		Start:   start.Sub(t.start),
+		End:     end.Sub(t.start),
+		Service: service,
+	})
+	t.mu.Unlock()
+}
+
+// Events returns the recorded events sorted by start time.
+func (t *Tracer) Events() []TraceEvent {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := append([]TraceEvent(nil), t.events...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// WriteTo dumps the timeline as one line per event:
+//
+//	kernel start end duration instance [service]
+//
+// in start order, suitable for diffing or plotting.
+func (t *Tracer) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	for _, e := range t.Events() {
+		tag := ""
+		if e.Service {
+			tag = " service"
+		}
+		c, err := fmt.Fprintf(w, "k%d %12d %12d %10d %s%s\n",
+			e.Kernel, e.Start.Nanoseconds(), e.End.Nanoseconds(),
+			(e.End - e.Start).Nanoseconds(), e.Inst, tag)
+		n += int64(c)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// Utilization returns, per kernel, the fraction of the run's wall-clock
+// span spent inside DThread bodies — a quick load-balance check.
+func (t *Tracer) Utilization(kernels int) []float64 {
+	events := t.Events()
+	if len(events) == 0 {
+		return make([]float64, kernels)
+	}
+	var span time.Duration
+	busy := make([]time.Duration, kernels)
+	for _, e := range events {
+		if e.End > span {
+			span = e.End
+		}
+		if e.Kernel < kernels {
+			busy[e.Kernel] += e.End - e.Start
+		}
+	}
+	out := make([]float64, kernels)
+	if span == 0 {
+		return out
+	}
+	for k := range out {
+		out[k] = float64(busy[k]) / float64(span)
+	}
+	return out
+}
+
+// Gantt renders the timeline as an ASCII chart, one row per kernel, time
+// flowing left to right across `width` columns. Application DThreads fill
+// their span with '#', Inlet/Outlet service threads with 's'; '.' is idle
+// time. Useful for eyeballing load balance and serial bottlenecks:
+//
+//	k0 |####..####################ss|
+//	k1 |..########..................|
+func (t *Tracer) Gantt(w io.Writer, kernels, width int) error {
+	if width < 10 {
+		width = 10
+	}
+	events := t.Events()
+	var span time.Duration
+	for _, e := range events {
+		if e.End > span {
+			span = e.End
+		}
+	}
+	if span == 0 {
+		_, err := fmt.Fprintln(w, "(no events)")
+		return err
+	}
+	col := func(d time.Duration) int {
+		c := int(int64(d) * int64(width) / int64(span))
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+	rows := make([][]byte, kernels)
+	for k := range rows {
+		rows[k] = bytes.Repeat([]byte{'.'}, width)
+	}
+	for _, e := range events {
+		if e.Kernel >= kernels {
+			continue
+		}
+		mark := byte('#')
+		if e.Service {
+			mark = 's'
+		}
+		for c := col(e.Start); c <= col(e.End); c++ {
+			rows[e.Kernel][c] = mark
+		}
+	}
+	for k, row := range rows {
+		if _, err := fmt.Fprintf(w, "k%-2d |%s|\n", k, row); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "span %s, %d events ('#' app, 's' inlet/outlet, '.' idle)\n",
+		span, len(events))
+	return err
+}

@@ -1,0 +1,142 @@
+package rts
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTracerRecordsTimeline(t *testing.T) {
+	p, _ := sumProgram(8, 20000)
+	tr := NewTracer()
+	if _, err := Run(p, Options{Kernels: 2, Trace: tr}); err != nil {
+		t.Fatal(err)
+	}
+	events := tr.Events()
+	// 8 workers + 1 reduce + inlet + outlet.
+	if len(events) != 11 {
+		t.Fatalf("events = %d, want 11", len(events))
+	}
+	var app, service int
+	for i, e := range events {
+		if e.End < e.Start {
+			t.Fatalf("event %d ends before it starts: %+v", i, e)
+		}
+		if e.Kernel < 0 || e.Kernel >= 2 {
+			t.Fatalf("event %d on kernel %d", i, e.Kernel)
+		}
+		if i > 0 && e.Start < events[i-1].Start {
+			t.Fatal("events not sorted by start")
+		}
+		if e.Service {
+			service++
+		} else {
+			app++
+		}
+	}
+	if app != 9 || service != 2 {
+		t.Fatalf("app/service = %d/%d, want 9/2", app, service)
+	}
+}
+
+func TestTracerWriteTo(t *testing.T) {
+	p, _ := sumProgram(4, 1000)
+	tr := NewTracer()
+	if _, err := Run(p, Options{Kernels: 2, Trace: tr}); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if _, err := tr.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "service") {
+		t.Fatalf("trace lacks service events:\n%s", out)
+	}
+	if !strings.Contains(out, "T1.0") {
+		t.Fatalf("trace lacks instance names:\n%s", out)
+	}
+	if got := strings.Count(out, "\n"); got != 7 {
+		t.Fatalf("trace lines = %d, want 7", got)
+	}
+}
+
+func TestTracerUtilization(t *testing.T) {
+	p, _ := sumProgram(16, 50000)
+	tr := NewTracer()
+	if _, err := Run(p, Options{Kernels: 3, Trace: tr}); err != nil {
+		t.Fatal(err)
+	}
+	util := tr.Utilization(3)
+	if len(util) != 3 {
+		t.Fatalf("util = %v", util)
+	}
+	var any bool
+	for k, u := range util {
+		if u < 0 || u > 1.0001 {
+			t.Fatalf("kernel %d utilization %v out of range", k, u)
+		}
+		if u > 0 {
+			any = true
+		}
+	}
+	if !any {
+		t.Fatal("no kernel showed any utilization")
+	}
+}
+
+func TestTracerReusedAcrossRuns(t *testing.T) {
+	tr := NewTracer()
+	p1, _ := sumProgram(4, 100)
+	if _, err := Run(p1, Options{Kernels: 1, Trace: tr}); err != nil {
+		t.Fatal(err)
+	}
+	first := len(tr.Events())
+	p2, _ := sumProgram(2, 100)
+	if _, err := Run(p2, Options{Kernels: 1, Trace: tr}); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Events()) >= first+first {
+		t.Fatal("tracer did not reset between runs")
+	}
+	if len(tr.Events()) != 5 { // 2 workers + reduce + inlet + outlet
+		t.Fatalf("second run events = %d, want 5", len(tr.Events()))
+	}
+}
+
+func TestTracerEmptyUtilization(t *testing.T) {
+	tr := NewTracer()
+	u := tr.Utilization(2)
+	if len(u) != 2 || u[0] != 0 || u[1] != 0 {
+		t.Fatalf("util = %v", u)
+	}
+}
+
+func TestTracerGantt(t *testing.T) {
+	p, _ := sumProgram(8, 20000)
+	tr := NewTracer()
+	if _, err := Run(p, Options{Kernels: 2, Trace: tr}); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := tr.Gantt(&sb, 2, 40); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "k0 ") || !strings.Contains(out, "k1 ") {
+		t.Fatalf("gantt rows missing:\n%s", out)
+	}
+	if !strings.Contains(out, "#") {
+		t.Fatalf("no app marks:\n%s", out)
+	}
+	if !strings.Contains(out, "span ") {
+		t.Fatalf("no legend:\n%s", out)
+	}
+	// Empty tracer renders the placeholder.
+	var sb2 strings.Builder
+	if err := NewTracer().Gantt(&sb2, 1, 20); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb2.String(), "no events") {
+		t.Fatalf("empty gantt: %q", sb2.String())
+	}
+}

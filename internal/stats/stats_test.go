@@ -1,0 +1,82 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestMeasureCountsRuns(t *testing.T) {
+	n := 0
+	ds := Measure(5, func() { n++ })
+	if n != 5 || len(ds) != 5 {
+		t.Fatalf("ran %d times, %d samples", n, len(ds))
+	}
+	if ds2 := Measure(0, func() { n++ }); len(ds2) != 1 {
+		t.Fatalf("reps<1 should clamp to 1, got %d", len(ds2))
+	}
+}
+
+func TestMinMedian(t *testing.T) {
+	ds := []time.Duration{5, 1, 9, 3, 7}
+	if Min(ds) != 1 {
+		t.Fatalf("min = %v", Min(ds))
+	}
+	if Median(ds) != 5 {
+		t.Fatalf("median = %v", Median(ds))
+	}
+	if Median([]time.Duration{4, 2}) != 2 {
+		t.Fatal("even-count median should take lower middle")
+	}
+	if Min(nil) != 0 || Median(nil) != 0 {
+		t.Fatal("empty slices should yield zero")
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	ds := []time.Duration{3, 1, 2}
+	Median(ds)
+	if ds[0] != 3 || ds[1] != 1 || ds[2] != 2 {
+		t.Fatal("Median mutated its input")
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if s := Speedup(10, 2); s != 5 {
+		t.Fatalf("speedup = %v", s)
+	}
+	if !math.IsNaN(Speedup(0, 2)) || !math.IsNaN(Speedup(2, 0)) {
+		t.Fatal("invalid inputs must give NaN")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{2, 8}); math.Abs(g-4) > 1e-12 {
+		t.Fatalf("geomean = %v, want 4", g)
+	}
+	if !math.IsNaN(GeoMean(nil)) || !math.IsNaN(GeoMean([]float64{1, -1})) {
+		t.Fatal("invalid inputs must give NaN")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if m := Mean([]float64{1, 2, 3}); m != 2 {
+		t.Fatalf("mean = %v", m)
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Fatal("empty mean must be NaN")
+	}
+}
+
+func TestFormatDuration(t *testing.T) {
+	cases := map[time.Duration]string{
+		2500 * time.Millisecond: "2.500s",
+		2500 * time.Microsecond: "2.50ms",
+		250 * time.Nanosecond:   "0.2µs", // %.1f rounds half to even
+	}
+	for d, want := range cases {
+		if got := FormatDuration(d); got != want {
+			t.Fatalf("FormatDuration(%v) = %q, want %q", d, got, want)
+		}
+	}
+}

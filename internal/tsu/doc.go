@@ -1,0 +1,34 @@
+// Package tsu implements the Thread Synchronization Unit (TSU) Group of the
+// TFlux platform.
+//
+// The TSU is the component that performs data-driven scheduling: it holds
+// the Synchronization Graph metadata of the currently loaded DDM Block,
+// tracks the Ready Count of every DThread instance, and hands ready
+// DThreads to the Kernels. TFlux groups the per-CPU TSUs into a single TSU
+// Group; the units of the group split into per-kernel state and global
+// state (paper §3.3).
+//
+// This package separates the TSU into two layers:
+//
+//   - State: the pure synchronization engine — Synchronization Memories
+//     (one per kernel, holding the Ready Counts of the instances that
+//     kernel owns), the Thread-to-Kernel Table (TKT) used for Thread
+//     Indexing (§4.2), Block sequencing with synthesized Inlet/Outlet
+//     DThreads (§2), and the post-processing arc expansion. State has no
+//     goroutines and no locks: exactly one driver may mutate it. The three
+//     platform implementations each wrap it in their own transport:
+//     the TFluxSoft emulator goroutine (package rts), the Cell PPE
+//     emulator polling CommandBuffers (package cellsim), and the
+//     memory-mapped hardware device model (package hardsim).
+//
+//   - TUB: the Thread-to-Update Buffer of the software TSU emulator
+//     (§4.2). Kernels deposit completion records into the first available
+//     segment using a non-blocking try-lock so that at most one segment is
+//     held by any kernel at a time; the emulator drains segments in bulk.
+//     A single-lock mode exists as an ablation of the segmentation design.
+//
+// Read-only queries (arc expansion, TKT lookup) touch only immutable
+// tables built at construction time and are safe to call from every kernel
+// concurrently — this is the "Local TSU" half of the TSU Group. Mutating
+// calls (Decrement, Done) belong to the single global driver.
+package tsu

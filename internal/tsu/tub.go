@@ -1,0 +1,217 @@
+package tsu
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"tflux/internal/core"
+)
+
+// Completion is one record a Kernel deposits into the TUB after a DThread
+// finishes: the completed instance plus the consumer instances whose Ready
+// Counts must be decremented (the kernel-side arc expansion). The record is
+// atomic — the emulator applies all decrements before accounting the
+// completion — so partially applied post-processing can never leak across
+// Block boundaries.
+type Completion struct {
+	Inst    core.Instance
+	Kernel  KernelID
+	Targets []core.Instance
+}
+
+// TUBConfig configures the Thread-to-Update Buffer.
+type TUBConfig struct {
+	// Segments is the number of independently locked segments. The paper
+	// partitions the TUB so each kernel holds at most one segment lock at
+	// a time, acquired with try-lock. Zero selects 2×kernels.
+	Segments int
+	// SegmentCap is the per-segment record capacity. Zero selects 64.
+	SegmentCap int
+	// SingleLock disables segmentation (one global lock) — the ablation
+	// configuration showing why the paper partitions the TUB.
+	SingleLock bool
+}
+
+func (c TUBConfig) withDefaults(kernels int) TUBConfig {
+	if c.Segments <= 0 {
+		c.Segments = 2 * kernels
+	}
+	if c.SegmentCap <= 0 {
+		c.SegmentCap = 64
+	}
+	if c.SingleLock {
+		c.Segments = 1
+	}
+	return c
+}
+
+// TUBStats counts TUB traffic and contention.
+type TUBStats struct {
+	Pushes    int64 // completion records deposited
+	TryMisses int64 // segments skipped because locked or full
+	Blocked   int64 // times a writer had to block for space
+}
+
+type tubSegment struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	buf  []Completion
+	cap  int
+}
+
+func (s *tubSegment) init(capacity int) {
+	s.cond = sync.NewCond(&s.mu)
+	s.buf = make([]Completion, 0, capacity)
+	s.cap = capacity
+}
+
+// TUB is the Thread-to-Update Buffer shared between the Kernels (writers)
+// and the TSU Emulator (single reader). See §4.2 of the paper.
+type TUB struct {
+	segs   []tubSegment
+	notify chan struct{}
+	closed atomic.Bool
+
+	pushes    atomic.Int64
+	tryMisses atomic.Int64
+	blocked   atomic.Int64
+
+	pool sync.Pool // *[]core.Instance recycled target slices
+}
+
+// NewTUB builds a TUB for the given number of kernels.
+func NewTUB(kernels int, cfg TUBConfig) *TUB {
+	cfg = cfg.withDefaults(kernels)
+	t := &TUB{
+		segs:   make([]tubSegment, cfg.Segments),
+		notify: make(chan struct{}, 1),
+	}
+	for i := range t.segs {
+		t.segs[i].init(cfg.SegmentCap)
+	}
+	t.pool.New = func() any {
+		s := make([]core.Instance, 0, 16)
+		return &s
+	}
+	return t
+}
+
+// AcquireTargets returns a reusable target slice for building a Completion.
+func (t *TUB) AcquireTargets() []core.Instance {
+	return (*t.pool.Get().(*[]core.Instance))[:0]
+}
+
+// ReleaseTargets recycles a target slice once the emulator has applied it.
+func (t *TUB) ReleaseTargets(s []core.Instance) {
+	s = s[:0]
+	t.pool.Put(&s)
+}
+
+// Push deposits a completion record. Per the paper's design, the writer
+// walks the segments starting from its kernel's home segment and takes the
+// first one whose try-lock succeeds and that has space, so at most one
+// segment is ever held by a kernel. If a full pass fails (all segments
+// locked or full), the writer blocks on its home segment until the
+// emulator drains it — the slow path segmentation exists to avoid.
+func (t *TUB) Push(rec Completion) {
+	t.pushes.Add(1)
+	n := len(t.segs)
+	home := int(rec.Kernel) % n
+	if n > 1 {
+		for i := 0; i < n; i++ {
+			seg := &t.segs[(home+i)%n]
+			if !seg.mu.TryLock() {
+				t.tryMisses.Add(1)
+				continue
+			}
+			if len(seg.buf) >= seg.cap {
+				seg.mu.Unlock()
+				t.tryMisses.Add(1)
+				continue
+			}
+			seg.buf = append(seg.buf, rec)
+			seg.mu.Unlock()
+			t.signal()
+			return
+		}
+		t.blocked.Add(1)
+	}
+	// Blocking fallback on the home segment (and the only path in
+	// single-lock mode).
+	seg := &t.segs[home]
+	seg.mu.Lock()
+	for len(seg.buf) >= seg.cap {
+		if t.closed.Load() {
+			// Aborted run: nobody will drain; drop the record rather
+			// than deadlock the kernel.
+			seg.mu.Unlock()
+			return
+		}
+		// Wake the emulator so it can drain; then wait for space.
+		t.signal()
+		seg.cond.Wait()
+	}
+	seg.buf = append(seg.buf, rec)
+	seg.mu.Unlock()
+	t.signal()
+}
+
+// Close marks the TUB as abandoned (error-path shutdown): writers blocked
+// for space are released and subsequent overflowing pushes are dropped.
+// The normal termination path never needs Close, because the program's
+// final completion is always drained before the kernels exit.
+func (t *TUB) Close() {
+	t.closed.Store(true)
+	for i := range t.segs {
+		seg := &t.segs[i]
+		seg.mu.Lock()
+		seg.cond.Broadcast()
+		seg.mu.Unlock()
+	}
+}
+
+func (t *TUB) signal() {
+	select {
+	case t.notify <- struct{}{}:
+	default:
+	}
+}
+
+// Drain moves every pending record from all segments into dst and returns
+// it. Only the TSU emulator calls Drain.
+func (t *TUB) Drain(dst []Completion) []Completion {
+	for i := range t.segs {
+		seg := &t.segs[i]
+		seg.mu.Lock()
+		if len(seg.buf) > 0 {
+			dst = append(dst, seg.buf...)
+			seg.buf = seg.buf[:0]
+			seg.cond.Broadcast()
+		}
+		seg.mu.Unlock()
+	}
+	return dst
+}
+
+// Wait blocks until a Push has occurred since the last Drain, or stop is
+// closed. It returns false when stopped.
+func (t *TUB) Wait(stop <-chan struct{}) bool {
+	select {
+	case <-t.notify:
+		return true
+	case <-stop:
+		return false
+	}
+}
+
+// Stats returns a snapshot of the contention counters.
+func (t *TUB) Stats() TUBStats {
+	return TUBStats{
+		Pushes:    t.pushes.Load(),
+		TryMisses: t.tryMisses.Load(),
+		Blocked:   t.blocked.Load(),
+	}
+}
+
+// Segments returns the number of segments (for tests and stats).
+func (t *TUB) Segments() int { return len(t.segs) }

@@ -1,0 +1,127 @@
+package tsu
+
+import (
+	"sync"
+	"testing"
+
+	"tflux/internal/core"
+)
+
+// hammerTUB pushes records from writers concurrently while one reader
+// drains, and checks nothing is lost or duplicated.
+func hammerTUB(t *testing.T, cfg TUBConfig, writers, perWriter int) TUBStats {
+	t.Helper()
+	tub := NewTUB(writers, cfg)
+	stop := make(chan struct{})
+	got := make(map[core.Instance]int)
+	var readerWG sync.WaitGroup
+	readerWG.Add(1)
+	go func() {
+		defer readerWG.Done()
+		var recs []Completion
+		for {
+			recs = tub.Drain(recs[:0])
+			for _, r := range recs {
+				got[r.Inst]++
+			}
+			if len(recs) == 0 {
+				if !tub.Wait(stop) {
+					// Final sweep: writers are done once stop closes.
+					recs = tub.Drain(recs[:0])
+					for _, r := range recs {
+						got[r.Inst]++
+					}
+					return
+				}
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				inst := core.Instance{Thread: core.ThreadID(w + 1), Ctx: core.Context(i)}
+				tub.Push(Completion{Inst: inst, Kernel: KernelID(w)})
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	readerWG.Wait()
+	if len(got) != writers*perWriter {
+		t.Fatalf("received %d distinct records, want %d", len(got), writers*perWriter)
+	}
+	for inst, n := range got {
+		if n != 1 {
+			t.Fatalf("record %v received %d times", inst, n)
+		}
+	}
+	return tub.Stats()
+}
+
+func TestTUBNoLossUnderContention(t *testing.T) {
+	st := hammerTUB(t, TUBConfig{Segments: 4, SegmentCap: 8}, 8, 500)
+	if st.Pushes != 8*500 {
+		t.Fatalf("pushes = %d, want %d", st.Pushes, 8*500)
+	}
+}
+
+func TestTUBSingleLockMode(t *testing.T) {
+	tub := NewTUB(4, TUBConfig{SingleLock: true, SegmentCap: 4})
+	if tub.Segments() != 1 {
+		t.Fatalf("single-lock TUB has %d segments, want 1", tub.Segments())
+	}
+	hammerTUB(t, TUBConfig{SingleLock: true, SegmentCap: 4}, 4, 200)
+}
+
+func TestTUBBlockingFallbackTinyCapacity(t *testing.T) {
+	// One segment of capacity 1 forces the blocking path constantly; the
+	// reader must keep everything flowing.
+	hammerTUB(t, TUBConfig{Segments: 1, SegmentCap: 1}, 3, 100)
+}
+
+func TestTUBDefaults(t *testing.T) {
+	tub := NewTUB(5, TUBConfig{})
+	if tub.Segments() != 10 {
+		t.Fatalf("default segments = %d, want 2*kernels = 10", tub.Segments())
+	}
+}
+
+func TestTUBTargetsPoolRoundTrip(t *testing.T) {
+	tub := NewTUB(1, TUBConfig{})
+	s := tub.AcquireTargets()
+	if len(s) != 0 {
+		t.Fatalf("acquired slice has len %d", len(s))
+	}
+	s = append(s, core.Instance{Thread: 7})
+	tub.ReleaseTargets(s)
+	s2 := tub.AcquireTargets()
+	if len(s2) != 0 {
+		t.Fatalf("recycled slice has len %d, want 0", len(s2))
+	}
+}
+
+func TestTUBDrainEmptiesSegments(t *testing.T) {
+	tub := NewTUB(2, TUBConfig{Segments: 2, SegmentCap: 4})
+	for i := 0; i < 6; i++ {
+		tub.Push(Completion{Inst: core.Instance{Ctx: core.Context(i)}, Kernel: KernelID(i % 2)})
+	}
+	recs := tub.Drain(nil)
+	if len(recs) != 6 {
+		t.Fatalf("drained %d records, want 6", len(recs))
+	}
+	if again := tub.Drain(nil); len(again) != 0 {
+		t.Fatalf("second drain returned %d records, want 0", len(again))
+	}
+}
+
+func TestTUBWaitStops(t *testing.T) {
+	tub := NewTUB(1, TUBConfig{})
+	stop := make(chan struct{})
+	close(stop)
+	if tub.Wait(stop) {
+		t.Fatal("Wait returned true on closed stop channel")
+	}
+}

@@ -1,0 +1,336 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"tflux/internal/cellsim"
+	"tflux/internal/hardsim"
+	"tflux/internal/rts"
+)
+
+// smallJob builds each benchmark at a deliberately small size for tests.
+func smallJobs() []Job {
+	return []Job{
+		NewTrapez(12),
+		NewMMult(32),
+		NewQSort(1500),
+		NewSusan(64, 48),
+		NewFFT(16),
+	}
+}
+
+func TestSuiteMetadata(t *testing.T) {
+	suite := Suite()
+	if len(suite) != 5 {
+		t.Fatalf("suite has %d benchmarks, want 5", len(suite))
+	}
+	wantNames := []string{"TRAPEZ", "MMULT", "QSORT", "SUSAN", "FFT"}
+	for i, s := range suite {
+		if s.Name != wantNames[i] {
+			t.Fatalf("suite[%d] = %q, want %q", i, s.Name, wantNames[i])
+		}
+		for _, pf := range []Platform{Simulated, Native, Cell} {
+			sizes, ok := s.Sizes(pf)
+			if s.Name == "FFT" && pf == Cell {
+				if ok {
+					t.Fatal("FFT must not report Cell sizes (Figure 7 omits it)")
+				}
+				continue
+			}
+			if !ok {
+				t.Fatalf("%s reports no sizes for %v", s.Name, pf)
+			}
+			for _, p := range sizes {
+				if p <= 0 {
+					t.Fatalf("%s %v has non-positive size param", s.Name, pf)
+				}
+				if s.SizeLabel(p) == "" {
+					t.Fatalf("%s has empty size label", s.Name)
+				}
+			}
+		}
+	}
+}
+
+func TestTable1Sizes(t *testing.T) {
+	mm, _ := ByName("MMULT")
+	sim, _ := mm.Sizes(Simulated)
+	if sim != [3]int{64, 128, 256} {
+		t.Fatalf("MMULT simulated sizes = %v", sim)
+	}
+	nat, _ := mm.Sizes(Native)
+	if nat != [3]int{64, 256, 1024} {
+		t.Fatalf("MMULT native sizes = %v", nat)
+	}
+	qs, _ := ByName("QSORT")
+	cell, _ := qs.Sizes(Cell)
+	if cell != [3]int{3000, 6000, 12000} {
+		t.Fatalf("QSORT cell sizes = %v", cell)
+	}
+	if qs.SizeLabel(12000) != "12K" {
+		t.Fatalf("QSORT size label = %q", qs.SizeLabel(12000))
+	}
+	if _, err := ByName("NOPE"); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestAllBenchmarksOnSoftRuntime(t *testing.T) {
+	for _, job := range smallJobs() {
+		for _, kernels := range []int{1, 3, 6} {
+			for _, unroll := range []int{1, 7, 64} {
+				job.ResetOutput()
+				p, err := job.Build(kernels, unroll)
+				if err != nil {
+					t.Fatalf("%s: %v", job.Name(), err)
+				}
+				if err := p.Validate(); err != nil {
+					t.Fatalf("%s k=%d u=%d: %v", job.Name(), kernels, unroll, err)
+				}
+				if _, err := rts.Run(p, rts.Options{Kernels: kernels}); err != nil {
+					t.Fatalf("%s k=%d u=%d: %v", job.Name(), kernels, unroll, err)
+				}
+				if err := job.Verify(); err != nil {
+					t.Fatalf("%s k=%d u=%d: %v", job.Name(), kernels, unroll, err)
+				}
+			}
+		}
+	}
+}
+
+func TestAllBenchmarksOnHardSim(t *testing.T) {
+	for _, job := range smallJobs() {
+		job.ResetOutput()
+		p, err := job.Build(4, 4)
+		if err != nil {
+			t.Fatalf("%s: %v", job.Name(), err)
+		}
+		res, err := hardsim.Run(p, hardsim.Config{Cores: 4})
+		if err != nil {
+			t.Fatalf("%s: %v", job.Name(), err)
+		}
+		if err := job.Verify(); err != nil {
+			t.Fatalf("%s: %v", job.Name(), err)
+		}
+		if res.Cycles <= 0 {
+			t.Fatalf("%s: no cycles", job.Name())
+		}
+		seq, err := hardsim.Sequential(p.Buffers, job.SequentialSteps(), hardsim.Config{})
+		if err != nil {
+			t.Fatalf("%s sequential: %v", job.Name(), err)
+		}
+		if seq.Cycles <= 0 {
+			t.Fatalf("%s: empty sequential baseline", job.Name())
+		}
+	}
+}
+
+func TestAllBenchmarksOnCellSim(t *testing.T) {
+	for _, job := range smallJobs() {
+		if job.Name() == "FFT" {
+			continue // Figure 7 omits FFT on Cell
+		}
+		job.ResetOutput()
+		p, err := job.Build(3, 16)
+		if err != nil {
+			t.Fatalf("%s: %v", job.Name(), err)
+		}
+		if _, err := cellsim.Run(p, job.SharedBuffers(), cellsim.Config{SPEs: 3}); err != nil {
+			t.Fatalf("%s: %v", job.Name(), err)
+		}
+		if err := job.Verify(); err != nil {
+			t.Fatalf("%s: %v", job.Name(), err)
+		}
+	}
+}
+
+func TestCellPaperSizesFitLocalStore(t *testing.T) {
+	// Every benchmark at its largest Cell problem size must run within the
+	// 256 KB Local Store at the paper's unroll factor (64).
+	for _, spec := range Suite() {
+		sizes, ok := spec.Sizes(Cell)
+		if !ok {
+			continue
+		}
+		job := spec.Make(sizes[Large])
+		p, err := job.Build(6, 64)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		if _, err := cellsim.Run(p, job.SharedBuffers(), cellsim.Config{SPEs: 2}); err != nil {
+			t.Fatalf("%s at %s: %v", spec.Name, spec.SizeLabel(sizes[Large]), err)
+		}
+		if err := job.Verify(); err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+	}
+}
+
+func TestChunkTilesExactly(t *testing.T) {
+	f := func(nRaw, kRaw uint8) bool {
+		n := int(nRaw)%500 + 1
+		k := int(kRaw)%20 + 1
+		covered := 0
+		for i := 0; i < k; i++ {
+			lo, hi := chunk(n, k, i)
+			if lo != covered || hi < lo {
+				return false
+			}
+			covered = hi
+		}
+		return covered == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGrains(t *testing.T) {
+	if grains(100, 1) != 100 || grains(100, 7) != 15 || grains(100, 200) != 1 || grains(100, 0) != 100 {
+		t.Fatal("grains math wrong")
+	}
+}
+
+func TestLeavesFor(t *testing.T) {
+	for u := 1; u <= 64; u++ {
+		l := leavesFor(u)
+		if l < 4 || l%2 != 0 {
+			t.Fatalf("leavesFor(%d) = %d: want even, >= 4", u, l)
+		}
+	}
+	if leavesFor(1) != 64 {
+		t.Fatalf("leavesFor(1) = %d, want 64", leavesFor(1))
+	}
+}
+
+func TestMergeRunsProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		runs := 2 + r.Intn(6)
+		var src []uint32
+		bounds := []int{0}
+		for i := 0; i < runs; i++ {
+			m := r.Intn(20)
+			run := make([]uint32, m)
+			for j := range run {
+				run[j] = uint32(r.Intn(1000))
+			}
+			sort.Slice(run, func(a, b int) bool { return run[a] < run[b] })
+			src = append(src, run...)
+			bounds = append(bounds, len(src))
+		}
+		dst := make([]uint32, len(src))
+		mergeRuns(dst, src, bounds)
+		want := append([]uint32(nil), src...)
+		sort.Slice(want, func(a, b int) bool { return want[a] < want[b] })
+		for i := range want {
+			if dst[i] != want[i] {
+				t.Fatalf("trial %d: dst[%d] = %d, want %d", trial, i, dst[i], want[i])
+			}
+		}
+	}
+}
+
+func TestFFTAgainstNaiveDFT(t *testing.T) {
+	const n = 16
+	r := rand.New(rand.NewSource(9))
+	v := make([]complex128, n)
+	for i := range v {
+		v[i] = complex(r.Float64()-0.5, r.Float64()-0.5)
+	}
+	want := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var s complex128
+		for j := 0; j < n; j++ {
+			ang := -2 * math.Pi * float64(k*j) / n
+			s += v[j] * complex(math.Cos(ang), math.Sin(ang))
+		}
+		want[k] = s
+	}
+	got := append([]complex128(nil), v...)
+	fftInPlace(got)
+	for k := range want {
+		if d := got[k] - want[k]; math.Hypot(real(d), imag(d)) > 1e-9 {
+			t.Fatalf("bin %d: fft %v vs dft %v", k, got[k], want[k])
+		}
+	}
+}
+
+func TestLog2Ceil(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 1024: 10, 1025: 11}
+	for n, want := range cases {
+		if got := log2ceil(n); got != want {
+			t.Fatalf("log2ceil(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestTrapezConvergesToPi(t *testing.T) {
+	j := NewTrapez(16)
+	j.RunSequential()
+	if math.Abs(j.ref-math.Pi) > 1e-7 {
+		t.Fatalf("trapez(2^16) = %v", j.ref)
+	}
+}
+
+func TestSequentialStepsHaveCosts(t *testing.T) {
+	for _, job := range smallJobs() {
+		steps := job.SequentialSteps()
+		if len(steps) == 0 {
+			t.Fatalf("%s: no sequential steps", job.Name())
+		}
+		for i, s := range steps {
+			if s.Cost <= 0 {
+				t.Fatalf("%s step %d: non-positive cost", job.Name(), i)
+			}
+		}
+	}
+}
+
+func TestVerifyCatchesCorruption(t *testing.T) {
+	// Verify must fail when the parallel output is wrong.
+	m := NewMMult(8)
+	m.RunSequential()
+	m.cPar[5] = -1
+	if m.Verify() == nil {
+		t.Fatal("MMULT.Verify accepted corrupted output")
+	}
+	q := NewQSort(64)
+	q.RunSequential()
+	if q.Verify() == nil {
+		t.Fatal("QSORT.Verify accepted unsorted output")
+	}
+	s := NewSusan(16, 16)
+	s.RunSequential()
+	s.final[3] = ^s.ref[3]
+	if s.Verify() == nil {
+		t.Fatal("SUSAN.Verify accepted corrupted output")
+	}
+	f := NewFFT(4)
+	f.RunSequential()
+	if f.Verify() == nil {
+		t.Fatal("FFT.Verify accepted zero output")
+	}
+	tr := NewTrapez(8)
+	tr.RunSequential()
+	tr.result[0] = 1
+	if tr.Verify() == nil {
+		t.Fatal("TRAPEZ.Verify accepted wrong sum")
+	}
+}
+
+func TestPlatformAndSizeClassStrings(t *testing.T) {
+	if Simulated.String() != "simulated" || Native.String() != "native" || Cell.String() != "cell" {
+		t.Fatal("platform names")
+	}
+	if Small.String() != "small" || Medium.String() != "medium" || Large.String() != "large" {
+		t.Fatal("size class names")
+	}
+	if Platform(9).String() != "unknown" || SizeClass(9).String() != "unknown" {
+		t.Fatal("unknown names")
+	}
+}

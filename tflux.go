@@ -1,0 +1,276 @@
+// Package tflux is the public API of the TFlux platform: a portable
+// runtime system for Data-Driven Multithreading (DDM) on commodity
+// multicore systems, reproducing Stavrou et al., "TFlux: A Portable
+// Platform for Data-Driven Multithreading on Commodity Multicore Systems"
+// (ICPP 2008).
+//
+// A DDM program is a set of DThreads — sequential code blocks scheduled in
+// dataflow order: a DThread becomes runnable when all of its producers
+// have completed. Programs are built with the fluent builder in this
+// package and executed, unchanged, on any of the three platform
+// implementations:
+//
+//   - RunSoft — TFluxSoft: goroutine Kernels plus a software TSU-emulator
+//     (native execution, like the paper's 8-core Xeon runs).
+//   - RunHard — TFluxHard: a deterministic cycle-level simulation of a
+//     chip multiprocessor with a hardware TSU behind a memory-mapped
+//     interface and MESI-coherent caches (like the paper's Simics runs).
+//   - RunCell — TFluxCell: a Cell/BE substrate where DThreads run on
+//     Local-Store-limited SPEs and all shared data moves by DMA.
+//
+// Minimal example (map + reduce):
+//
+//	parts := make([]float64, 8)
+//	var total float64
+//	p := tflux.NewProgram("sum")
+//	p.Thread(1, "work", func(ctx tflux.Context) {
+//		parts[ctx] = float64(ctx) * 2
+//	}).Instances(8).Then(2, tflux.AllToOne{})
+//	p.Thread(2, "reduce", func(tflux.Context) {
+//		for _, v := range parts {
+//			total += v
+//		}
+//	})
+//	stats, err := tflux.RunSoft(p, tflux.SoftOptions{Kernels: 4})
+//
+// Loop DThreads have Instances > 1; each dynamic instance is identified by
+// its Context. Dependencies carry a context Mapping (one-to-one,
+// reduction, broadcast, scatter/gather), from which the TSU derives every
+// instance's Ready Count.
+package tflux
+
+import (
+	"io"
+
+	"tflux/internal/cellsim"
+	"tflux/internal/core"
+	"tflux/internal/dist"
+	"tflux/internal/hardsim"
+	"tflux/internal/rts"
+	"tflux/internal/tsu"
+	"tflux/internal/vtime"
+)
+
+// Core model types, aliased from the internal model so all three platform
+// implementations and the public API share one program representation.
+type (
+	// Context is the dynamic instance index of a loop DThread.
+	Context = core.Context
+	// ThreadID identifies a DThread template within a program.
+	ThreadID = core.ThreadID
+	// Body is the code of a DThread.
+	Body = core.Body
+	// MemRegion declares shared-buffer bytes an instance touches; it
+	// drives the TFluxHard cache replay and TFluxCell DMA staging.
+	MemRegion = core.MemRegion
+	// Mapping relates producer contexts to consumer contexts along a
+	// dependency arc.
+	Mapping = core.Mapping
+	// CostFn models an instance's compute cycles for TFluxHard.
+	CostFn = core.CostFn
+	// AccessFn models an instance's shared-memory regions.
+	AccessFn = core.AccessFn
+)
+
+// The mapping kinds (see the core package for their exact semantics).
+type (
+	// OneToOne maps producer context i to consumer context i.
+	OneToOne = core.OneToOne
+	// AllToOne maps every producer context to one consumer context
+	// (reduction).
+	AllToOne = core.AllToOne
+	// OneToAll maps every producer context to every consumer context
+	// (barrier / broadcast).
+	OneToAll = core.OneToAll
+	// Gather maps producer context i to consumer context i/Fan (merge
+	// tree).
+	Gather = core.Gather
+	// Scatter maps producer context i to consumers [i·Fan, (i+1)·Fan)
+	// (fork).
+	Scatter = core.Scatter
+	// Const maps every producer context to a fixed consumer context.
+	Const = core.Const
+)
+
+// Program is a DDM program under construction. The zero value is not
+// usable; call NewProgram.
+type Program struct {
+	p   *core.Program
+	cur *core.Block
+}
+
+// NewProgram returns an empty program with the given name.
+func NewProgram(name string) *Program {
+	return &Program{p: core.NewProgram(name)}
+}
+
+// Buffer declares a named shared buffer of the given byte size. Buffers
+// exist so the simulated platforms can lay data out (TFluxHard) and stage
+// it through the Local Store (TFluxCell); on TFluxSoft they are
+// bookkeeping only.
+func (p *Program) Buffer(name string, size int64) *Program {
+	p.p.AddBuffer(name, size)
+	return p
+}
+
+// Block starts a new DDM Block. Threads added afterwards belong to it.
+// Blocks execute in order: the TSU loads a Block's synchronization graph
+// (Inlet), runs its DThreads to completion, clears it (Outlet), and chains
+// to the next. A program that never calls Block gets a single implicit
+// Block.
+func (p *Program) Block() *Program {
+	p.cur = p.p.AddBlock()
+	return p
+}
+
+// Thread adds a DThread with the given program-unique ID, a diagnostic
+// name, and its body. The returned Thread configures instance count,
+// dependencies, affinity and platform models.
+func (p *Program) Thread(id ThreadID, name string, body Body) *Thread {
+	if p.cur == nil {
+		p.Block()
+	}
+	t := core.NewTemplate(id, name, body)
+	p.cur.Add(t)
+	return &Thread{t: t}
+}
+
+// Validate checks the program's structural invariants (unique IDs, arcs
+// within blocks, acyclic graphs, every block startable). The Run functions
+// validate implicitly; calling it early gives better error locality.
+func (p *Program) Validate() error { return p.p.Validate() }
+
+// Thread is the builder handle for one DThread template.
+type Thread struct{ t *core.Template }
+
+// Instances makes this a loop DThread with n dynamic contexts.
+func (t *Thread) Instances(n Context) *Thread {
+	t.t.Instances = n
+	return t
+}
+
+// Then declares that this thread produces for consumer `to` under the
+// given context mapping: completion of a producer instance decrements the
+// Ready Counts of the mapped consumer instances.
+func (t *Thread) Then(to ThreadID, m Mapping) *Thread {
+	t.t.Then(to, m)
+	return t
+}
+
+// Affinity pins every instance of this thread to one kernel (by index).
+func (t *Thread) Affinity(kernel int) *Thread {
+	t.t.Affinity = kernel
+	return t
+}
+
+// Cost sets the compute-cycle model used by TFluxHard.
+func (t *Thread) Cost(fn CostFn) *Thread {
+	t.t.Cost = fn
+	return t
+}
+
+// Access sets the shared-memory region model used by TFluxHard (cache
+// replay) and TFluxCell (DMA staging).
+func (t *Thread) Access(fn AccessFn) *Thread {
+	t.t.Access = fn
+	return t
+}
+
+// ID returns the thread's identifier.
+func (t *Thread) ID() ThreadID { return t.t.ID }
+
+// Platform configuration and result types, aliased to the internal
+// implementations (see their package docs for field-level detail).
+type (
+	// SoftOptions configures TFluxSoft (rts.Options).
+	SoftOptions = rts.Options
+	// SoftStats is the TFluxSoft run report (rts.Stats).
+	SoftStats = rts.Stats
+	// TUBConfig configures the Thread-to-Update Buffer (tsu.TUBConfig).
+	TUBConfig = tsu.TUBConfig
+	// HardConfig configures the TFluxHard machine (hardsim.Config).
+	HardConfig = hardsim.Config
+	// HardResult is the TFluxHard cycle-level result (hardsim.Result).
+	HardResult = hardsim.Result
+	// CellConfig configures the TFluxCell substrate (cellsim.Config).
+	CellConfig = cellsim.Config
+	// CellStats is the TFluxCell run report (cellsim.Stats).
+	CellStats = cellsim.Stats
+	// CellBuffers registers the byte slices backing a program's buffers
+	// for DMA staging (cellsim.SharedVariableBuffer).
+	CellBuffers = cellsim.SharedVariableBuffer
+	// VirtualConfig configures virtual-time execution (vtime.Config).
+	VirtualConfig = vtime.Config
+	// VirtualResult is the virtual-time outcome (vtime.Result).
+	VirtualResult = vtime.Result
+)
+
+// Tracer collects a per-kernel execution timeline of a TFluxSoft run
+// (rts.Tracer): attach one via SoftOptions.Trace and read events,
+// utilization or a text dump after Run returns.
+type Tracer = rts.Tracer
+
+// NewTracer returns an empty execution tracer for SoftOptions.Trace.
+func NewTracer() *Tracer { return rts.NewTracer() }
+
+// NewCellBuffers returns an empty buffer registry for RunCell.
+func NewCellBuffers() *CellBuffers { return cellsim.NewSharedVariableBuffer() }
+
+// WriteDOT renders the program's Synchronization Graph in Graphviz DOT
+// format (one cluster per DDM Block, one edge per dependency arc).
+func WriteDOT(w io.Writer, p *Program) error { return core.WriteDOT(w, p.p) }
+
+// DistStats is the distributed run report (dist.Stats).
+type DistStats = dist.Stats
+
+// RunDistLocal executes a DDM program on the distributed-memory runtime
+// (TFluxDist) entirely within this process: `nodes` worker nodes, each
+// hosting kernelsPerNode Kernels and its own replica of the program,
+// connected to the coordinating TSU over loopback TCP. build is called
+// once per node plus once for the coordinator's canonical copy; it must
+// construct fresh program state each time and register every declared
+// buffer. All shared-variable movement follows the threads' Access
+// declarations (imports in, exports out); the returned buffer registry is
+// the coordinator's canonical copy, from which results are read.
+//
+// For genuinely remote workers, use the dist package's Serve and
+// Coordinate with real connections.
+func RunDistLocal(build func() (*Program, *CellBuffers), nodes, kernelsPerNode int) (*DistStats, *CellBuffers, error) {
+	return dist.RunLocal(func() (*core.Program, *cellsim.SharedVariableBuffer) {
+		p, b := build()
+		return p.p, b
+	}, nodes, kernelsPerNode)
+}
+
+// RunSoft executes the program under the TFluxSoft runtime: opt.Kernels
+// goroutine Kernels plus a software TSU-emulator goroutine. It blocks
+// until the final Block's Outlet completes.
+func RunSoft(p *Program, opt SoftOptions) (*SoftStats, error) {
+	return rts.Run(p.p, opt)
+}
+
+// RunHard executes the program on the simulated TFluxHard chip
+// multiprocessor and returns deterministic cycle counts. DThread bodies
+// run natively (results are exact); timing uses each thread's Cost and
+// Access models.
+func RunHard(p *Program, cfg HardConfig) (*HardResult, error) {
+	return hardsim.Run(p.p, cfg)
+}
+
+// RunCell executes the program on the TFluxCell substrate: cfg.SPEs
+// compute nodes with capacity-limited Local Stores, DMA staging of every
+// declared region, CommandBuffer/mailbox signalling, and the TSU emulator
+// on the PPE. Every buffer declared on the program must be registered in
+// bufs.
+func RunCell(p *Program, bufs *CellBuffers, cfg CellConfig) (*CellStats, error) {
+	return cellsim.Run(p.p, bufs, cfg)
+}
+
+// RunVirtual executes the program in virtual time: bodies run natively and
+// are timed individually; the returned makespan is the modeled parallel
+// execution time on cfg.Kernels workers with software-TSU overheads. Use
+// it to study scheduling behaviour on hosts with fewer cores than the
+// target configuration.
+func RunVirtual(p *Program, cfg VirtualConfig) (*VirtualResult, error) {
+	return vtime.Run(p.p, cfg)
+}
