@@ -28,6 +28,7 @@ import (
 	"os"
 
 	"tflux/internal/exp"
+	"tflux/internal/obs"
 )
 
 func main() {
@@ -46,6 +47,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		verbose = fs.Bool("v", false, "print per-configuration progress")
 		format  = fs.String("format", "table", "row output format: table|csv|chart")
 		mode    = fs.String("mode", "auto", "software-platform timing: auto|wallclock|virtual")
+		metrics = fs.Bool("metrics", false, "print a runtime metrics summary after each experiment")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -81,13 +83,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	failed := false
 	runExp := func(name string, f func(exp.Options) ([]exp.Row, error)) {
-		rows, err := f(o)
+		oe := o
+		if *metrics {
+			// One registry per experiment so each summary stands alone.
+			oe.Metrics = obs.NewRegistry()
+		}
+		rows, err := f(oe)
 		if err != nil {
 			fmt.Fprintf(stderr, "tfluxbench: %s: %v\n", name, err)
 			failed = true
 			return
 		}
-		fmt.Fprintf(stdout, "== %s ==\n%s%s\n\n", name, render(rows), exp.Summary(rows))
+		fmt.Fprintf(stdout, "== %s ==\n%s%s\n", name, render(rows), exp.Summary(rows))
+		if *metrics {
+			fmt.Fprintln(stdout, "-- metrics --")
+			if err := oe.Metrics.WriteSummary(stdout); err != nil {
+				fmt.Fprintf(stderr, "tfluxbench: %s: %v\n", name, err)
+				failed = true
+				return
+			}
+		}
+		fmt.Fprintln(stdout)
 	}
 
 	all := *which == "all"

@@ -72,6 +72,20 @@ func TestRunVirtualModeFlag(t *testing.T) {
 	}
 }
 
+func TestRunMetricsFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-exp", "fig5", "-quick", "-metrics"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	s := out.String()
+	for _, want := range []string{"-- metrics --", "hard.cycles", "tsu.decrements"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("metrics summary missing %q:\n%s", want, s)
+		}
+	}
+}
+
 func TestRunBadArgs(t *testing.T) {
 	cases := [][]string{
 		{"-exp", "bogus"},

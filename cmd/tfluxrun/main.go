@@ -5,13 +5,19 @@
 //	tfluxrun -bench MMULT -platform hard -size medium -kernels 16 -unroll 4
 //
 // Platforms: soft (native TFluxSoft), hard (cycle-level TFluxHard),
-// cell (TFluxCell substrate), virtual (soft-platform virtual-time model —
-// see the internal/vtime docs). Benchmarks: TRAPEZ, MMULT, QSORT, SUSAN,
-// FFT. Sizes follow Table 1 and depend on the platform.
+// cell (TFluxCell substrate), dist (TFluxDist over loopback TCP), virtual
+// (soft-platform virtual-time model — see the internal/vtime docs).
+// Benchmarks: TRAPEZ, MMULT, QSORT, SUSAN, FFT. Sizes follow Table 1 and
+// depend on the platform.
+//
+// Observability: -trace-out FILE writes a Chrome trace-event JSON file of
+// the run (open it at ui.perfetto.dev or chrome://tracing); -metrics
+// prints the runtime metrics registry and a per-lane event summary.
+// Both work on the soft, hard, cell, and dist platforms. -trace is a
+// deprecated alias for -trace-out.
 //
 // Extras: -dot FILE writes the Synchronization Graph in Graphviz format
-// and exits; -trace FILE (soft platform) records a per-kernel execution
-// timeline; -gantt (soft platform) prints it as an ASCII chart.
+// and exits; -gantt (soft platform) prints an ASCII timeline chart.
 package main
 
 import (
@@ -19,11 +25,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync"
 	"time"
 
 	"tflux/internal/cellsim"
 	"tflux/internal/core"
+	"tflux/internal/dist"
 	"tflux/internal/hardsim"
+	"tflux/internal/obs"
 	"tflux/internal/rts"
 	"tflux/internal/stats"
 	"tflux/internal/vtime"
@@ -39,18 +48,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("tfluxrun", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		bench    = fs.String("bench", "TRAPEZ", "benchmark: TRAPEZ|MMULT|QSORT|SUSAN|FFT")
-		platform = fs.String("platform", "soft", "platform: soft|hard|cell|virtual")
-		size     = fs.String("size", "small", "problem size: small|medium|large")
-		kernels  = fs.Int("kernels", 4, "kernels / cores / SPEs")
-		unroll   = fs.Int("unroll", 8, "loop unroll factor (DThread granularity)")
-		reps     = fs.Int("reps", 3, "repetitions for native measurements (min taken)")
-		dotOut   = fs.String("dot", "", "write the Synchronization Graph in DOT format to this file and exit")
-		traceOut = fs.String("trace", "", "write a per-kernel execution timeline to this file (soft platform only)")
-		gantt    = fs.Bool("gantt", false, "print an ASCII per-kernel timeline chart (soft platform only)")
+		bench       = fs.String("bench", "TRAPEZ", "benchmark: TRAPEZ|MMULT|QSORT|SUSAN|FFT")
+		platform    = fs.String("platform", "soft", "platform: soft|hard|cell|dist|virtual")
+		size        = fs.String("size", "small", "problem size: small|medium|large")
+		kernels     = fs.Int("kernels", 4, "kernels / cores / SPEs (total across nodes for dist)")
+		nodes       = fs.Int("nodes", 2, "worker nodes (dist platform)")
+		unroll      = fs.Int("unroll", 8, "loop unroll factor (DThread granularity)")
+		reps        = fs.Int("reps", 3, "repetitions for native measurements (min taken)")
+		dotOut      = fs.String("dot", "", "write the Synchronization Graph in DOT format to this file and exit")
+		traceOut    = fs.String("trace-out", "", "write a Chrome trace-event JSON file of the run (soft|hard|cell|dist)")
+		traceLegacy = fs.String("trace", "", "deprecated alias for -trace-out")
+		metrics     = fs.Bool("metrics", false, "print the metrics registry and per-lane event summary after the run")
+		gantt       = fs.Bool("gantt", false, "print an ASCII per-kernel timeline chart (soft platform only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *traceOut == "" && *traceLegacy != "" {
+		*traceOut = *traceLegacy
+		fmt.Fprintln(stderr, "tfluxrun: -trace is deprecated, use -trace-out (the output is now Chrome trace JSON)")
+	}
+	if *nodes < 1 {
+		*nodes = 1
 	}
 
 	fail := func(err error) int {
@@ -79,7 +98,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		pf = workload.Simulated
 	case "cell":
 		pf = workload.Cell
-	case "soft", "virtual":
+	case "soft", "virtual", "dist":
 		pf = workload.Native
 	default:
 		return fail(fmt.Errorf("unknown platform %q", *platform))
@@ -111,13 +130,64 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
+	// Observability plumbing, shared by every platform: one recorder
+	// feeding the Chrome trace exporter and the event summary, one
+	// registry collecting counters and histograms.
+	var rec *obs.Recorder
+	var sink obs.Sink
+	var reg *obs.Registry
+	if *traceOut != "" || *metrics {
+		rec = obs.NewRecorder()
+		sink = rec
+	}
+	if *metrics {
+		reg = obs.NewRegistry()
+	}
+	if *platform == "virtual" && sink != nil {
+		fmt.Fprintln(stderr, "tfluxrun: the virtual platform records no events; -trace-out/-metrics are ignored")
+		rec, sink, reg = nil, nil, nil
+	}
+	lanes := *kernels // compute lanes in the exported trace
+
+	// finish writes the trace file and metrics summary after a successful
+	// run and emits the closing verify line.
+	finish := func() int {
+		if rec != nil && *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				return fail(err)
+			}
+			if err := obs.WriteChromeTrace(f, rec.Events()); err != nil {
+				return fail(err)
+			}
+			if err := f.Close(); err != nil {
+				return fail(err)
+			}
+			fmt.Fprintf(stdout, "trace:      %s (Chrome trace JSON, last rep; open at ui.perfetto.dev)\n", *traceOut)
+		}
+		if *metrics && reg != nil {
+			fmt.Fprintln(stdout, "-- metrics --")
+			if err := reg.WriteSummary(stdout); err != nil {
+				return fail(err)
+			}
+			if rec != nil && rec.Len() > 0 {
+				fmt.Fprintln(stdout, "-- lanes --")
+				if err := obs.WriteSummary(stdout, rec.Events(), lanes); err != nil {
+					return fail(err)
+				}
+			}
+		}
+		fmt.Fprintln(stdout, "verify:     ok")
+		return 0
+	}
+
 	switch *platform {
 	case "hard":
 		seq, err := hardsim.Sequential(prog.Buffers, job.SequentialSteps(), hardsim.Config{})
 		if err != nil {
 			return fail(err)
 		}
-		res, err := hardsim.Run(prog, hardsim.Config{Cores: *kernels})
+		res, err := hardsim.Run(prog, hardsim.Config{Cores: *kernels, Obs: sink, Metrics: reg})
 		if err != nil {
 			return fail(err)
 		}
@@ -135,13 +205,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		switch *platform {
 		case "soft":
 			var tracer *rts.Tracer
-			if *traceOut != "" || *gantt {
+			if *gantt {
 				tracer = rts.NewTracer()
 			}
 			best := time.Duration(0)
 			for r := 0; r < *reps; r++ {
 				job.ResetOutput()
-				st, err := rts.Run(prog, rts.Options{Kernels: *kernels, Trace: tracer})
+				st, err := rts.Run(prog, rts.Options{Kernels: *kernels, Trace: tracer, Obs: sink, Metrics: reg})
 				if err != nil {
 					return fail(err)
 				}
@@ -150,19 +220,6 @@ func run(args []string, stdout, stderr io.Writer) int {
 				}
 			}
 			parT = best
-			if tracer != nil && *traceOut != "" {
-				f, err := os.Create(*traceOut)
-				if err != nil {
-					return fail(err)
-				}
-				if _, err := tracer.WriteTo(f); err != nil {
-					return fail(err)
-				}
-				if err := f.Close(); err != nil {
-					return fail(err)
-				}
-				fmt.Fprintf(stdout, "trace:      %s (last rep)\n", *traceOut)
-			}
 			if *gantt && tracer != nil {
 				if err := tracer.Gantt(stdout, *kernels, 72); err != nil {
 					return fail(err)
@@ -172,7 +229,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			best := time.Duration(0)
 			for r := 0; r < *reps; r++ {
 				job.ResetOutput()
-				st, err := cellsim.Run(prog, job.SharedBuffers(), cellsim.Config{SPEs: *kernels})
+				st, err := cellsim.Run(prog, job.SharedBuffers(), cellsim.Config{SPEs: *kernels, Obs: sink, Metrics: reg})
 				if err != nil {
 					return fail(err)
 				}
@@ -181,6 +238,42 @@ func run(args []string, stdout, stderr io.Writer) int {
 				}
 			}
 			parT = best
+		case "dist":
+			// Each worker node runs a replica program; the coordinator's
+			// replica owns the canonical buffers, so verification targets
+			// the job registered against the coordinator's buffer set.
+			kpn := *kernels / *nodes
+			if kpn < 1 {
+				kpn = 1
+			}
+			lanes = *nodes // one trace lane per worker node
+			var mu sync.Mutex
+			jobs := map[*cellsim.SharedVariableBuffer]workload.Job{}
+			build := func() (*core.Program, *cellsim.SharedVariableBuffer) {
+				j := spec.Make(param)
+				p, err := j.Build(kpn**nodes, *unroll)
+				if err != nil {
+					return nil, nil
+				}
+				svb := j.SharedBuffers()
+				mu.Lock()
+				jobs[svb] = j
+				mu.Unlock()
+				return p, svb
+			}
+			st, svb, err := dist.RunLocalObs(build, *nodes, kpn, sink, reg)
+			if err != nil {
+				return fail(err)
+			}
+			mu.Lock()
+			job = jobs[svb]
+			mu.Unlock()
+			if job == nil {
+				return fail(fmt.Errorf("dist: coordinator job missing"))
+			}
+			parT = st.Elapsed
+			fmt.Fprintf(stdout, "dist:       %d nodes × %d kernels, %d messages, %d bytes out, %d bytes in\n",
+				*nodes, kpn, st.Messages, st.BytesOut, st.BytesIn)
 		case "virtual":
 			// Body durations are measured per run; repeat and take the
 			// min so cold-start page faults do not pollute the model.
@@ -204,6 +297,5 @@ func run(args []string, stdout, stderr io.Writer) int {
 			stats.FormatDuration(seqT), stats.FormatDuration(parT),
 			stats.Speedup(seqT.Seconds(), parT.Seconds()))
 	}
-	fmt.Fprintln(stdout, "verify:     ok")
-	return 0
+	return finish()
 }

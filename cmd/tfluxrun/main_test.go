@@ -2,11 +2,46 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 )
+
+// readTrace parses a Chrome trace-event JSON file and returns the decoded
+// events, failing the test on malformed output.
+func readTrace(t *testing.T, path string) []map[string]any {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents     []map[string]any `json:"traceEvents"`
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(data, &trace); err != nil {
+		t.Fatalf("trace is not valid Chrome trace JSON: %v\n%s", err, data)
+	}
+	if trace.DisplayTimeUnit != "ns" {
+		t.Fatalf("displayTimeUnit = %q", trace.DisplayTimeUnit)
+	}
+	if len(trace.TraceEvents) == 0 {
+		t.Fatal("trace has no events")
+	}
+	return trace.TraceEvents
+}
+
+// hasCategory reports whether any exported event carries the category.
+func hasCategory(events []map[string]any, cat string) bool {
+	for _, e := range events {
+		if e["cat"] == cat {
+			return true
+		}
+	}
+	return false
+}
 
 func TestRunHardPlatform(t *testing.T) {
 	var out, errb bytes.Buffer
@@ -22,21 +57,107 @@ func TestRunHardPlatform(t *testing.T) {
 	}
 }
 
-func TestRunSoftWithTrace(t *testing.T) {
+func TestRunSoftWithTraceOut(t *testing.T) {
 	dir := t.TempDir()
-	tracePath := filepath.Join(dir, "trace.txt")
+	tracePath := filepath.Join(dir, "trace.json")
+	var out, errb bytes.Buffer
+	code := run([]string{"-bench", "TRAPEZ", "-platform", "soft", "-size", "small",
+		"-kernels", "2", "-reps", "1", "-trace-out", tracePath, "-metrics"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	events := readTrace(t, tracePath)
+	for _, cat := range []string{"thread", "dispatch", "tsu", "tub"} {
+		if !hasCategory(events, cat) {
+			t.Fatalf("soft trace missing %q events", cat)
+		}
+	}
+	s := out.String()
+	for _, want := range []string{"-- metrics --", "rts.dispatched", "tsu.decrements", "tub.pushes",
+		"-- lanes --", "utilization", "verify:     ok"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestRunTraceDeprecatedAlias pins that the old -trace flag still works,
+// now producing Chrome trace JSON, with a deprecation warning on stderr.
+func TestRunTraceDeprecatedAlias(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.json")
 	var out, errb bytes.Buffer
 	code := run([]string{"-bench", "TRAPEZ", "-platform", "soft", "-size", "small",
 		"-kernels", "2", "-reps", "1", "-trace", tracePath}, &out, &errb)
 	if code != 0 {
 		t.Fatalf("exit %d: %s", code, errb.String())
 	}
-	data, err := os.ReadFile(tracePath)
-	if err != nil {
-		t.Fatal(err)
+	if !strings.Contains(errb.String(), "deprecated") {
+		t.Fatalf("no deprecation warning on stderr: %s", errb.String())
 	}
-	if !strings.Contains(string(data), "service") {
-		t.Fatalf("trace content:\n%s", data)
+	readTrace(t, tracePath)
+}
+
+func TestRunHardWithTraceOut(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.json")
+	var out, errb bytes.Buffer
+	code := run([]string{"-bench", "TRAPEZ", "-platform", "hard", "-size", "small",
+		"-kernels", "2", "-trace-out", tracePath, "-metrics"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	events := readTrace(t, tracePath)
+	for _, cat := range []string{"thread", "tsu", "stall"} {
+		if !hasCategory(events, cat) {
+			t.Fatalf("hard trace missing %q events", cat)
+		}
+	}
+	if !strings.Contains(out.String(), "hard.cycles") {
+		t.Fatalf("metrics missing hard.cycles:\n%s", out.String())
+	}
+}
+
+func TestRunCellWithTraceOut(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.json")
+	var out, errb bytes.Buffer
+	code := run([]string{"-bench", "MMULT", "-platform", "cell", "-size", "small",
+		"-kernels", "2", "-reps", "1", "-trace-out", tracePath, "-metrics"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	events := readTrace(t, tracePath)
+	for _, cat := range []string{"thread", "dma", "tsu"} {
+		if !hasCategory(events, cat) {
+			t.Fatalf("cell trace missing %q events", cat)
+		}
+	}
+	if !strings.Contains(out.String(), "cell.dma_bytes_in") {
+		t.Fatalf("metrics missing cell.dma_bytes_in:\n%s", out.String())
+	}
+}
+
+func TestRunDistPlatform(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.json")
+	var out, errb bytes.Buffer
+	code := run([]string{"-bench", "TRAPEZ", "-platform", "dist", "-size", "small",
+		"-kernels", "4", "-nodes", "2", "-reps", "1", "-trace-out", tracePath, "-metrics"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	events := readTrace(t, tracePath)
+	for _, cat := range []string{"rpc", "tsu"} {
+		if !hasCategory(events, cat) {
+			t.Fatalf("dist trace missing %q events", cat)
+		}
+	}
+	s := out.String()
+	for _, want := range []string{"dist:", "dist.messages", "dist.rpc_ns", "verify:     ok"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q:\n%s", want, s)
+		}
 	}
 }
 

@@ -3,8 +3,10 @@ package cellsim
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"tflux/internal/core"
+	"tflux/internal/obs"
 )
 
 // SharedVariableBuffer is the main-memory area through which DThreads
@@ -103,6 +105,11 @@ type dma struct {
 	bytesIn   int64
 	bytesOut  int64
 	transfers int64
+
+	// Observability; nil when disabled.
+	sink obs.Sink
+	lane int
+	hist *obs.Histogram
 }
 
 // stage copies src into the given Local Store window (import) or walks src
@@ -112,6 +119,14 @@ type dma struct {
 // the window bytes consumed (the largest chunk for streamed regions).
 func (d *dma) stage(window []byte, src []byte, out, stream bool) int64 {
 	var moved, used int64
+	var t0 time.Duration
+	var start time.Time
+	if d.sink != nil || d.hist != nil {
+		if d.sink != nil {
+			t0 = d.sink.Now()
+		}
+		start = time.Now()
+	}
 	for len(src) > 0 {
 		n := d.chunk
 		if n > int64(len(src)) {
@@ -134,6 +149,26 @@ func (d *dma) stage(window []byte, src []byte, out, stream bool) int64 {
 		d.bytesOut += moved
 	} else {
 		d.bytesIn += moved
+	}
+	if d.sink != nil || d.hist != nil {
+		dur := time.Since(start)
+		if d.sink != nil {
+			note := "in"
+			if out {
+				note = "out"
+			}
+			d.sink.Record(obs.Event{
+				Kind:  obs.DMATransfer,
+				Lane:  d.lane,
+				Start: t0,
+				Dur:   dur,
+				Bytes: moved,
+				Note:  note,
+			})
+		}
+		if d.hist != nil {
+			d.hist.ObserveDuration(dur)
+		}
 	}
 	return used
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"tflux/internal/core"
+	"tflux/internal/obs"
 	"tflux/internal/tsu"
 )
 
@@ -31,6 +32,13 @@ type Config struct {
 	// TSUSize caps the DThread instances per DDM Block (the TSU's slot
 	// count, §2). Zero means unlimited.
 	TSUSize int64
+	// Obs, when non-nil, receives typed events: ThreadComplete per SPE
+	// lane, DMATransfer per staging operation, and TSUCommand on the PPE
+	// lane (lane == SPEs).
+	Obs obs.Sink
+	// Metrics, when non-nil, receives the DMA latency histogram plus
+	// end-of-run DMA, command, and TSU totals.
+	Metrics *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -102,12 +110,20 @@ func Run(p *core.Program, svb *SharedVariableBuffer, cfg Config) (*Stats, error)
 		stop:   make(chan struct{}),
 	}
 	stats := &Stats{SPEs: make([]SPEStats, cfg.SPEs)}
+	if cfg.Obs != nil {
+		cfg.Obs.Begin()
+		r.sink = cfg.Obs
+	}
+	dmaHist := cfg.Metrics.Histogram("cell.dma_ns", obs.LatencyBuckets)
 	r.dmas = make([]dma, cfg.SPEs)
 	r.highWater = make([]int64, cfg.SPEs)
 	for i := 0; i < cfg.SPEs; i++ {
 		r.rings[i] = newCommandBuffer(cfg.CommandBufCap)
 		r.boxes[i] = make(chan core.Instance, cfg.MailboxCap)
 		r.dmas[i].chunk = cfg.DMAChunk
+		r.dmas[i].sink = cfg.Obs
+		r.dmas[i].lane = i
+		r.dmas[i].hist = dmaHist
 	}
 
 	start := time.Now()
@@ -135,6 +151,16 @@ func Run(p *core.Program, svb *SharedVariableBuffer, cfg Config) (*Stats, error)
 		}
 	}
 	stats.LSHighWater = hw
+	if cfg.Metrics != nil {
+		reg := cfg.Metrics
+		reg.Counter("cell.dma_bytes_in").Set(stats.DMABytesIn)
+		reg.Counter("cell.dma_bytes_out").Set(stats.DMABytesOut)
+		reg.Counter("cell.dma_transfers").Set(stats.DMATransfers)
+		reg.Counter("cell.commands").Set(stats.Commands)
+		reg.Counter("cell.ls_high_water").Set(stats.LSHighWater)
+		reg.Counter("tsu.decrements").Set(stats.TSU.Decrements)
+		reg.Counter("tsu.fired").Set(stats.TSU.Fired)
+	}
 	r.errMu.Lock()
 	err = r.err
 	r.errMu.Unlock()
@@ -156,6 +182,7 @@ type cellRunner struct {
 	dmas      []dma
 	highWater []int64
 	commands  int64
+	sink      obs.Sink // nil when observability is disabled
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -275,7 +302,20 @@ func (r *cellRunner) runOne(id int, inst core.Instance, arena []byte, st *SPESta
 				used += r.dmas[id].stage(arena[used:], src, false, false)
 			}
 		}
-		tpl.Body(inst.Ctx)
+		if r.sink != nil {
+			t0 := r.sink.Now()
+			start := time.Now()
+			tpl.Body(inst.Ctx)
+			r.sink.Record(obs.Event{
+				Kind:  obs.ThreadComplete,
+				Lane:  id,
+				Inst:  inst,
+				Start: t0,
+				Dur:   time.Since(start),
+			})
+		} else {
+			tpl.Body(inst.Ctx)
+		}
 		st.Executed++
 		// DMA-out the exports (traffic-equivalent staging; see package
 		// doc).
@@ -343,7 +383,20 @@ func (r *cellRunner) ppe() error {
 		}
 		for _, c := range cmds {
 			r.commands++
+			var t0 time.Duration
+			if r.sink != nil {
+				t0 = r.sink.Now()
+			}
 			res := r.state.Complete(c.inst, r.state.KernelOf(c.inst))
+			if r.sink != nil {
+				r.sink.Record(obs.Event{
+					Kind:  obs.TSUCommand,
+					Lane:  r.cfg.SPEs,
+					Inst:  c.inst,
+					Start: t0,
+					Dur:   r.sink.Now() - t0,
+				})
+			}
 			for _, rd := range res.NewReady {
 				pending[int(rd.Kernel)] = append(pending[int(rd.Kernel)], rd.Inst)
 			}

@@ -8,6 +8,7 @@ import (
 
 	"tflux/internal/cellsim"
 	"tflux/internal/core"
+	"tflux/internal/obs"
 	"tflux/internal/tsu"
 )
 
@@ -33,8 +34,35 @@ type Stats struct {
 // registered in svb with at least the declared size. It blocks until the
 // final Block's Outlet completes.
 func Coordinate(prog *core.Program, svb *cellsim.SharedVariableBuffer, conns []net.Conn) (*Stats, error) {
+	return CoordinateObs(prog, svb, conns, nil, nil)
+}
+
+// pendingRPC tracks one in-flight Exec→Done round trip for observability.
+type pendingRPC struct {
+	at    time.Duration // send time on the sink's timeline
+	wall  time.Time
+	bytes int64 // import bytes shipped with the Exec
+}
+
+// CoordinateObs is Coordinate with observability attached: sink (may be
+// nil) receives one DistRPC event per Exec→Done round trip and one
+// ThreadComplete per remote execution on the owning node's lane, plus
+// TSUCommand events for coordinator-side TSU work on lane len(conns);
+// reg (may be nil) receives the RPC latency histogram and end-of-run
+// traffic and TSU totals. The ThreadComplete span is the round trip as
+// observed from the coordinator — remote body time plus transport.
+func CoordinateObs(prog *core.Program, svb *cellsim.SharedVariableBuffer, conns []net.Conn, sink obs.Sink, reg *obs.Registry) (*Stats, error) {
 	if len(conns) == 0 {
 		return nil, errors.New("dist: no worker connections")
+	}
+	if sink != nil {
+		sink.Begin()
+	}
+	rpcHist := reg.Histogram("dist.rpc_ns", obs.LatencyBuckets)
+	coordLane := len(conns)
+	var pending map[core.Instance]pendingRPC
+	if sink != nil || rpcHist != nil {
+		pending = make(map[core.Instance]pendingRPC)
 	}
 	// Coordinate owns the connections from here on: every early error
 	// must release the workers (they may already be blocked reading).
@@ -113,6 +141,24 @@ func Coordinate(prog *core.Program, svb *cellsim.SharedVariableBuffer, conns []n
 		}
 	}
 
+	// complete applies one completion to the TSU state, exporting the
+	// coordinator-side work as a TSUCommand event on the coordinator lane.
+	complete := func(inst core.Instance, k tsu.KernelID) tsu.Result {
+		if sink == nil {
+			return state.Complete(inst, k)
+		}
+		t0 := sink.Now()
+		res := state.Complete(inst, k)
+		sink.Record(obs.Event{
+			Kind:  obs.TSUCommand,
+			Lane:  coordLane,
+			Inst:  inst,
+			Start: t0,
+			Dur:   sink.Now() - t0,
+		})
+		return res
+	}
+
 	// dispatch sends one application instance to its owner node, or
 	// processes a service instance (Inlet/Outlet) locally at the TSU and
 	// returns the newly ready set.
@@ -120,7 +166,7 @@ func Coordinate(prog *core.Program, svb *cellsim.SharedVariableBuffer, conns []n
 	var dispatch func(rd tsu.Ready) error
 	dispatch = func(rd tsu.Ready) error {
 		if state.IsService(rd.Inst) {
-			res := state.Complete(rd.Inst, rd.Kernel)
+			res := complete(rd.Inst, rd.Kernel)
 			if res.ProgramDone {
 				return errProgramDone
 			}
@@ -135,6 +181,7 @@ func Coordinate(prog *core.Program, svb *cellsim.SharedVariableBuffer, conns []n
 		ex := Exec{Inst: rd.Inst}
 		node, local := nodeOf(rd.Kernel)
 		ex.Kernel = local
+		var importBytes int64
 		if tpl.Access != nil {
 			for _, r := range tpl.Access(rd.Inst.Ctx) {
 				if r.Write || r.Size <= 0 {
@@ -148,12 +195,20 @@ func Coordinate(prog *core.Program, svb *cellsim.SharedVariableBuffer, conns []n
 				if err != nil {
 					return err
 				}
-				stats.BytesOut += int64(len(rdata.Data))
+				importBytes += int64(len(rdata.Data))
 				ex.Imports = append(ex.Imports, rdata)
 			}
 		}
+		stats.BytesOut += importBytes
 		stats.Messages++
 		outstanding++
+		if pending != nil {
+			p := pendingRPC{wall: time.Now(), bytes: importBytes}
+			if sink != nil {
+				p.at = sink.Now()
+			}
+			pending[rd.Inst] = p
+		}
 		return links[node].send(envelope{Exec: &ex})
 	}
 
@@ -173,6 +228,7 @@ func Coordinate(prog *core.Program, svb *cellsim.SharedVariableBuffer, conns []n
 			if d.Err != "" {
 				return errors.New("dist: " + d.Err)
 			}
+			var exportBytes int64
 			for _, rdata := range d.Exports {
 				b := svb.Bytes(rdata.Buffer)
 				if b == nil {
@@ -181,11 +237,38 @@ func Coordinate(prog *core.Program, svb *cellsim.SharedVariableBuffer, conns []n
 				if err := writeRegion(b, rdata); err != nil {
 					return err
 				}
-				stats.BytesIn += int64(len(rdata.Data))
+				exportBytes += int64(len(rdata.Data))
 			}
+			stats.BytesIn += exportBytes
 			stats.Nodes[c.node].Executed++
+			if p, ok := pending[d.Inst]; ok {
+				delete(pending, d.Inst)
+				dur := time.Since(p.wall)
+				if sink != nil {
+					sink.Record(obs.Event{
+						Kind:  obs.DistRPC,
+						Lane:  c.node,
+						Inst:  d.Inst,
+						Start: p.at,
+						Dur:   dur,
+						Bytes: p.bytes + exportBytes,
+					})
+					// The same span doubles as the node lane's occupancy:
+					// remote body time plus transport, as observed here.
+					sink.Record(obs.Event{
+						Kind:  obs.ThreadComplete,
+						Lane:  c.node,
+						Inst:  d.Inst,
+						Start: p.at,
+						Dur:   dur,
+					})
+				}
+				if rpcHist != nil {
+					rpcHist.ObserveDuration(dur)
+				}
+			}
 			global := tsu.KernelID(kernelBase[c.node] + d.Kernel)
-			res := state.Complete(d.Inst, global)
+			res := complete(d.Inst, global)
 			if res.ProgramDone {
 				return errProgramDone
 			}
@@ -201,6 +284,14 @@ func Coordinate(prog *core.Program, svb *cellsim.SharedVariableBuffer, conns []n
 	}()
 	stats.Elapsed = time.Since(start)
 	stats.TSU = state.Stats()
+	if reg != nil {
+		reg.Counter("dist.bytes_out").Set(stats.BytesOut)
+		reg.Counter("dist.bytes_in").Set(stats.BytesIn)
+		reg.Counter("dist.messages").Set(stats.Messages)
+		reg.Counter("dist.nodes").Set(int64(len(conns)))
+		reg.Counter("tsu.decrements").Set(stats.TSU.Decrements)
+		reg.Counter("tsu.fired").Set(stats.TSU.Fired)
+	}
 	if errors.Is(runErr, errProgramDone) {
 		shutdownAll(false)
 		return stats, nil

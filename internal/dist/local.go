@@ -7,6 +7,7 @@ import (
 
 	"tflux/internal/cellsim"
 	"tflux/internal/core"
+	"tflux/internal/obs"
 )
 
 // RunLocal runs a distributed execution entirely inside this process:
@@ -20,6 +21,12 @@ import (
 // It returns the coordinator's canonical buffers so callers can read the
 // program's results.
 func RunLocal(build func() (*core.Program, *cellsim.SharedVariableBuffer), nodes, kernelsPerNode int) (*Stats, *cellsim.SharedVariableBuffer, error) {
+	return RunLocalObs(build, nodes, kernelsPerNode, nil, nil)
+}
+
+// RunLocalObs is RunLocal with coordinator-side observability attached;
+// see CoordinateObs for what sink and reg receive.
+func RunLocalObs(build func() (*core.Program, *cellsim.SharedVariableBuffer), nodes, kernelsPerNode int, sink obs.Sink, reg *obs.Registry) (*Stats, *cellsim.SharedVariableBuffer, error) {
 	if nodes < 1 {
 		nodes = 1
 	}
@@ -54,7 +61,7 @@ func RunLocal(build func() (*core.Program, *cellsim.SharedVariableBuffer), nodes
 	}
 
 	prog, svb := build()
-	stats, err := Coordinate(prog, svb, conns)
+	stats, err := CoordinateObs(prog, svb, conns, sink, reg)
 	wg.Wait()
 	if err != nil {
 		return stats, svb, err

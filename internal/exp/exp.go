@@ -32,6 +32,7 @@ import (
 
 	"tflux/internal/cellsim"
 	"tflux/internal/hardsim"
+	"tflux/internal/obs"
 	"tflux/internal/rts"
 	"tflux/internal/sim"
 	"tflux/internal/stats"
@@ -78,6 +79,10 @@ type Options struct {
 	// in parallel). See the vtime package documentation for the
 	// substitution rationale.
 	Mode Mode
+	// Metrics, when non-nil, receives the runtime counters and histograms
+	// of every measured configuration (live instruments accumulate across
+	// configurations; end-of-run totals reflect the last one).
+	Metrics *obs.Registry
 }
 
 // Mode selects the software-platform timing method.
@@ -200,7 +205,7 @@ func Fig5(o Options) ([]Row, error) {
 					if err != nil {
 						return nil, err
 					}
-					res, err := hardsim.Run(p, hardsim.Config{Cores: kernels})
+					res, err := hardsim.Run(p, hardsim.Config{Cores: kernels, Metrics: o.Metrics})
 					if err != nil {
 						return nil, fmt.Errorf("fig5 %s k=%d u=%d: %w", spec.Name, kernels, u, err)
 					}
@@ -251,11 +256,11 @@ func measurePar(o Options, job workload.Job, kernels, unroll int, cell bool) (fl
 		t := stats.Min(stats.Measure(reps, func() {
 			job.ResetOutput()
 			if cell {
-				if _, err := cellsim.Run(p, job.SharedBuffers(), cellsim.Config{SPEs: kernels}); err != nil && runErr == nil {
+				if _, err := cellsim.Run(p, job.SharedBuffers(), cellsim.Config{SPEs: kernels, Metrics: o.Metrics}); err != nil && runErr == nil {
 					runErr = err
 				}
 			} else {
-				if _, err := rts.Run(p, rts.Options{Kernels: kernels}); err != nil && runErr == nil {
+				if _, err := rts.Run(p, rts.Options{Kernels: kernels, Metrics: o.Metrics}); err != nil && runErr == nil {
 					runErr = err
 				}
 			}
@@ -392,7 +397,7 @@ func TSULatency(o Options) ([]Row, error) {
 			if err != nil {
 				return nil, err
 			}
-			res, err := hardsim.Run(p, hardsim.Config{Cores: kernels, TSULat: lat})
+			res, err := hardsim.Run(p, hardsim.Config{Cores: kernels, TSULat: lat, Metrics: o.Metrics})
 			if err != nil {
 				return nil, err
 			}

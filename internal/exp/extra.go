@@ -103,7 +103,7 @@ func Groups(o Options) ([]Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := hardsim.Run(p, hardsim.Config{Cores: kernels, TSUGroups: g, TSULat: 128})
+		res, err := hardsim.Run(p, hardsim.Config{Cores: kernels, TSUGroups: g, TSULat: 128, Metrics: o.Metrics})
 		if err != nil {
 			return nil, err
 		}
@@ -156,7 +156,7 @@ func Policies(o Options) ([]Row, error) {
 		var runErr error
 		t := stats.Min(stats.Measure(reps, func() {
 			job.ResetOutput()
-			if _, err := rts.Run(p, rts.Options{Kernels: kernels, Policy: pol}); err != nil && runErr == nil {
+			if _, err := rts.Run(p, rts.Options{Kernels: kernels, Policy: pol, Metrics: o.Metrics}); err != nil && runErr == nil {
 				runErr = err
 			}
 		}))
@@ -213,7 +213,7 @@ func Dist(o Options) ([]Row, error) {
 			mu.Unlock()
 			return p, svb
 		}
-		st, svb, err := dist.RunLocal(build, nodes, 2)
+		st, svb, err := dist.RunLocalObs(build, nodes, 2, nil, o.Metrics)
 		if err != nil {
 			return nil, fmt.Errorf("dist nodes=%d: %w", nodes, err)
 		}

@@ -2,9 +2,11 @@ package hardsim
 
 import (
 	"fmt"
+	"time"
 
 	"tflux/internal/core"
 	"tflux/internal/mem"
+	"tflux/internal/obs"
 	"tflux/internal/sim"
 	"tflux/internal/tsu"
 )
@@ -51,6 +53,16 @@ type Config struct {
 	TSUSize int64
 	// MaxEvents bounds the event loop as a runaway backstop (0 = none).
 	MaxEvents int64
+	// Obs, when non-nil, receives the simulated run as typed events, with
+	// cycles mapped onto durations via CyclePeriod: ThreadComplete per
+	// core lane, CacheStall for the memory portion of each application
+	// DThread, and TSUCommand on the device lanes (lane == Cores+group).
+	Obs obs.Sink
+	// Metrics, when non-nil, receives end-of-run cycle and cache totals.
+	Metrics *obs.Registry
+	// CyclePeriod is the wall-clock span one simulated cycle occupies in
+	// exported traces and metrics (default 1ns, i.e. a 1 GHz clock).
+	CyclePeriod time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -80,6 +92,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.GroupXferLat <= 0 {
 		c.GroupXferLat = 16
+	}
+	if c.CyclePeriod <= 0 {
+		c.CyclePeriod = time.Nanosecond
 	}
 	return c
 }
@@ -141,8 +156,16 @@ type machine struct {
 	last    []core.Instance   // locality hint per core
 	cores   []CoreStats
 
+	sink obs.Sink // nil when observability is disabled
+
 	done bool
 	err  error
+}
+
+// cyc maps a simulated cycle count (or timestamp) onto the wall-clock
+// scale used by the shared event model.
+func (m *machine) cyc(t sim.Time) time.Duration {
+	return time.Duration(t) * m.cfg.CyclePeriod
 }
 
 // Run simulates the program on the configured machine and returns the
@@ -165,6 +188,10 @@ func Run(p *core.Program, cfg Config) (*Result, error) {
 		last:    make([]core.Instance, cfg.Cores),
 		cores:   make([]CoreStats, cfg.Cores),
 	}
+	if cfg.Obs != nil {
+		cfg.Obs.Begin()
+		m.sink = cfg.Obs
+	}
 	first := state.Start()
 	m.ready[int(first.Kernel)] = append(m.ready[int(first.Kernel)], first.Inst)
 	for c := 0; c < cfg.Cores; c++ {
@@ -186,6 +213,18 @@ func Run(p *core.Program, cfg Config) (*Result, error) {
 	}
 	for i := range m.devices {
 		res.TSUBusy += m.devices[i].Busy
+	}
+	if cfg.Metrics != nil {
+		reg := cfg.Metrics
+		reg.Counter("hard.cycles").Set(int64(res.Cycles))
+		reg.Counter("hard.tsu_busy_cycles").Set(int64(res.TSUBusy))
+		reg.Counter("hard.mem_accesses").Set(res.Mem.Accesses)
+		reg.Counter("hard.l1_hits").Set(res.Mem.L1Hits)
+		reg.Counter("hard.l2_hits").Set(res.Mem.L2Hits)
+		reg.Counter("hard.l2_misses").Set(res.Mem.L2Misses)
+		reg.Counter("hard.coherence_misses").Set(res.Mem.CoherenceMisses)
+		reg.Counter("tsu.decrements").Set(res.TSU.Decrements)
+		reg.Counter("tsu.fired").Set(res.TSU.Fired)
 	}
 	return res, nil
 }
@@ -253,7 +292,7 @@ func (m *machine) execute(c int, inst core.Instance) {
 	if m.done || m.err != nil {
 		return
 	}
-	var cycles sim.Time
+	var cycles, memCycles sim.Time
 	if m.state.IsService(inst) {
 		// Inlet DThreads load the block's metadata into the TSU: charge
 		// one cycle per DThread instance loaded on top of the base cost.
@@ -287,9 +326,10 @@ func (m *machine) execute(c int, inst core.Instance) {
 					m.err = err
 					return
 				}
-				cycles += sim.Time(m.hier.Access(c, addr, r.Size, r.Write))
+				memCycles += sim.Time(m.hier.Access(c, addr, r.Size, r.Write))
 			}
 		}
+		cycles += memCycles
 		m.cores[c].Executed++
 	}
 	if cycles < 1 {
@@ -297,6 +337,28 @@ func (m *machine) execute(c int, inst core.Instance) {
 	}
 	m.cores[c].Busy += cycles
 	m.last[c] = inst
+	if m.sink != nil {
+		start := m.eng.Now()
+		m.sink.Record(obs.Event{
+			Kind:    obs.ThreadComplete,
+			Lane:    c,
+			Inst:    inst,
+			Start:   m.cyc(start),
+			Dur:     m.cyc(cycles),
+			Service: m.state.IsService(inst),
+		})
+		// The memory portion of the DThread is also exported as a stall
+		// slice so cache behaviour is visible on the same track.
+		if memCycles > 0 {
+			m.sink.Record(obs.Event{
+				Kind:  obs.CacheStall,
+				Lane:  c,
+				Inst:  inst,
+				Start: m.cyc(start + cycles - memCycles),
+				Dur:   m.cyc(memCycles),
+			})
+		}
+	}
 	m.eng.After(cycles, func() { m.complete(c, inst) })
 }
 
@@ -317,6 +379,16 @@ func (m *machine) complete(c int, inst core.Instance) {
 	m.eng.At(done, func() {
 		if m.done || m.err != nil {
 			return
+		}
+		if m.sink != nil {
+			// The device lanes sit one past the last core, one per group.
+			m.sink.Record(obs.Event{
+				Kind:  obs.TSUCommand,
+				Lane:  m.cfg.Cores + group,
+				Inst:  inst,
+				Start: m.cyc(done - dur),
+				Dur:   m.cyc(dur),
+			})
 		}
 		for _, tgt := range consumers {
 			if m.state.Decrement(tgt) {

@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// recorderShards is the number of independently locked event buckets.
+// Power of two; indexed by lane, so each kernel goroutine almost always
+// lands on its own shard and Record never contends in steady state.
+const recorderShards = 16
+
+type recorderShard struct {
+	mu     sync.Mutex
+	events []Event
+	_      [32]byte // pad to a cache line to curb false sharing
+}
+
+// Recorder is the lock-sharded in-memory Sink: events accumulate in
+// per-lane shards during the run and are merged into one deterministic
+// order on read. A Recorder may be reused across runs (Begin resets it)
+// but must not be shared between concurrent runs.
+type Recorder struct {
+	shards [recorderShards]recorderShard
+
+	mu    sync.Mutex
+	start time.Time
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Begin implements Sink: it drops prior events and marks the time origin.
+func (r *Recorder) Begin() {
+	r.mu.Lock()
+	r.start = time.Now()
+	r.mu.Unlock()
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.Lock()
+		s.events = s.events[:0]
+		s.mu.Unlock()
+	}
+}
+
+// Now implements Sink: elapsed time since Begin.
+func (r *Recorder) Now() time.Duration {
+	r.mu.Lock()
+	start := r.start
+	r.mu.Unlock()
+	if start.IsZero() {
+		return 0
+	}
+	return time.Since(start)
+}
+
+// Record implements Sink.
+func (r *Recorder) Record(e Event) {
+	s := &r.shards[uint(e.Lane)%recorderShards]
+	s.mu.Lock()
+	s.events = append(s.events, e)
+	s.mu.Unlock()
+}
+
+// Events merges all shards and returns the events in the deterministic
+// export order: by start time, then lane, then instance, then kind. The
+// stable tie-break makes golden trace exports and trace-based tests
+// reproducible even when distinct events share a timestamp.
+func (r *Recorder) Events() []Event {
+	var out []Event
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.Lock()
+		out = append(out, s.events...)
+		s.mu.Unlock()
+	}
+	SortEvents(out)
+	return out
+}
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int {
+	n := 0
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.Lock()
+		n += len(s.events)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// SortEvents sorts events into the deterministic export order (start
+// time, lane, instance, kind).
+func SortEvents(events []Event) {
+	sort.SliceStable(events, func(i, j int) bool {
+		a, b := events[i], events[j]
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.Lane != b.Lane {
+			return a.Lane < b.Lane
+		}
+		if a.Inst.Thread != b.Inst.Thread {
+			return a.Inst.Thread < b.Inst.Thread
+		}
+		if a.Inst.Ctx != b.Inst.Ctx {
+			return a.Inst.Ctx < b.Inst.Ctx
+		}
+		return a.Kind < b.Kind
+	})
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"tflux/internal/core"
+	"tflux/internal/obs"
 	"tflux/internal/tsu"
 )
 
@@ -24,6 +25,14 @@ type Options struct {
 	QueueScan int
 	// Trace, when non-nil, records a per-kernel execution timeline.
 	Trace *Tracer
+	// Obs, when non-nil, receives the full typed event stream (thread
+	// executions, TSU commands, TUB deposits) on top of — or instead of —
+	// Trace. Both may be set; events fan out to both.
+	Obs obs.Sink
+	// Metrics, when non-nil, receives runtime counters, the ready-queue
+	// depth gauge and the per-thread latency histogram, plus end-of-run
+	// TSU and TUB totals.
+	Metrics *obs.Registry
 	// TSUSize caps the number of DThread instances a single DDM Block may
 	// hold (the TSU's slot count, §2). Zero means unlimited.
 	TSUSize int64
@@ -74,15 +83,27 @@ func Run(p *core.Program, opt Options) (*Stats, error) {
 	if err != nil {
 		return nil, err
 	}
-	r := &runner{
-		state:  state,
-		tub:    tsu.NewTUB(opt.Kernels, opt.TUB),
-		queues: make([]*readyQueue, opt.Kernels),
-		stop:   make(chan struct{}),
-		trace:  opt.Trace,
+	var traceSink obs.Sink
+	if opt.Trace != nil {
+		traceSink = opt.Trace.Recorder()
 	}
-	if r.trace != nil {
-		r.trace.begin()
+	r := &runner{
+		state:   state,
+		tub:     tsu.NewTUB(opt.Kernels, opt.TUB),
+		queues:  make([]*readyQueue, opt.Kernels),
+		stop:    make(chan struct{}),
+		sink:    obs.Multi(traceSink, opt.Obs),
+		tsuLane: opt.Kernels, // the emulator's dedicated lane (Figure 4)
+	}
+	if opt.Metrics != nil {
+		r.mDispatched = opt.Metrics.Counter("rts.dispatched")
+		r.mQueueDepth = opt.Metrics.Gauge("rts.queue_depth")
+		r.mThreadNS = opt.Metrics.Histogram("rts.thread_ns", obs.LatencyBuckets)
+		r.mTSUCommands = opt.Metrics.Counter("rts.tsu_commands")
+	}
+	if r.sink != nil {
+		r.sink.Begin()
+		r.tub.SetObs(r.sink)
 	}
 	for i := range r.queues {
 		r.queues[i] = newReadyQueue(opt.Policy, opt.QueueScan)
@@ -115,8 +136,7 @@ func Run(p *core.Program, opt Options) (*Stats, error) {
 	}
 	// Bootstrap: the Inlet DThread of the first Block is the first thing a
 	// Kernel executes.
-	first := state.Start()
-	r.queues[int(first.Kernel)].push(first.Inst)
+	r.dispatch(state.Start())
 	wg.Wait()
 
 	stats.Elapsed = time.Since(start)
@@ -125,18 +145,47 @@ func Run(p *core.Program, opt Options) (*Stats, error) {
 	for k, q := range r.queues {
 		stats.Idle[k] = q.idleTime()
 	}
+	if opt.Metrics != nil {
+		publishMetrics(opt.Metrics, stats)
+	}
 	r.errMu.Lock()
 	err = r.err
 	r.errMu.Unlock()
 	return stats, err
 }
 
+// publishMetrics copies the end-of-run TSU and TUB totals into the
+// registry so one metrics summary covers live and aggregate counters.
+func publishMetrics(reg *obs.Registry, stats *Stats) {
+	reg.Counter("tsu.decrements").Set(stats.TSU.Decrements)
+	reg.Counter("tsu.fired").Set(stats.TSU.Fired)
+	reg.Counter("tsu.inlets").Set(int64(stats.TSU.Inlets))
+	reg.Counter("tsu.outlets").Set(int64(stats.TSU.Outlets))
+	reg.Counter("tub.pushes").Set(stats.TUB.Pushes)
+	reg.Counter("tub.try_misses").Set(stats.TUB.TryMisses)
+	reg.Counter("tub.blocked").Set(stats.TUB.Blocked)
+	var idle time.Duration
+	for _, d := range stats.Idle {
+		idle += d
+	}
+	reg.Counter("rts.idle_ns").Set(int64(idle))
+	reg.Counter("rts.executed").Set(stats.TotalExecuted())
+}
+
 type runner struct {
 	state  *tsu.State
 	tub    *tsu.TUB
 	queues []*readyQueue
-	trace  *Tracer
 	steal  bool
+
+	// Observability; all nil when disabled, so the hot path pays only
+	// untaken branches.
+	sink         obs.Sink
+	tsuLane      int
+	mDispatched  *obs.Counter
+	mQueueDepth  *obs.Gauge
+	mThreadNS    *obs.Histogram
+	mTSUCommands *obs.Counter
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -188,6 +237,9 @@ func (r *runner) kernel(k tsu.KernelID, executed, service *int64) {
 				return
 			}
 		}
+		if r.mQueueDepth != nil {
+			r.mQueueDepth.Add(-1)
+		}
 		if r.execute(k, inst, executed, service) {
 			return
 		}
@@ -221,10 +273,27 @@ func (r *runner) execute(k tsu.KernelID, inst core.Instance, executed, service *
 		}
 	}()
 	body := r.state.Body(inst)
-	if r.trace != nil {
+	if r.sink != nil || r.mThreadNS != nil {
+		var t0 time.Duration
+		if r.sink != nil {
+			t0 = r.sink.Now()
+		}
 		start := time.Now()
 		body(inst.Ctx)
-		r.trace.record(inst, int(k), start, r.state.IsService(inst))
+		dur := time.Since(start)
+		if r.sink != nil {
+			r.sink.Record(obs.Event{
+				Kind:    obs.ThreadComplete,
+				Lane:    int(k),
+				Inst:    inst,
+				Start:   t0,
+				Dur:     dur,
+				Service: r.state.IsService(inst),
+			})
+		}
+		if r.mThreadNS != nil {
+			r.mThreadNS.ObserveDuration(dur)
+		}
 	} else {
 		body(inst.Ctx)
 	}
@@ -254,17 +323,24 @@ func (r *runner) emulate() {
 			continue
 		}
 		for _, rec := range recs {
-			for _, tgt := range rec.Targets {
-				if r.state.Decrement(tgt) {
-					r.dispatch(tsu.Ready{Inst: tgt, Kernel: r.state.KernelOf(tgt)})
-				}
+			var t0 time.Duration
+			if r.sink != nil {
+				t0 = r.sink.Now()
 			}
-			r.tub.ReleaseTargets(rec.Targets)
-			res := r.state.Done(rec.Inst, rec.Kernel)
-			for _, rd := range res.NewReady {
-				r.dispatch(rd)
+			done := r.process(rec)
+			if r.sink != nil {
+				r.sink.Record(obs.Event{
+					Kind:  obs.TSUCommand,
+					Lane:  r.tsuLane,
+					Inst:  rec.Inst,
+					Start: t0,
+					Dur:   r.sink.Now() - t0,
+				})
 			}
-			if res.ProgramDone {
+			if r.mTSUCommands != nil {
+				r.mTSUCommands.Inc()
+			}
+			if done {
 				r.shutdown()
 				return
 			}
@@ -272,6 +348,36 @@ func (r *runner) emulate() {
 	}
 }
 
+// process applies one completion record: the Post-Processing Phase of
+// Figure 2. It reports whether the program finished.
+func (r *runner) process(rec tsu.Completion) bool {
+	for _, tgt := range rec.Targets {
+		if r.state.Decrement(tgt) {
+			r.dispatch(tsu.Ready{Inst: tgt, Kernel: r.state.KernelOf(tgt)})
+		}
+	}
+	r.tub.ReleaseTargets(rec.Targets)
+	res := r.state.Done(rec.Inst, rec.Kernel)
+	for _, rd := range res.NewReady {
+		r.dispatch(rd)
+	}
+	return res.ProgramDone
+}
+
 func (r *runner) dispatch(rd tsu.Ready) {
+	if r.sink != nil {
+		r.sink.Record(obs.Event{
+			Kind:  obs.ThreadDispatch,
+			Lane:  int(rd.Kernel),
+			Inst:  rd.Inst,
+			Start: r.sink.Now(),
+		})
+	}
+	if r.mDispatched != nil {
+		r.mDispatched.Inc()
+	}
+	if r.mQueueDepth != nil {
+		r.mQueueDepth.Add(1)
+	}
 	r.queues[int(rd.Kernel)].push(rd.Inst)
 }

@@ -4,11 +4,10 @@ import (
 	"bytes"
 	"fmt"
 	"io"
-	"sort"
-	"sync"
 	"time"
 
 	"tflux/internal/core"
+	"tflux/internal/obs"
 )
 
 // TraceEvent records the execution of one DThread instance on one kernel.
@@ -21,43 +20,39 @@ type TraceEvent struct {
 }
 
 // Tracer collects a per-kernel execution timeline of a TFluxSoft run.
-// Enable it through Options.Trace; read it after Run returns. A Tracer
-// must not be shared between concurrent runs.
+// It is an adapter over the shared observability recorder
+// (obs.Recorder): enable it through Options.Trace and read it after Run
+// returns, or export the full event stream (including TSU and TUB
+// activity) via Recorder for the Chrome trace / Perfetto exporter. A
+// Tracer must not be shared between concurrent runs.
 type Tracer struct {
-	mu     sync.Mutex
-	start  time.Time
-	events []TraceEvent
+	rec *obs.Recorder
 }
 
 // NewTracer returns an empty tracer.
-func NewTracer() *Tracer { return &Tracer{} }
+func NewTracer() *Tracer { return &Tracer{rec: obs.NewRecorder()} }
 
-func (t *Tracer) begin() {
-	t.mu.Lock()
-	t.start = time.Now()
-	t.events = t.events[:0]
-	t.mu.Unlock()
-}
+// Recorder exposes the underlying observability recorder, whose event
+// stream feeds obs.WriteChromeTrace and friends.
+func (t *Tracer) Recorder() *obs.Recorder { return t.rec }
 
-func (t *Tracer) record(inst core.Instance, kernel int, start time.Time, service bool) {
-	end := time.Now()
-	t.mu.Lock()
-	t.events = append(t.events, TraceEvent{
-		Inst:    inst,
-		Kernel:  kernel,
-		Start:   start.Sub(t.start),
-		End:     end.Sub(t.start),
-		Service: service,
-	})
-	t.mu.Unlock()
-}
-
-// Events returns the recorded events sorted by start time.
+// Events returns the recorded DThread executions in deterministic order:
+// sorted by start time, then kernel, then instance, so trace-based tests
+// and golden exports never flake on timestamp ties.
 func (t *Tracer) Events() []TraceEvent {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	out := append([]TraceEvent(nil), t.events...)
-	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	var out []TraceEvent
+	for _, e := range t.rec.Events() { // already in deterministic order
+		if e.Kind != obs.ThreadComplete {
+			continue
+		}
+		out = append(out, TraceEvent{
+			Inst:    e.Inst,
+			Kernel:  e.Lane,
+			Start:   e.Start,
+			End:     e.End(),
+			Service: e.Service,
+		})
+	}
 	return out
 }
 
@@ -87,28 +82,7 @@ func (t *Tracer) WriteTo(w io.Writer) (int64, error) {
 // Utilization returns, per kernel, the fraction of the run's wall-clock
 // span spent inside DThread bodies — a quick load-balance check.
 func (t *Tracer) Utilization(kernels int) []float64 {
-	events := t.Events()
-	if len(events) == 0 {
-		return make([]float64, kernels)
-	}
-	var span time.Duration
-	busy := make([]time.Duration, kernels)
-	for _, e := range events {
-		if e.End > span {
-			span = e.End
-		}
-		if e.Kernel < kernels {
-			busy[e.Kernel] += e.End - e.Start
-		}
-	}
-	out := make([]float64, kernels)
-	if span == 0 {
-		return out
-	}
-	for k := range out {
-		out[k] = float64(busy[k]) / float64(span)
-	}
-	return out
+	return obs.Utilization(t.rec.Events(), kernels)
 }
 
 // Gantt renders the timeline as an ASCII chart, one row per kernel, time

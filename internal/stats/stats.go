@@ -62,11 +62,12 @@ func Speedup(seq, par float64) float64 {
 }
 
 // GeoMean returns the geometric mean of xs (the conventional average for
-// speedups, used for the paper's "average speedup" claims); NaN for empty
-// or non-positive input.
+// speedups, used for the paper's "average speedup" claims). Empty input
+// returns 0 — a defined sentinel callers can render — while non-positive
+// or NaN elements yield NaN (the data itself is invalid).
 func GeoMean(xs []float64) float64 {
 	if len(xs) == 0 {
-		return math.NaN()
+		return 0
 	}
 	var logSum float64
 	for _, x := range xs {
@@ -78,10 +79,10 @@ func GeoMean(xs []float64) float64 {
 	return math.Exp(logSum / float64(len(xs)))
 }
 
-// Mean returns the arithmetic mean of xs; NaN for empty input.
+// Mean returns the arithmetic mean of xs; zero for empty input.
 func Mean(xs []float64) float64 {
 	if len(xs) == 0 {
-		return math.NaN()
+		return 0
 	}
 	var s float64
 	for _, x := range xs {

@@ -54,8 +54,8 @@ func TestGeoMean(t *testing.T) {
 	if g := GeoMean([]float64{2, 8}); math.Abs(g-4) > 1e-12 {
 		t.Fatalf("geomean = %v, want 4", g)
 	}
-	if !math.IsNaN(GeoMean(nil)) || !math.IsNaN(GeoMean([]float64{1, -1})) {
-		t.Fatal("invalid inputs must give NaN")
+	if !math.IsNaN(GeoMean([]float64{1, -1})) || !math.IsNaN(GeoMean([]float64{math.NaN()})) {
+		t.Fatal("non-positive or NaN elements must give NaN")
 	}
 }
 
@@ -63,8 +63,28 @@ func TestMean(t *testing.T) {
 	if m := Mean([]float64{1, 2, 3}); m != 2 {
 		t.Fatalf("mean = %v", m)
 	}
-	if !math.IsNaN(Mean(nil)) {
-		t.Fatal("empty mean must be NaN")
+}
+
+// TestEmptyInputs pins the empty-input contract across all the helpers:
+// a defined zero, never NaN or a panic.
+func TestEmptyInputs(t *testing.T) {
+	if Min(nil) != 0 {
+		t.Fatalf("Min(nil) = %v", Min(nil))
+	}
+	if Median(nil) != 0 {
+		t.Fatalf("Median(nil) = %v", Median(nil))
+	}
+	if g := GeoMean(nil); g != 0 {
+		t.Fatalf("GeoMean(nil) = %v", g)
+	}
+	if g := GeoMean([]float64{}); g != 0 {
+		t.Fatalf("GeoMean(empty) = %v", g)
+	}
+	if m := Mean(nil); m != 0 {
+		t.Fatalf("Mean(nil) = %v", m)
+	}
+	if m := Mean([]float64{}); m != 0 {
+		t.Fatalf("Mean(empty) = %v", m)
 	}
 }
 

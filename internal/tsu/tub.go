@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"tflux/internal/core"
+	"tflux/internal/obs"
 )
 
 // Completion is one record a Kernel deposits into the TUB after a DThread
@@ -76,8 +77,16 @@ type TUB struct {
 	tryMisses atomic.Int64
 	blocked   atomic.Int64
 
+	// sink, when non-nil, receives one TUBDeposit event per Push. Set it
+	// before the run starts; Push reads it without synchronization.
+	sink obs.Sink
+
 	pool sync.Pool // *[]core.Instance recycled target slices
 }
+
+// SetObs attaches an observability sink recording TUBDeposit events.
+// Call before any kernel starts pushing.
+func (t *TUB) SetObs(s obs.Sink) { t.sink = s }
 
 // NewTUB builds a TUB for the given number of kernels.
 func NewTUB(kernels int, cfg TUBConfig) *TUB {
@@ -115,6 +124,14 @@ func (t *TUB) ReleaseTargets(s []core.Instance) {
 // emulator drains it — the slow path segmentation exists to avoid.
 func (t *TUB) Push(rec Completion) {
 	t.pushes.Add(1)
+	if t.sink != nil {
+		t.sink.Record(obs.Event{
+			Kind:  obs.TUBDeposit,
+			Lane:  int(rec.Kernel),
+			Inst:  rec.Inst,
+			Start: t.sink.Now(),
+		})
+	}
 	n := len(t.segs)
 	home := int(rec.Kernel) % n
 	if n > 1 {

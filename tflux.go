@@ -46,6 +46,7 @@ import (
 	"tflux/internal/core"
 	"tflux/internal/dist"
 	"tflux/internal/hardsim"
+	"tflux/internal/obs"
 	"tflux/internal/rts"
 	"tflux/internal/tsu"
 	"tflux/internal/vtime"
@@ -213,6 +214,33 @@ type Tracer = rts.Tracer
 // NewTracer returns an empty execution tracer for SoftOptions.Trace.
 func NewTracer() *Tracer { return rts.NewTracer() }
 
+// Observability types, aliased from internal/obs: one event model and one
+// metrics registry shared by all platforms. Attach a Recorder via
+// SoftOptions.Obs, HardConfig.Obs, CellConfig.Obs, or RunDistLocalObs,
+// then export its events with WriteChromeTrace (Perfetto-loadable JSON).
+type (
+	// Event is one typed observation (obs.Event).
+	Event = obs.Event
+	// EventSink receives events during a run (obs.Sink).
+	EventSink = obs.Sink
+	// Recorder is the in-memory event sink (obs.Recorder).
+	Recorder = obs.Recorder
+	// Metrics is the counter/gauge/histogram registry (obs.Registry).
+	Metrics = obs.Registry
+)
+
+// NewRecorder returns an empty in-memory event recorder.
+func NewRecorder() *Recorder { return obs.NewRecorder() }
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
+
+// WriteChromeTrace exports recorded events as Chrome trace-event JSON,
+// loadable at ui.perfetto.dev or chrome://tracing.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	return obs.WriteChromeTrace(w, events)
+}
+
 // NewCellBuffers returns an empty buffer registry for RunCell.
 func NewCellBuffers() *CellBuffers { return cellsim.NewSharedVariableBuffer() }
 
@@ -240,6 +268,16 @@ func RunDistLocal(build func() (*Program, *CellBuffers), nodes, kernelsPerNode i
 		p, b := build()
 		return p.p, b
 	}, nodes, kernelsPerNode)
+}
+
+// RunDistLocalObs is RunDistLocal with coordinator-side observability:
+// sink (may be nil) receives DistRPC/ThreadComplete/TSUCommand events and
+// reg (may be nil) the RPC latency histogram and traffic totals.
+func RunDistLocalObs(build func() (*Program, *CellBuffers), nodes, kernelsPerNode int, sink EventSink, reg *Metrics) (*DistStats, *CellBuffers, error) {
+	return dist.RunLocalObs(func() (*core.Program, *cellsim.SharedVariableBuffer) {
+		p, b := build()
+		return p.p, b
+	}, nodes, kernelsPerNode, sink, reg)
 }
 
 // RunSoft executes the program under the TFluxSoft runtime: opt.Kernels
