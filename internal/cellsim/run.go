@@ -367,6 +367,7 @@ func (r *cellRunner) ppe() error {
 	flush()
 
 	var cmds []command
+	var ready []tsu.Ready // reusable CompleteInto batch buffer
 	for {
 		cmds = cmds[:0]
 		for _, cb := range r.rings {
@@ -387,7 +388,8 @@ func (r *cellRunner) ppe() error {
 			if r.sink != nil {
 				t0 = r.sink.Now()
 			}
-			res := r.state.Complete(c.inst, r.state.KernelOf(c.inst))
+			var programDone bool
+			ready, _, programDone = r.state.CompleteInto(ready[:0], c.inst, r.state.KernelOf(c.inst))
 			if r.sink != nil {
 				r.sink.Record(obs.Event{
 					Kind:  obs.TSUCommand,
@@ -397,10 +399,10 @@ func (r *cellRunner) ppe() error {
 					Dur:   r.sink.Now() - t0,
 				})
 			}
-			for _, rd := range res.NewReady {
+			for _, rd := range ready {
 				pending[int(rd.Kernel)] = append(pending[int(rd.Kernel)], rd.Inst)
 			}
-			if res.ProgramDone {
+			if programDone {
 				r.shutdown()
 				return nil
 			}

@@ -156,6 +156,11 @@ type machine struct {
 	last    []core.Instance   // locality hint per core
 	cores   []CoreStats
 
+	// fired is the reusable Post-Processing batch buffer: the event loop
+	// runs callbacks sequentially and each consumes the batch before
+	// returning, so one buffer serves every completion.
+	fired []tsu.Ready
+
 	sink obs.Sink // nil when observability is disabled
 
 	done bool
@@ -390,16 +395,16 @@ func (m *machine) complete(c int, inst core.Instance) {
 				Dur:   m.cyc(dur),
 			})
 		}
+		m.fired = m.fired[:0]
 		for _, tgt := range consumers {
-			if m.state.Decrement(tgt) {
-				m.dispatch(group, tsu.Ready{Inst: tgt, Kernel: m.state.KernelOf(tgt)})
-			}
+			m.fired = m.state.DecrementInto(m.fired, tgt)
 		}
-		res := m.state.Done(inst, tsu.KernelID(c))
-		for _, rd := range res.NewReady {
+		var programDone bool
+		m.fired, _, programDone = m.state.DoneInto(m.fired, inst, tsu.KernelID(c))
+		for _, rd := range m.fired {
 			m.dispatch(group, rd)
 		}
-		if res.ProgramDone {
+		if programDone {
 			m.done = true
 		}
 	})

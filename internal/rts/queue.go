@@ -34,15 +34,54 @@ func (p Policy) String() string {
 	return "unknown"
 }
 
+// nilNode marks an absent link in the queue's node pool.
+const nilNode = int32(-1)
+
+// qnode is one queued ready instance. Nodes live in a pooled slice and are
+// threaded onto two doubly-linked lists: the global arrival order (prev/
+// next) and, under the locality policy, the per-template arrival order
+// (tprev/tnext). Both lists give O(1) unlink from any position, which is
+// what makes every dequeue policy constant-time — the previous slice
+// implementation paid an O(n) memmove per pop.
+type qnode struct {
+	inst         core.Instance
+	seq          uint64 // monotonically increasing arrival stamp
+	prev, next   int32
+	tprev, tnext int32
+}
+
+// tmplList heads one template's sub-list within the queue (locality index).
+type tmplList struct {
+	head, tail int32
+}
+
 // readyQueue is one Kernel's ready-thread queue, fed by the TSU emulator
-// and drained by the Kernel.
+// and drained by the Kernel. It is an array-backed deque: pooled
+// doubly-linked nodes with O(1) push, O(1) pop at either end, and O(1)
+// removal of an indexed interior node, plus a per-template index so the
+// locality policy finds its preferred instance without scanning the queue.
 type readyQueue struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	items  []core.Instance
-	closed bool
-	policy Policy
-	scan   int // bounded lookahead for the locality policy
+	mu       sync.Mutex
+	cond     *sync.Cond
+	closedCh chan struct{} // closed together with closed, for timed waits
+
+	nodes      []qnode
+	free       int32 // free-list head, linked through next
+	head, tail int32 // global arrival order
+	count      int
+	seq        uint64 // next arrival stamp
+
+	// byTmpl indexes each template's queued instances in arrival order,
+	// indexed densely by ThreadID (thread IDs are bounded, see the TSU's
+	// dense-table guard) and grown on demand. Maintained only under
+	// PolicyLocality — FIFO and LIFO never touch it.
+	byTmpl  []tmplList
+	indexed bool
+
+	closed  bool
+	waiters int // kernels parked in pop; gates the wakeup on push
+	policy  Policy
+	scan    int // arrival-distance bound for the locality preference
 
 	idle time.Duration // total time the Kernel spent blocked here
 }
@@ -51,9 +90,134 @@ func newReadyQueue(policy Policy, scan int) *readyQueue {
 	if scan <= 0 {
 		scan = 64
 	}
-	q := &readyQueue{policy: policy, scan: scan}
+	q := &readyQueue{
+		policy:   policy,
+		scan:     scan,
+		head:     nilNode,
+		tail:     nilNode,
+		free:     nilNode,
+		closedCh: make(chan struct{}),
+	}
+	q.indexed = policy == PolicyLocality
 	q.cond = sync.NewCond(&q.mu)
 	return q
+}
+
+// alloc takes a node from the free list, growing the pool as needed.
+// Caller holds q.mu.
+func (q *readyQueue) alloc() int32 {
+	if q.free != nilNode {
+		n := q.free
+		q.free = q.nodes[n].next
+		return n
+	}
+	q.nodes = append(q.nodes, qnode{})
+	return int32(len(q.nodes) - 1)
+}
+
+// enqueue links one instance at the global tail (and its template tail).
+// Caller holds q.mu.
+func (q *readyQueue) enqueue(inst core.Instance) {
+	n := q.alloc()
+	nd := &q.nodes[n]
+	nd.inst = inst
+	nd.seq = q.seq
+	q.seq++
+	nd.prev = q.tail
+	nd.next = nilNode
+	if q.tail != nilNode {
+		q.nodes[q.tail].next = n
+	} else {
+		q.head = n
+	}
+	q.tail = n
+	if q.indexed {
+		for int(inst.Thread) >= len(q.byTmpl) {
+			q.byTmpl = append(q.byTmpl, tmplList{head: nilNode, tail: nilNode})
+		}
+		tl := &q.byTmpl[inst.Thread]
+		nd.tprev = tl.tail
+		nd.tnext = nilNode
+		if tl.tail != nilNode {
+			q.nodes[tl.tail].tnext = n
+		} else {
+			tl.head = n
+		}
+		tl.tail = n
+	}
+	q.count++
+}
+
+// remove unlinks node n from both lists, frees it, and returns its
+// instance. Caller holds q.mu.
+func (q *readyQueue) remove(n int32) core.Instance {
+	nd := &q.nodes[n]
+	inst := nd.inst
+	if nd.prev != nilNode {
+		q.nodes[nd.prev].next = nd.next
+	} else {
+		q.head = nd.next
+	}
+	if nd.next != nilNode {
+		q.nodes[nd.next].prev = nd.prev
+	} else {
+		q.tail = nd.prev
+	}
+	if q.indexed {
+		tl := &q.byTmpl[inst.Thread]
+		if nd.tprev != nilNode {
+			q.nodes[nd.tprev].tnext = nd.tnext
+		} else {
+			tl.head = nd.tnext
+		}
+		if nd.tnext != nilNode {
+			q.nodes[nd.tnext].tprev = nd.tprev
+		} else {
+			tl.tail = nd.tprev
+		}
+	}
+	nd.next = q.free
+	q.free = n
+	q.count--
+	return inst
+}
+
+// pick selects the node to dequeue per the queue's policy. Caller holds
+// q.mu and guarantees count > 0.
+func (q *readyQueue) pick(last core.Instance) int32 {
+	switch q.policy {
+	case PolicyLIFO:
+		return q.tail
+	case PolicyFIFO:
+		return q.head
+	}
+	// Locality: same template, next context; else same template; else
+	// FIFO. Only instances that arrived within scan stamps of the current
+	// head are eligible, preserving the bounded lookahead of the previous
+	// scan-based implementation (arrival distance bounds queue position
+	// from above, so nothing beyond the old scan window is ever chosen).
+	if int(last.Thread) < len(q.byTmpl) {
+		tl := &q.byTmpl[last.Thread]
+		limit := q.nodes[q.head].seq + uint64(q.scan)
+		same := nilNode
+		wantCtx := last.Ctx + 1
+		for n, steps := tl.head, 0; n != nilNode && steps < q.scan; n, steps = q.nodes[n].tnext, steps+1 {
+			nd := &q.nodes[n]
+			if nd.seq >= limit {
+				break // template list is in arrival order: all later entries are out of range too
+			}
+			if nd.inst.Ctx == wantCtx {
+				return n
+			}
+			if same == nilNode {
+				same = n
+			}
+		}
+		if same != nilNode {
+			return same
+		}
+	}
+	return q.head
 }
 
 // push enqueues a ready instance. On a closed queue (error-path shutdown
@@ -65,15 +229,45 @@ func (q *readyQueue) push(inst core.Instance) {
 		q.mu.Unlock()
 		return
 	}
-	q.items = append(q.items, inst)
+	q.enqueue(inst)
+	sig := q.waiters > 0
 	q.mu.Unlock()
-	q.cond.Signal()
+	if sig {
+		q.cond.Signal()
+	}
+}
+
+// pushBatch enqueues a whole batch of ready instances under a single lock
+// acquisition with a single wakeup — the emulator's batched-dispatch path.
+// On a closed queue the batch is dropped (the run is already aborted).
+func (q *readyQueue) pushBatch(insts []core.Instance) {
+	if len(insts) == 0 {
+		return
+	}
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return
+	}
+	for _, inst := range insts {
+		q.enqueue(inst)
+	}
+	sig := q.waiters > 0
+	q.mu.Unlock()
+	if sig {
+		q.cond.Signal()
+	}
 }
 
 // close wakes the Kernel for exit once the program finishes.
 func (q *readyQueue) close() {
 	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return
+	}
 	q.closed = true
+	close(q.closedCh)
 	q.mu.Unlock()
 	q.cond.Broadcast()
 }
@@ -83,51 +277,20 @@ func (q *readyQueue) close() {
 // false on close. Waiting time is accumulated into q.idle.
 func (q *readyQueue) pop(last core.Instance) (core.Instance, bool) {
 	q.mu.Lock()
-	defer q.mu.Unlock()
-	for len(q.items) == 0 {
+	for q.count == 0 {
 		if q.closed {
+			q.mu.Unlock()
 			return core.Instance{}, false
 		}
 		start := time.Now()
+		q.waiters++
 		q.cond.Wait()
+		q.waiters--
 		q.idle += time.Since(start)
 	}
-	i := q.pick(last)
-	inst := q.items[i]
-	q.items = append(q.items[:i], q.items[i+1:]...)
-	return inst, true
-}
-
-// pick selects the index to dequeue. Caller holds q.mu.
-func (q *readyQueue) pick(last core.Instance) int {
-	switch q.policy {
-	case PolicyLIFO:
-		return len(q.items) - 1
-	case PolicyFIFO:
-		return 0
-	}
-	// Locality: same template, next context; else same template; else FIFO.
-	n := len(q.items)
-	if n > q.scan {
-		n = q.scan
-	}
-	sameTemplate := -1
-	for i := 0; i < n; i++ {
-		it := q.items[i]
-		if it.Thread != last.Thread {
-			continue
-		}
-		if it.Ctx == last.Ctx+1 {
-			return i
-		}
-		if sameTemplate < 0 {
-			sameTemplate = i
-		}
-	}
-	if sameTemplate >= 0 {
-		return sameTemplate
-	}
-	return 0
+	it := q.remove(q.pick(last))
+	q.mu.Unlock()
+	return it, true
 }
 
 // idleTime returns the accumulated blocking time (safe after the Kernel
@@ -146,29 +309,26 @@ func (q *readyQueue) trySteal() (core.Instance, bool) {
 		return core.Instance{}, false
 	}
 	defer q.mu.Unlock()
-	if len(q.items) == 0 {
+	if q.count == 0 {
 		return core.Instance{}, false
 	}
-	inst := q.items[len(q.items)-1]
-	q.items = q.items[:len(q.items)-1]
-	return inst, true
+	return q.remove(q.tail), true
 }
 
 // tryPop removes the locality-preferred instance without blocking.
 func (q *readyQueue) tryPop(last core.Instance) (core.Instance, bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	if len(q.items) == 0 || q.closed {
+	if q.count == 0 || q.closed {
 		return core.Instance{}, false
 	}
-	i := q.pick(last)
-	inst := q.items[i]
-	q.items = append(q.items[:i], q.items[i+1:]...)
-	return inst, true
+	return q.remove(q.pick(last)), true
 }
 
-// popTimeout is like pop but wakes periodically so a stealing kernel can
-// scan its victims; ok=false only on close.
+// popTimeout is like pop but wakes after at most wait so a stealing kernel
+// can rescan its victims; ok=false only on close. The wait is cut short
+// the moment the queue closes (closedCh), so an error-path shutdown never
+// sits out the backoff.
 func (q *readyQueue) popTimeout(last core.Instance, wait time.Duration) (core.Instance, bool, bool) {
 	if inst, ok := q.tryPop(last); ok {
 		return inst, true, false
@@ -179,15 +339,19 @@ func (q *readyQueue) popTimeout(last core.Instance, wait time.Duration) (core.In
 		return core.Instance{}, false, true
 	}
 	q.mu.Unlock()
-	// Briefly sleep instead of a timed condvar wait: steals are the rare
-	// slow path and a fixed backoff keeps the queue logic simple.
-	time.Sleep(wait)
+	start := time.Now()
+	t := time.NewTimer(wait)
+	select {
+	case <-t.C:
+	case <-q.closedCh:
+		t.Stop()
+	}
 	if inst, ok := q.tryPop(last); ok {
 		return inst, true, false
 	}
 	q.mu.Lock()
 	closed := q.closed
-	q.idle += wait
+	q.idle += time.Since(start)
 	q.mu.Unlock()
 	return core.Instance{}, false, closed
 }

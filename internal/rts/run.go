@@ -91,6 +91,7 @@ func Run(p *core.Program, opt Options) (*Stats, error) {
 		state:   state,
 		tub:     tsu.NewTUB(opt.Kernels, opt.TUB),
 		queues:  make([]*readyQueue, opt.Kernels),
+		pend:    make([][]core.Instance, opt.Kernels),
 		stop:    make(chan struct{}),
 		sink:    obs.Multi(traceSink, opt.Obs),
 		tsuLane: opt.Kernels, // the emulator's dedicated lane (Figure 4)
@@ -170,6 +171,12 @@ func publishMetrics(reg *obs.Registry, stats *Stats) {
 	}
 	reg.Counter("rts.idle_ns").Set(int64(idle))
 	reg.Counter("rts.executed").Set(stats.TotalExecuted())
+	// Per-kernel breakdowns: load imbalance (which the locality-indexed
+	// queues and the steal ablation can shift) is invisible in the totals.
+	for k := range stats.Executed {
+		reg.Counter(fmt.Sprintf("rts.executed.k%d", k)).Set(stats.Executed[k])
+		reg.Counter(fmt.Sprintf("rts.idle_ns.k%d", k)).Set(int64(stats.Idle[k]))
+	}
 }
 
 type runner struct {
@@ -177,6 +184,14 @@ type runner struct {
 	tub    *tsu.TUB
 	queues []*readyQueue
 	steal  bool
+
+	// pend accumulates per-kernel ready batches across one TUB drain
+	// cycle; flush publishes each batch under a single queue-lock
+	// acquisition with a single wakeup. ready is the reusable Decrement/
+	// Done collection buffer. Both are touched only by the emulator
+	// goroutine.
+	pend  [][]core.Instance
+	ready []tsu.Ready
 
 	// Observability; all nil when disabled, so the hot path pays only
 	// untaken branches.
@@ -310,8 +325,10 @@ func (r *runner) execute(k tsu.KernelID, inst core.Instance, executed, service *
 
 // emulate is the TSU Emulator loop: drain the TUB, apply Ready Count
 // decrements through the TKT-indexed Synchronization Memories, process
-// completions (block sequencing), and dispatch newly ready DThreads to
-// their owning Kernel's queue.
+// completions (block sequencing), and publish newly ready DThreads to
+// their owning Kernels' queues in per-drain batches (one queue-lock
+// acquisition and one wakeup per kernel per drain cycle, instead of one
+// per instance).
 func (r *runner) emulate() {
 	var recs []tsu.Completion
 	for {
@@ -345,25 +362,65 @@ func (r *runner) emulate() {
 				return
 			}
 		}
+		r.flush()
 	}
 }
 
 // process applies one completion record: the Post-Processing Phase of
-// Figure 2. It reports whether the program finished.
+// Figure 2. Newly ready instances are staged into the per-kernel pending
+// batches rather than dispatched one by one. It reports whether the
+// program finished.
 func (r *runner) process(rec tsu.Completion) bool {
+	r.ready = r.ready[:0]
 	for _, tgt := range rec.Targets {
-		if r.state.Decrement(tgt) {
-			r.dispatch(tsu.Ready{Inst: tgt, Kernel: r.state.KernelOf(tgt)})
-		}
+		r.ready = r.state.DecrementInto(r.ready, tgt)
 	}
 	r.tub.ReleaseTargets(rec.Targets)
-	res := r.state.Done(rec.Inst, rec.Kernel)
-	for _, rd := range res.NewReady {
-		r.dispatch(rd)
+	var programDone bool
+	r.ready, _, programDone = r.state.DoneInto(r.ready, rec.Inst, rec.Kernel)
+	for _, rd := range r.ready {
+		r.stage(rd)
 	}
-	return res.ProgramDone
+	return programDone
 }
 
+// stage records the dispatch of one ready instance and appends it to its
+// owner kernel's pending batch.
+func (r *runner) stage(rd tsu.Ready) {
+	if r.sink != nil {
+		r.sink.Record(obs.Event{
+			Kind:  obs.ThreadDispatch,
+			Lane:  int(rd.Kernel),
+			Inst:  rd.Inst,
+			Start: r.sink.Now(),
+		})
+	}
+	if r.mDispatched != nil {
+		r.mDispatched.Inc()
+	}
+	if r.mQueueDepth != nil {
+		r.mQueueDepth.Add(1)
+	}
+	r.pend[int(rd.Kernel)] = append(r.pend[int(rd.Kernel)], rd.Inst)
+}
+
+// flush publishes every non-empty pending batch to its kernel's queue:
+// one lock acquisition, one wakeup per kernel per drain cycle.
+func (r *runner) flush() {
+	for k, batch := range r.pend {
+		if len(batch) == 0 {
+			continue
+		}
+		r.queues[k].pushBatch(batch)
+		r.pend[k] = batch[:0]
+	}
+}
+
+// dispatch publishes a single ready instance directly (the bootstrap path,
+// called from Run's goroutine). It must not touch the pending batches:
+// those belong to the emulator goroutine, which may already be running by
+// the time the queue push returns. Steady-state dispatch goes through
+// stage/flush.
 func (r *runner) dispatch(rd tsu.Ready) {
 	if r.sink != nil {
 		r.sink.Record(obs.Event{

@@ -49,12 +49,26 @@ type sm struct {
 	base   []core.Context // first owned context per template
 }
 
+// flatArc is one pre-resolved consumer dependency: the arc's mapping plus
+// the consumer-side fields AppendConsumers needs, flattened at NewState
+// time so arc expansion never chases the consumer's template pointer.
+type flatArc struct {
+	to    core.ThreadID
+	m     core.Mapping
+	cInst core.Context // consumer template's instance count
+}
+
 // tmplInfo caches the immutable per-template tables the kernels consult
-// concurrently (the "Local TSU" state).
+// concurrently (the "Local TSU" state). It lives in a dense slice indexed
+// directly by ThreadID, so every hot-path lookup is one array access.
 type tmplInfo struct {
-	t     *core.Template
-	dense int // index within its block
-	block int
+	t        *core.Template
+	body     core.Body
+	arcs     []flatArc
+	inst     core.Context // t.Instances, dense copy
+	affinity int          // t.Affinity, dense copy
+	dense    int          // index within its block
+	block    int
 }
 
 // State is the synchronization engine of the TSU Group. It is not safe for
@@ -66,7 +80,11 @@ type State struct {
 	prog    *core.Program
 	kernels int
 
-	byID map[core.ThreadID]*tmplInfo
+	// infos is the dense thread table: infos[id] holds template id's
+	// immutable metadata (infos[id].t == nil for unassigned IDs). Sized by
+	// the program's maximum ThreadID, it turns every per-operation map
+	// lookup of the previous design into array indexing.
+	infos []tmplInfo
 
 	// Inlet/Outlet thread IDs are synthesized above the program's own ID
 	// space: inlet(b) = serviceBase + 2b, outlet(b) = serviceBase + 2b+1.
@@ -99,23 +117,26 @@ func (s *State) SetLinearSMSearch(on bool) { s.linearSearch = on }
 // lookup with the TKT; up to Kernels per lookup without it).
 func (s *State) SearchSteps() int64 { return s.searchSteps }
 
+// info returns the dense thread-table entry for an application thread ID.
+func (s *State) info(id core.ThreadID) *tmplInfo { return &s.infos[id] }
+
 // locate returns the kernel whose SM holds the instance. With Thread
 // Indexing this is a direct TKT computation; in the ablation it probes
 // each kernel's owned range in turn, charging a step per probe.
-func (s *State) locate(t *core.Template, ctx core.Context) KernelID {
+func (s *State) locate(info *tmplInfo, ctx core.Context) KernelID {
 	if !s.linearSearch {
 		s.searchSteps++
-		return s.kernelOfTemplate(t, ctx)
+		return s.kernelOfInfo(info, ctx)
 	}
 	for k := 0; k < s.kernels; k++ {
 		s.searchSteps++
-		lo, hi := s.ownedRange(t, KernelID(k))
+		lo, hi := s.ownedRange(info.t, KernelID(k))
 		if ctx >= lo && ctx < hi {
 			return KernelID(k)
 		}
 	}
 	// Unreachable for valid instances; fall back to the TKT answer.
-	return s.kernelOfTemplate(t, ctx)
+	return s.kernelOfInfo(info, ctx)
 }
 
 // NewState validates the program and builds the immutable tables (arc
@@ -149,17 +170,50 @@ func NewStateSized(p *core.Program, kernels int, maxBlockInstances int64) (*Stat
 		}
 	}
 	maxID, _ := p.MaxThreadID()
+	// The dense thread table is indexed directly by ThreadID, so a
+	// pathologically sparse ID space would allocate an entry per unused
+	// ID. Refuse it with a clear message instead of eating gigabytes; the
+	// bound is generous enough for any hand-numbered program.
+	var nTmpl int64
+	for _, b := range p.Blocks {
+		nTmpl += int64(len(b.Templates))
+	}
+	if int64(maxID) > 64*nTmpl+1024 {
+		return nil, fmt.Errorf("tsu: thread ID space is too sparse (max ID %d for %d templates); renumber thread IDs densely", maxID, nTmpl)
+	}
 	s := &State{
 		prog:        p,
 		kernels:     kernels,
-		byID:        make(map[core.ThreadID]*tmplInfo),
+		infos:       make([]tmplInfo, maxID+1),
 		serviceBase: maxID + 1,
 		curBlock:    -1,
 	}
 	s.stats.PerKernel = make([]int64, kernels)
 	for bi, b := range p.Blocks {
 		for di, t := range b.Templates {
-			s.byID[t.ID] = &tmplInfo{t: t, dense: di, block: bi}
+			s.infos[t.ID] = tmplInfo{
+				t:        t,
+				body:     t.Body,
+				inst:     t.Instances,
+				affinity: t.Affinity,
+				dense:    di,
+				block:    bi,
+			}
+		}
+	}
+	// Flatten arc tables once every template is registered: each arc's
+	// consumer instance count is resolved here so AppendConsumers never
+	// touches the consumer template.
+	for bi := range p.Blocks {
+		for _, t := range p.Blocks[bi].Templates {
+			if len(t.Arcs) == 0 {
+				continue
+			}
+			arcs := make([]flatArc, len(t.Arcs))
+			for ai, a := range t.Arcs {
+				arcs[ai] = flatArc{to: a.To, m: a.Map, cInst: s.infos[a.To].inst}
+			}
+			s.infos[t.ID].arcs = arcs
 		}
 	}
 	s.sms = make([]sm, kernels)
@@ -199,8 +253,17 @@ func (s *State) KernelOf(inst core.Instance) KernelID {
 	if s.IsService(inst) {
 		return KernelID(inst.Ctx)
 	}
-	info := s.byID[inst.Thread]
-	return s.kernelOfTemplate(info.t, inst.Ctx)
+	return s.kernelOfInfo(&s.infos[inst.Thread], inst.Ctx)
+}
+
+func (s *State) kernelOfInfo(info *tmplInfo, ctx core.Context) KernelID {
+	if info.affinity >= 0 {
+		return KernelID(info.affinity % s.kernels)
+	}
+	if info.inst == 0 {
+		return 0
+	}
+	return KernelID(uint64(ctx) * uint64(s.kernels) / uint64(info.inst))
 }
 
 func (s *State) kernelOfTemplate(t *core.Template, ctx core.Context) KernelID {
@@ -243,17 +306,16 @@ func (s *State) Body(inst core.Instance) core.Body {
 	if s.IsService(inst) {
 		return func(core.Context) {}
 	}
-	return s.byID[inst.Thread].t.Body
+	return s.infos[inst.Thread].body
 }
 
 // Template returns the template of an application instance, or nil for
 // service instances.
 func (s *State) Template(id core.ThreadID) *core.Template {
-	info, ok := s.byID[id]
-	if !ok {
+	if int(id) >= len(s.infos) {
 		return nil
 	}
-	return info.t
+	return s.infos[id].t
 }
 
 // Start returns the first runnable DThread of the program: the Inlet of
@@ -270,14 +332,13 @@ func (s *State) AppendConsumers(dst []core.Instance, inst core.Instance) []core.
 	if s.IsService(inst) {
 		return dst
 	}
-	info := s.byID[inst.Thread]
-	t := info.t
+	info := &s.infos[inst.Thread]
 	var ctxBuf [16]core.Context
-	for _, a := range t.Arcs {
-		c := s.byID[a.To].t
-		targets := a.Map.AppendTargets(ctxBuf[:0], inst.Ctx, t.Instances, c.Instances)
+	for ai := range info.arcs {
+		a := &info.arcs[ai]
+		targets := a.m.AppendTargets(ctxBuf[:0], inst.Ctx, info.inst, a.cInst)
 		for _, cc := range targets {
-			dst = append(dst, core.Instance{Thread: a.To, Ctx: cc})
+			dst = append(dst, core.Instance{Thread: a.to, Ctx: cc})
 		}
 	}
 	return dst
@@ -288,11 +349,29 @@ func (s *State) AppendConsumers(dst []core.Instance, inst core.Instance) []core.
 // A decrement below zero means the Synchronization Graph was corrupted and
 // panics: Validate makes this unreachable for well-formed programs.
 func (s *State) Decrement(target core.Instance) bool {
-	info := s.byID[target.Thread]
+	_, fired := s.dec(target)
+	return fired
+}
+
+// DecrementInto applies Decrement and, when the target fires, appends it to
+// dst as a Ready with its TKT owner resolved — the batch-building form the
+// drivers use to collect a whole Post-Processing Phase without per-target
+// allocations.
+func (s *State) DecrementInto(dst []Ready, target core.Instance) []Ready {
+	if k, fired := s.dec(target); fired {
+		dst = append(dst, Ready{Inst: target, Kernel: k})
+	}
+	return dst
+}
+
+// dec performs one Ready Count decrement and returns the owning kernel plus
+// whether the target fired.
+func (s *State) dec(target core.Instance) (KernelID, bool) {
+	info := &s.infos[target.Thread]
 	if info.block != s.curBlock || !s.loaded {
 		panic(fmt.Sprintf("tsu: decrement of %v but block %d is loaded", target, s.curBlock))
 	}
-	k := s.locate(info.t, target.Ctx)
+	k := s.locate(info, target.Ctx)
 	m := &s.sms[k]
 	c := &m.counts[info.dense][target.Ctx-m.base[info.dense]]
 	*c--
@@ -303,9 +382,9 @@ func (s *State) Decrement(target core.Instance) bool {
 	if *c == 0 {
 		s.stats.Fired++
 		s.stats.PerKernel[int(k)]++
-		return true
+		return k, true
 	}
-	return false
+	return k, false
 }
 
 // Done processes the completion of an instance by kernel k: the
@@ -321,6 +400,14 @@ func (s *State) Decrement(target core.Instance) bool {
 // Decrement per target, mirroring the TUB protocol. Only the single TSU
 // driver may call Done.
 func (s *State) Done(inst core.Instance, k KernelID) Result {
+	ready, blockDone, programDone := s.DoneInto(nil, inst, k)
+	return Result{NewReady: ready, BlockDone: blockDone, ProgramDone: programDone}
+}
+
+// DoneInto is Done with the newly ready instances appended to dst instead
+// of a freshly allocated slice, so a driver can accumulate one batch across
+// many completions without per-completion allocations.
+func (s *State) DoneInto(dst []Ready, inst core.Instance, k KernelID) (ready []Ready, blockDone, programDone bool) {
 	if s.done {
 		panic("tsu: Done after program finished")
 	}
@@ -328,11 +415,11 @@ func (s *State) Done(inst core.Instance, k KernelID) Result {
 		off := int(inst.Thread - s.serviceBase)
 		blk := off / 2
 		if off%2 == 0 {
-			return s.inletDone(blk, k)
+			return s.inletDone(dst, blk), false, false
 		}
-		return s.outletDone(blk, k)
+		return s.outletDone(dst, blk, k)
 	}
-	info := s.byID[inst.Thread]
+	info := &s.infos[inst.Thread]
 	if info.block != s.curBlock || !s.loaded {
 		panic(fmt.Sprintf("tsu: completion of %v outside its block", inst))
 	}
@@ -343,18 +430,16 @@ func (s *State) Done(inst core.Instance, k KernelID) Result {
 	if s.remaining == 0 {
 		// All application DThreads of the Block completed: the Outlet
 		// becomes runnable on the kernel that finished last.
-		return Result{
-			NewReady:  []Ready{{Inst: core.Instance{Thread: s.OutletID(s.curBlock), Ctx: core.Context(k)}, Kernel: k}},
-			BlockDone: true,
-		}
+		dst = append(dst, Ready{Inst: core.Instance{Thread: s.OutletID(s.curBlock), Ctx: core.Context(k)}, Kernel: k})
+		return dst, true, false
 	}
-	return Result{}
+	return dst, false, false
 }
 
 // inletDone performs the TSU-load operation of an Inlet DThread: allocate
 // and initialize the Synchronization Memories for the block and surface
 // every source instance (Ready Count zero).
-func (s *State) inletDone(blk int, _ KernelID) Result {
+func (s *State) inletDone(dst []Ready, blk int) []Ready {
 	if blk != s.curBlock+1 || s.loaded {
 		panic(fmt.Sprintf("tsu: inlet(%d) out of sequence (current block %d, loaded=%v)", blk, s.curBlock, s.loaded))
 	}
@@ -367,7 +452,6 @@ func (s *State) inletDone(blk int, _ KernelID) Result {
 		s.sms[k].counts = make([][]int32, len(b.Templates))
 		s.sms[k].base = make([]core.Context, len(b.Templates))
 	}
-	var ready []Ready
 	for di, t := range b.Templates {
 		deg := core.InDegrees(b, t)
 		for k := 0; k < s.kernels; k++ {
@@ -386,18 +470,18 @@ func (s *State) inletDone(blk int, _ KernelID) Result {
 				kc := s.kernelOfTemplate(t, c)
 				s.stats.Fired++
 				s.stats.PerKernel[int(kc)]++
-				ready = append(ready, Ready{Inst: core.Instance{Thread: t.ID, Ctx: c}, Kernel: kc})
+				dst = append(dst, Ready{Inst: core.Instance{Thread: t.ID, Ctx: c}, Kernel: kc})
 			}
 		}
 	}
-	return Result{NewReady: ready}
+	return dst
 }
 
 // outletDone performs the TSU-clear operation of an Outlet DThread and
 // chains to the next Block's Inlet, or finishes the program after the last
 // Block ("the Outlet DThread of the last block ... forces its Kernel to
 // exit").
-func (s *State) outletDone(blk int, k KernelID) Result {
+func (s *State) outletDone(dst []Ready, blk int, k KernelID) (ready []Ready, blockDone, programDone bool) {
 	if blk != s.curBlock || !s.loaded || s.remaining != 0 {
 		panic(fmt.Sprintf("tsu: outlet(%d) out of sequence (current block %d, remaining %d)", blk, s.curBlock, s.remaining))
 	}
@@ -409,9 +493,10 @@ func (s *State) outletDone(blk int, k KernelID) Result {
 	}
 	if blk == len(s.prog.Blocks)-1 {
 		s.done = true
-		return Result{ProgramDone: true}
+		return dst, false, true
 	}
-	return Result{NewReady: []Ready{{Inst: core.Instance{Thread: s.InletID(blk + 1), Ctx: core.Context(k)}, Kernel: k}}}
+	dst = append(dst, Ready{Inst: core.Instance{Thread: s.InletID(blk + 1), Ctx: core.Context(k)}, Kernel: k})
+	return dst, false, false
 }
 
 // Complete is the convenience path used by single-driver platforms (the
@@ -419,17 +504,20 @@ func (s *State) outletDone(blk int, k KernelID) Result {
 // consumers of inst, applies all decrements, collects the instances that
 // became ready, and then processes the completion itself.
 func (s *State) Complete(inst core.Instance, k KernelID) Result {
+	ready, blockDone, programDone := s.CompleteInto(nil, inst, k)
+	return Result{NewReady: ready, BlockDone: blockDone, ProgramDone: programDone}
+}
+
+// CompleteInto is Complete with every newly ready instance appended to dst,
+// the allocation-free form single-driver platforms use with a reusable
+// batch buffer.
+func (s *State) CompleteInto(dst []Ready, inst core.Instance, k KernelID) (ready []Ready, blockDone, programDone bool) {
 	var buf [32]core.Instance
 	consumers := s.AppendConsumers(buf[:0], inst)
-	var ready []Ready
 	for _, c := range consumers {
-		if s.Decrement(c) {
-			ready = append(ready, Ready{Inst: c, Kernel: s.KernelOf(c)})
-		}
+		dst = s.DecrementInto(dst, c)
 	}
-	res := s.Done(inst, k)
-	res.NewReady = append(ready, res.NewReady...)
-	return res
+	return s.DoneInto(dst, inst, k)
 }
 
 // Finished reports whether the final Outlet has completed.

@@ -499,3 +499,137 @@ func TestThreadIndexingAblation(t *testing.T) {
 		t.Fatal("TKT probe count should be independent of kernels")
 	}
 }
+
+// driveInto is drive using the batch-building CompleteInto API with a
+// reusable buffer, verifying it reaches the same terminal state.
+func driveInto(t *testing.T, s *State) []core.Instance {
+	t.Helper()
+	var order []core.Instance
+	queue := []Ready{s.Start()}
+	var batch []Ready
+	steps := 0
+	for len(queue) > 0 {
+		steps++
+		if steps > 1_000_000 {
+			t.Fatal("scheduler did not terminate")
+		}
+		r := queue[0]
+		queue = queue[1:]
+		if !s.IsService(r.Inst) {
+			order = append(order, r.Inst)
+		}
+		var programDone bool
+		batch, _, programDone = s.CompleteInto(batch[:0], r.Inst, r.Kernel)
+		queue = append(queue, batch...)
+		if programDone {
+			if len(queue) != 0 {
+				t.Fatalf("program done with %d queued instances", len(queue))
+			}
+			return order
+		}
+	}
+	t.Fatal("queue drained before ProgramDone")
+	return nil
+}
+
+func TestCompleteIntoMatchesComplete(t *testing.T) {
+	// The allocation-free batch API must produce the same execution set
+	// and the same stats as the allocating Result API.
+	pa := twoBlockProgram()
+	sa, err := NewState(pa, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orderA := drive(t, sa, nil)
+
+	pb := twoBlockProgram()
+	sb, err := NewState(pb, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orderB := driveInto(t, sb)
+
+	if len(orderA) != len(orderB) {
+		t.Fatalf("executed %d vs %d instances", len(orderA), len(orderB))
+	}
+	for i := range orderA {
+		if orderA[i] != orderB[i] {
+			t.Fatalf("order diverges at %d: %v vs %v", i, orderA[i], orderB[i])
+		}
+	}
+	stA, stB := sa.Stats(), sb.Stats()
+	if stA.Decrements != stB.Decrements || stA.Fired != stB.Fired ||
+		stA.Inlets != stB.Inlets || stA.Outlets != stB.Outlets {
+		t.Fatalf("stats diverge: %+v vs %+v", stA, stB)
+	}
+}
+
+func TestDecrementIntoAppendsOnlyFired(t *testing.T) {
+	p := core.NewProgram("dec-into")
+	b := p.AddBlock()
+	prod := core.NewTemplate(1, "prod", noop)
+	prod.Instances = 3
+	red := core.NewTemplate(2, "red", noop)
+	prod.Then(2, core.AllToOne{})
+	b.Add(prod)
+	b.Add(red)
+	s, err := NewState(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Done(core.Instance{Thread: s.InletID(0), Ctx: 0}, 0)
+	target := core.Instance{Thread: 2, Ctx: 0}
+	batch := make([]Ready, 0, 4)
+	batch = s.DecrementInto(batch, target)
+	batch = s.DecrementInto(batch, target)
+	if len(batch) != 0 {
+		t.Fatalf("batch holds %d entries before the count reached zero", len(batch))
+	}
+	batch = s.DecrementInto(batch, target)
+	if len(batch) != 1 || batch[0].Inst != target {
+		t.Fatalf("batch = %v, want the fired reduction instance", batch)
+	}
+	if batch[0].Kernel != s.KernelOf(target) {
+		t.Fatalf("fired kernel = %d, want TKT owner %d", batch[0].Kernel, s.KernelOf(target))
+	}
+}
+
+func TestDenseTableSparseIDsWithinBound(t *testing.T) {
+	// Moderately sparse IDs (gaps, but within the 64×templates+1024
+	// bound) must work: unused entries are simply empty.
+	p := core.NewProgram("gaps")
+	b := p.AddBlock()
+	a := core.NewTemplate(7, "a", noop)
+	c := core.NewTemplate(900, "c", noop)
+	a.Then(900, core.OneToOne{})
+	b.Add(a)
+	b.Add(c)
+	s, err := NewState(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Template(7) == nil || s.Template(900) == nil {
+		t.Fatal("dense table lost a registered template")
+	}
+	if s.Template(500) != nil {
+		t.Fatal("dense table invented a template for an unused ID")
+	}
+	if s.Template(5000) != nil {
+		t.Fatal("Template out of table range must return nil")
+	}
+	if got := len(driveInto(t, s)); got != 2 {
+		t.Fatalf("executed %d instances, want 2", got)
+	}
+}
+
+func TestDenseTableRejectsPathologicallySparseIDs(t *testing.T) {
+	p := core.NewProgram("sparse")
+	b := p.AddBlock()
+	b.Add(core.NewTemplate(1, "a", noop))
+	b.Add(core.NewTemplate(1<<30, "far", noop))
+	if _, err := NewState(p, 1); err == nil {
+		t.Fatal("pathologically sparse thread IDs accepted")
+	} else if !strings.Contains(err.Error(), "sparse") {
+		t.Fatalf("err = %v, want sparse-ID message", err)
+	}
+}

@@ -116,13 +116,10 @@ func (t *TUB) ReleaseTargets(s []core.Instance) {
 	t.pool.Put(&s)
 }
 
-// Push deposits a completion record. Per the paper's design, the writer
-// walks the segments starting from its kernel's home segment and takes the
-// first one whose try-lock succeeds and that has space, so at most one
-// segment is ever held by a kernel. If a full pass fails (all segments
-// locked or full), the writer blocks on its home segment until the
-// emulator drains it — the slow path segmentation exists to avoid.
-func (t *TUB) Push(rec Completion) {
+// deposited accounts one successfully enqueued record: the Pushes counter
+// and the TUBDeposit obs event count accepted deposits only, so records
+// dropped on a closed TUB (error-path shutdown) never skew the totals.
+func (t *TUB) deposited(rec Completion) {
 	t.pushes.Add(1)
 	if t.sink != nil {
 		t.sink.Record(obs.Event{
@@ -132,6 +129,15 @@ func (t *TUB) Push(rec Completion) {
 			Start: t.sink.Now(),
 		})
 	}
+}
+
+// Push deposits a completion record. Per the paper's design, the writer
+// walks the segments starting from its kernel's home segment and takes the
+// first one whose try-lock succeeds and that has space, so at most one
+// segment is ever held by a kernel. If a full pass fails (all segments
+// locked or full), the writer blocks on its home segment until the
+// emulator drains it — the slow path segmentation exists to avoid.
+func (t *TUB) Push(rec Completion) {
 	n := len(t.segs)
 	home := int(rec.Kernel) % n
 	if n > 1 {
@@ -148,6 +154,7 @@ func (t *TUB) Push(rec Completion) {
 			}
 			seg.buf = append(seg.buf, rec)
 			seg.mu.Unlock()
+			t.deposited(rec)
 			t.signal()
 			return
 		}
@@ -170,6 +177,7 @@ func (t *TUB) Push(rec Completion) {
 	}
 	seg.buf = append(seg.buf, rec)
 	seg.mu.Unlock()
+	t.deposited(rec)
 	t.signal()
 }
 

@@ -117,6 +117,22 @@ func TestTUBDrainEmptiesSegments(t *testing.T) {
 	}
 }
 
+func TestTUBClosedDropNotCountedAsDeposit(t *testing.T) {
+	// A record dropped on a closed, full TUB (error-path shutdown) must
+	// not inflate the Pushes counter: only accepted deposits count.
+	tub := NewTUB(1, TUBConfig{Segments: 1, SegmentCap: 1})
+	tub.Push(Completion{Inst: core.Instance{Thread: 1}})
+	if got := tub.Stats().Pushes; got != 1 {
+		t.Fatalf("pushes = %d after one accepted deposit, want 1", got)
+	}
+	tub.Close()
+	// Segment is full and the TUB is closed: this push is dropped.
+	tub.Push(Completion{Inst: core.Instance{Thread: 2}})
+	if got := tub.Stats().Pushes; got != 1 {
+		t.Fatalf("pushes = %d after dropped deposit, want 1 (drops must not count)", got)
+	}
+}
+
 func TestTUBWaitStops(t *testing.T) {
 	tub := NewTUB(1, TUBConfig{})
 	stop := make(chan struct{})
