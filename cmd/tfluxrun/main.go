@@ -18,17 +18,30 @@
 //
 // Extras: -dot FILE writes the Synchronization Graph in Graphviz format
 // and exits; -gantt (soft platform) prints an ASCII timeline chart.
+//
+// Fault injection (dist platform): -dist-faults applies a seeded chaos
+// plan to the coordinator↔worker links and prints the fired faults and
+// the failover summary, e.g.
+//
+//	tfluxrun -bench MMULT -platform dist -nodes 4 -kernels 8 \
+//	    -dist-faults 'seed=7,plan=sever:node=1:after=6;sever:node=2:after=9:midframe=true'
+//
+// The run must still verify: severed nodes are declared dead and their
+// in-flight DThreads re-dispatch to the survivors. See internal/chaos
+// for the plan grammar.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"os"
 	"sync"
 	"time"
 
 	"tflux/internal/cellsim"
+	"tflux/internal/chaos"
 	"tflux/internal/core"
 	"tflux/internal/dist"
 	"tflux/internal/hardsim"
@@ -60,6 +73,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		traceLegacy = fs.String("trace", "", "deprecated alias for -trace-out")
 		metrics     = fs.Bool("metrics", false, "print the metrics registry and per-lane event summary after the run")
 		gantt       = fs.Bool("gantt", false, "print an ASCII per-kernel timeline chart (soft platform only)")
+		distFaults  = fs.String("dist-faults", "", "dist platform: seeded fault-injection plan, e.g. seed=7,plan=sever:node=1:after=40 (see internal/chaos)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -261,7 +275,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 				mu.Unlock()
 				return p, svb
 			}
-			st, svb, err := dist.RunLocalObs(build, *nodes, kpn, sink, reg)
+			opt := dist.Options{Sink: sink, Metrics: reg}
+			var chaosLog *chaos.Log
+			if *distFaults != "" {
+				plan, err := chaos.ParseSpec(*distFaults)
+				if err != nil {
+					return fail(err)
+				}
+				chaosLog = chaos.NewLog()
+				opt.WrapConn = func(node int, c net.Conn) net.Conn { return plan.Wrap(node, c, chaosLog) }
+				// Demo-friendly detection: find dead nodes in tens of
+				// milliseconds rather than the production-paced defaults.
+				opt.Heartbeat = 20 * time.Millisecond
+				opt.HeartbeatMisses = 5
+				opt.LeaseTimeout = 2 * time.Second
+			}
+			st, svb, err := dist.RunLocalOpts(build, *nodes, kpn, opt)
 			if err != nil {
 				return fail(err)
 			}
@@ -274,6 +303,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 			parT = st.Elapsed
 			fmt.Fprintf(stdout, "dist:       %d nodes × %d kernels, %d messages, %d bytes out, %d bytes in\n",
 				*nodes, kpn, st.Messages, st.BytesOut, st.BytesIn)
+			if chaosLog != nil {
+				fmt.Fprintf(stdout, "chaos:      %d fault(s) fired\n", chaosLog.Count())
+				for _, ev := range chaosLog.Events() {
+					fmt.Fprintf(stdout, "  node %d frame %d: %s %s\n", ev.Node, ev.Frame, ev.Kind, ev.Detail)
+				}
+				fmt.Fprintf(stdout, "failover:   %d node(s) lost, %d re-dispatch(es), %d duplicate Done(s) discarded\n",
+					st.Failovers, st.Retries, st.DupeDones)
+				for i, nd := range st.Nodes {
+					if nd.Lost {
+						fmt.Fprintf(stdout, "  node %d lost: %s\n", i, nd.LostReason)
+					}
+				}
+			}
 		case "virtual":
 			// Body durations are measured per run; repeat and take the
 			// min so cold-start page faults do not pollute the model.

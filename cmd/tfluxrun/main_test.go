@@ -161,6 +161,35 @@ func TestRunDistPlatform(t *testing.T) {
 	}
 }
 
+// TestRunDistFaults drives the chaos demo: sever one of four nodes
+// mid-run, expect the run to fail over, still verify, and report the
+// fired faults.
+func TestRunDistFaults(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-bench", "MMULT", "-platform", "dist", "-size", "small",
+		"-kernels", "8", "-nodes", "4", "-reps", "1",
+		"-dist-faults", "seed=7,plan=sever:node=1:after=4"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	s := out.String()
+	for _, want := range []string{"chaos:", "sever", "failover:", "node 1 lost", "verify:     ok"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestRunDistFaultsBadSpec pins the flag's error path.
+func TestRunDistFaultsBadSpec(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-bench", "TRAPEZ", "-platform", "dist",
+		"-dist-faults", "plan=meteor-strike"}, &out, &errb)
+	if code != 1 || !strings.Contains(errb.String(), "unknown fault kind") {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+}
+
 func TestRunDOTExport(t *testing.T) {
 	dir := t.TempDir()
 	dotPath := filepath.Join(dir, "g.dot")

@@ -1,0 +1,26 @@
+// Package chaos provides deterministic, seeded fault injection for the
+// TFluxDist transport (and any other net.Conn-based protocol in this
+// repository).
+//
+// A Plan is a declarative schedule of faults — fixed or ramping latency,
+// bandwidth throttling, one-way read/write stalls, mid-frame connection
+// severs, and connection refusal — plus a rand.Source seed that drives
+// any randomized component (latency jitter). Wrapping a net.Conn with
+// Plan.Wrap yields a connection that executes the schedule; Plan.Dialer
+// and Plan.Listen produce endpoints that additionally honour Refuse
+// rules at connection-establishment time.
+//
+// Determinism is the point: the same Plan and seed fire the same faults
+// at the same frame counts on every run, and every fired fault is
+// appended to a Log whose contents are reproducible (events are ordered
+// by connection index and per-connection firing order, never by wall
+// clock), so a test can assert exactly which faults fired and replay a
+// failure byte-for-byte.
+//
+// A "frame" is one Write (or, for read-side faults, one Read) call on
+// the wrapped connection. For the gob-encoded TFluxDist protocol each
+// envelope is one or two Write calls (type descriptors ride ahead of
+// the first value of each type), so frame counts track protocol
+// progress closely enough to script faults like "sever node 2's
+// connection after the 50th frame".
+package chaos

@@ -1,0 +1,90 @@
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Event records one fired fault. Frame is the connection's frame count
+// (write frames for write-side faults, read frames for StallRead) at the
+// moment the fault fired; Seq is the per-connection firing order. Events
+// deliberately carry no wall-clock timestamp: two runs with the same Plan
+// and seed produce identical Events.
+type Event struct {
+	Node   int    // connection index the fault fired on
+	Seq    int    // firing order within the connection
+	Kind   string // fault kind name ("sever", "latency", ...)
+	Frame  int64  // frame count at firing time
+	Detail string // rule parameters, e.g. "delay=1ms jitter=500µs"
+}
+
+// String renders the event as one line.
+func (e Event) String() string {
+	s := fmt.Sprintf("node %d frame %d: %s", e.Node, e.Frame, e.Kind)
+	if e.Detail != "" {
+		s += " (" + e.Detail + ")"
+	}
+	return s
+}
+
+// Log collects fired-fault events from every connection of a Plan. It is
+// safe for concurrent use; a nil *Log discards everything.
+type Log struct {
+	mu     sync.Mutex
+	seq    map[int]int
+	events []Event
+}
+
+// NewLog returns an empty log.
+func NewLog() *Log { return &Log{seq: make(map[int]int)} }
+
+// add appends one fired fault for the given connection.
+func (l *Log) add(node int, kind string, frame int64, detail string) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.events = append(l.events, Event{Node: node, Seq: l.seq[node], Kind: kind, Frame: frame, Detail: detail})
+	l.seq[node]++
+}
+
+// Events returns the fired faults sorted by (Node, Seq) — a deterministic
+// order regardless of how goroutines interleaved at runtime.
+func (l *Log) Events() []Event {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	out := append([]Event(nil), l.events...)
+	l.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Node != out[j].Node {
+			return out[i].Node < out[j].Node
+		}
+		return out[i].Seq < out[j].Seq
+	})
+	return out
+}
+
+// Count returns the number of fired faults.
+func (l *Log) Count() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.events)
+}
+
+// String renders the log one event per line, in Events() order.
+func (l *Log) String() string {
+	var b strings.Builder
+	for _, e := range l.Events() {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

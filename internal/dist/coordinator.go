@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sync/atomic"
 	"time"
 
 	"tflux/internal/cellsim"
@@ -16,16 +17,28 @@ import (
 type NodeStats struct {
 	Kernels  int
 	Executed int64
+	// Lost is set when the coordinator declared the node dead and
+	// re-dispatched its in-flight work; LostReason says why.
+	Lost       bool
+	LostReason string
 }
 
 // Stats is the outcome of a distributed run.
 type Stats struct {
 	Elapsed  time.Duration
 	TSU      tsu.Stats
-	BytesOut int64 // import bytes shipped to workers
+	BytesOut int64 // import bytes shipped to workers (re-dispatches included)
 	BytesIn  int64 // export bytes received from workers
-	Messages int64
+	Messages int64 // Exec sends + Done receipts (heartbeats excluded)
 	Nodes    []NodeStats
+
+	// Failovers counts nodes declared dead during the run; Retries
+	// counts Execs re-dispatched to surviving nodes; DupeDones counts
+	// late or duplicate Done frames that were discarded instead of
+	// double-applying exports.
+	Failovers int64
+	Retries   int64
+	DupeDones int64
 }
 
 // Coordinate runs the DDM program across the given worker connections:
@@ -34,14 +47,7 @@ type Stats struct {
 // registered in svb with at least the declared size. It blocks until the
 // final Block's Outlet completes.
 func Coordinate(prog *core.Program, svb *cellsim.SharedVariableBuffer, conns []net.Conn) (*Stats, error) {
-	return CoordinateObs(prog, svb, conns, nil, nil)
-}
-
-// pendingRPC tracks one in-flight Exec→Done round trip for observability.
-type pendingRPC struct {
-	at    time.Duration // send time on the sink's timeline
-	wall  time.Time
-	bytes int64 // import bytes shipped with the Exec
+	return CoordinateOpts(prog, svb, conns, Options{})
 }
 
 // CoordinateObs is Coordinate with observability attached: sink (may be
@@ -52,6 +58,38 @@ type pendingRPC struct {
 // traffic and TSU totals. The ThreadComplete span is the round trip as
 // observed from the coordinator — remote body time plus transport.
 func CoordinateObs(prog *core.Program, svb *cellsim.SharedVariableBuffer, conns []net.Conn, sink obs.Sink, reg *obs.Registry) (*Stats, error) {
+	return CoordinateOpts(prog, svb, conns, Options{Sink: sink, Metrics: reg})
+}
+
+// coordEvent is one occurrence the coordinator's main loop reacts to.
+// Exactly one of the cases is populated.
+type coordEvent struct {
+	// A Done frame (or link/protocol failure when err != nil) from node.
+	done *Done
+	node int
+	err  error
+	// A heartbeat miss on node (no inbound traffic for the window).
+	hbMiss bool
+	// A scheduled re-dispatch of inst; gen guards against stale timers.
+	redispatch bool
+	inst       core.Instance
+	gen        int64
+	// A periodic lease-expiry scan.
+	leaseTick bool
+}
+
+// CoordinateOpts is Coordinate with resilience and observability tuned
+// by opt. The coordinator tracks every in-flight Exec in a lease table;
+// a node that drops its connection, misses heartbeats, violates the
+// protocol, or sits on an expired lease is declared dead, its leases
+// are re-dispatched to surviving nodes with capped exponential backoff,
+// and late Dones from it are discarded by the (instance, node) lease
+// check — so every instance's exports apply exactly once. The run
+// completes on any non-empty subset of the starting nodes and fails
+// hard only when every node is lost.
+func CoordinateOpts(prog *core.Program, svb *cellsim.SharedVariableBuffer, conns []net.Conn, opt Options) (*Stats, error) {
+	opt = opt.withDefaults()
+	sink, reg := opt.Sink, opt.Metrics
 	if len(conns) == 0 {
 		return nil, errors.New("dist: no worker connections")
 	}
@@ -59,11 +97,10 @@ func CoordinateObs(prog *core.Program, svb *cellsim.SharedVariableBuffer, conns 
 		sink.Begin()
 	}
 	rpcHist := reg.Histogram("dist.rpc_ns", obs.LatencyBuckets)
+	foHist := reg.Histogram("dist.failover_ns", obs.LatencyBuckets)
 	coordLane := len(conns)
-	var pending map[core.Instance]pendingRPC
-	if sink != nil || rpcHist != nil {
-		pending = make(map[core.Instance]pendingRPC)
-	}
+	n := len(conns)
+
 	// Coordinate owns the connections from here on: every early error
 	// must release the workers (they may already be blocked reading).
 	failEarly := func(err error) (*Stats, error) {
@@ -78,17 +115,26 @@ func CoordinateObs(prog *core.Program, svb *cellsim.SharedVariableBuffer, conns 
 		}
 	}
 
-	links := make([]*link, len(conns))
-	stats := &Stats{Nodes: make([]NodeStats, len(conns))}
+	links := make([]*link, n)
+	stats := &Stats{Nodes: make([]NodeStats, n)}
 	totalKernels := 0
-	kernelBase := make([]int, len(conns)) // global id of each node's kernel 0
+	kernelBase := make([]int, n)  // global id of each node's kernel 0
+	nodeKernels := make([]int, n) // kernels hosted per node
 	for i, c := range conns {
 		links[i] = newLink(c)
+		if opt.WriteTimeout > 0 {
+			links[i].wtimeout = opt.WriteTimeout
+		}
+		// A connected-but-silent worker must fail the handshake with a
+		// clear error, not hang Coordinate forever.
+		c.SetReadDeadline(time.Now().Add(opt.HandshakeTimeout)) //nolint:errcheck
 		e, err := links[i].recv()
 		if err != nil || e.Hello == nil {
-			return failEarly(fmt.Errorf("dist: handshake with node %d failed: %v", i, err))
+			return failEarly(fmt.Errorf("dist: handshake with node %d failed (no Hello within %v): %v", i, opt.HandshakeTimeout, err))
 		}
+		c.SetReadDeadline(time.Time{}) //nolint:errcheck
 		kernelBase[i] = totalKernels
+		nodeKernels[i] = e.Hello.Kernels
 		stats.Nodes[i].Kernels = e.Hello.Kernels
 		totalKernels += e.Hello.Kernels
 	}
@@ -106,34 +152,107 @@ func CoordinateObs(prog *core.Program, svb *cellsim.SharedVariableBuffer, conns 
 		return failEarly(err)
 	}
 
-	type doneOrErr struct {
-		done *Done
-		node int
-		err  error
+	// Per-node liveness gauges: 1 while the node serves, 0 once dead.
+	aliveGauge := make([]*obs.Gauge, n)
+	for i := range aliveGauge {
+		aliveGauge[i] = reg.Gauge(fmt.Sprintf("dist.node%d.alive", i))
+		if aliveGauge[i] != nil {
+			aliveGauge[i].Set(1)
+		}
 	}
-	completions := make(chan doneOrErr, totalKernels*2)
+
+	// Everything below the main loop communicates through one channel;
+	// stopCh unblocks producers once the loop has exited.
+	events := make(chan coordEvent, totalKernels*4+16)
+	stopCh := make(chan struct{})
+	push := func(ev coordEvent) {
+		select {
+		case events <- ev:
+		case <-stopCh:
+		}
+	}
+
+	// lastSeen is the unixnano of the most recent inbound frame per
+	// node; any frame (Done or Pong) counts as liveness.
+	lastSeen := make([]atomic.Int64, n)
+	now := time.Now().UnixNano()
+	for i := range lastSeen {
+		lastSeen[i].Store(now)
+	}
 	for i, l := range links {
 		go func(i int, l *link) {
 			for {
 				e, err := l.recv()
 				if err != nil {
-					completions <- doneOrErr{node: i, err: err}
+					push(coordEvent{node: i, err: err})
 					return
 				}
-				if e.Done == nil {
-					completions <- doneOrErr{node: i, err: fmt.Errorf("dist: unexpected frame from node %d", i)}
+				lastSeen[i].Store(time.Now().UnixNano())
+				switch {
+				case e.Done != nil:
+					push(coordEvent{done: e.Done, node: i})
+				case e.Pong != nil:
+					// Liveness already recorded.
+				default:
+					push(coordEvent{node: i, err: fmt.Errorf("dist: unexpected frame from node %d", i)})
 					return
 				}
-				completions <- doneOrErr{done: e.Done, node: i}
 			}
 		}(i, l)
+	}
+	if opt.Heartbeat > 0 {
+		window := time.Duration(opt.HeartbeatMisses) * opt.Heartbeat
+		for i, l := range links {
+			go func(i int, l *link) {
+				ticker := time.NewTicker(opt.Heartbeat)
+				defer ticker.Stop()
+				var seq int64
+				for {
+					select {
+					case <-stopCh:
+						return
+					case <-ticker.C:
+						if time.Since(time.Unix(0, lastSeen[i].Load())) > window {
+							push(coordEvent{node: i, hbMiss: true})
+							return
+						}
+						seq++
+						if err := l.send(envelope{Ping: &Ping{Seq: seq}}); err != nil {
+							push(coordEvent{node: i, err: fmt.Errorf("dist: ping node %d: %w", i, err)})
+							return
+						}
+					}
+				}
+			}(i, l)
+		}
+	}
+	if opt.LeaseTimeout > 0 {
+		scan := opt.LeaseTimeout / 4
+		if scan < time.Millisecond {
+			scan = time.Millisecond
+		}
+		go func() {
+			ticker := time.NewTicker(scan)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-stopCh:
+					return
+				case <-ticker.C:
+					push(coordEvent{leaseTick: true})
+				}
+			}
+		}()
 	}
 
 	// shutdownAll asks workers to exit; they close their end, which also
 	// unwinds the reader goroutines. Connections are force-closed only on
 	// the error path (clean workers must get a chance to read Shutdown).
 	shutdownAll := func(force bool) {
-		for _, l := range links {
+		for i, l := range links {
+			if stats.Nodes[i].Lost {
+				continue // already closed at failover time
+			}
 			l.send(envelope{Shutdown: &Shutdown{}}) //nolint:errcheck // best effort
 			if force {
 				l.close() //nolint:errcheck
@@ -159,10 +278,133 @@ func CoordinateObs(prog *core.Program, svb *cellsim.SharedVariableBuffer, conns 
 		return res
 	}
 
-	// dispatch sends one application instance to its owner node, or
-	// processes a service instance (Inlet/Outlet) locally at the TSU and
-	// returns the newly ready set.
-	outstanding := 0
+	// ----- failure handling state (owned by the main loop) -----
+	leases := make(map[core.Instance]*lease)
+	alive := make([]bool, n)
+	for i := range alive {
+		alive[i] = true
+	}
+	aliveN := n
+	var lastLoss error
+	var genCtr int64
+	var timers []*time.Timer
+
+	nextAlive := func(from int) int {
+		for i := 1; i <= n; i++ {
+			if k := (from + i) % n; alive[k] {
+				return k
+			}
+		}
+		return -1
+	}
+	// buildExec reassembles the Exec for an instance, re-reading import
+	// regions from the canonical buffers; safe to repeat because exports
+	// apply only here and an instance's imports were finalized before it
+	// became ready. Errors are fatal program errors.
+	buildExec := func(inst core.Instance) (Exec, int64, error) {
+		ex := Exec{Inst: inst}
+		var importBytes int64
+		tpl := state.Template(inst.Thread)
+		if tpl != nil && tpl.Access != nil {
+			for _, r := range tpl.Access(inst.Ctx) {
+				if r.Write || r.Size <= 0 {
+					continue
+				}
+				b := svb.Bytes(r.Buffer)
+				if b == nil {
+					return ex, 0, fmt.Errorf("dist: import references unregistered buffer %q", r.Buffer)
+				}
+				rdata, err := readRegion(b, r)
+				if err != nil {
+					return ex, 0, err
+				}
+				importBytes += int64(len(rdata.Data))
+				ex.Imports = append(ex.Imports, rdata)
+			}
+		}
+		return ex, importBytes, nil
+	}
+	localFor := func(k tsu.KernelID, target int) int {
+		if node, local := nodeOf(k); node == target {
+			return local
+		}
+		if nodeKernels[target] <= 0 {
+			return 0
+		}
+		return int(k) % nodeKernels[target]
+	}
+
+	// scheduleRedispatch arms a backoff timer that re-queues the lease's
+	// instance through the main loop. The lease generation guards the
+	// timer: if the lease was completed or re-scheduled meanwhile, the
+	// firing is stale and ignored.
+	scheduleRedispatch := func(ls *lease) error {
+		ls.attempts++
+		if ls.attempts > opt.MaxAttempts {
+			return fmt.Errorf("dist: instance %v exhausted %d dispatch attempts; last node loss: %v", ls.inst, opt.MaxAttempts, lastLoss)
+		}
+		genCtr++
+		ls.gen = genCtr
+		inst, gen := ls.inst, ls.gen
+		delay := backoffDelay(ls.attempts-1, opt.RetryBase, opt.RetryCap)
+		timers = append(timers, time.AfterFunc(delay, func() {
+			push(coordEvent{redispatch: true, inst: inst, gen: gen})
+		}))
+		return nil
+	}
+
+	// markDead declares a node lost: close its link (unblocking its
+	// reader), drain its leases into re-dispatch timers, and hard-fail
+	// if no node survives.
+	markDead := func(node int, reason error) error {
+		if node < 0 || node >= n || !alive[node] {
+			return nil
+		}
+		alive[node] = false
+		aliveN--
+		lastLoss = fmt.Errorf("node %d: %w", node, reason)
+		stats.Nodes[node].Lost = true
+		stats.Nodes[node].LostReason = reason.Error()
+		stats.Failovers++
+		if aliveGauge[node] != nil {
+			aliveGauge[node].Set(0)
+		}
+		links[node].close() //nolint:errcheck
+		if sink != nil {
+			sink.Record(obs.Event{Kind: obs.DistFailover, Lane: node, Start: sink.Now(), Note: reason.Error()})
+		}
+		failedAt := time.Now()
+		for _, ls := range leases {
+			if ls.node != node {
+				continue
+			}
+			ls.failedAt = failedAt
+			if err := scheduleRedispatch(ls); err != nil {
+				return err
+			}
+		}
+		if aliveN == 0 {
+			return fmt.Errorf("dist: all %d nodes lost; last failure: %w", n, lastLoss)
+		}
+		return nil
+	}
+
+	// sendLease ships the lease's Exec to its current node, recording
+	// traffic; a transport error fails the target node over (the lease
+	// it carries is re-scheduled by markDead).
+	sendLease := func(ls *lease, ex Exec) error {
+		stats.BytesOut += ls.bytes
+		stats.Messages++
+		if err := links[ls.node].send(envelope{Exec: &ex}); err != nil {
+			return markDead(ls.node, fmt.Errorf("send: %w", err))
+		}
+		return nil
+	}
+
+	// dispatch sends one application instance to its owner node (or a
+	// surviving fallback), or processes a service instance (Inlet /
+	// Outlet) locally at the TSU. Only fatal program errors are
+	// returned; transport failures fail over internally.
 	var dispatch func(rd tsu.Ready) error
 	dispatch = func(rd tsu.Ready) error {
 		if state.IsService(rd.Inst) {
@@ -177,39 +419,127 @@ func CoordinateObs(prog *core.Program, svb *cellsim.SharedVariableBuffer, conns 
 			}
 			return nil
 		}
-		tpl := state.Template(rd.Inst.Thread)
-		ex := Exec{Inst: rd.Inst}
-		node, local := nodeOf(rd.Kernel)
+		owner, local := nodeOf(rd.Kernel)
+		target := owner
+		if !alive[target] {
+			target = nextAlive(owner)
+			if target < 0 {
+				return fmt.Errorf("dist: all %d nodes lost; cannot dispatch %v; last failure: %w", n, rd.Inst, lastLoss)
+			}
+			local = localFor(rd.Kernel, target)
+		}
+		ex, importBytes, err := buildExec(rd.Inst)
+		if err != nil {
+			return err
+		}
 		ex.Kernel = local
-		var importBytes int64
-		if tpl.Access != nil {
-			for _, r := range tpl.Access(rd.Inst.Ctx) {
-				if r.Write || r.Size <= 0 {
-					continue
-				}
-				b := svb.Bytes(r.Buffer)
-				if b == nil {
-					return fmt.Errorf("dist: import references unregistered buffer %q", r.Buffer)
-				}
-				rdata, err := readRegion(b, r)
-				if err != nil {
-					return err
-				}
-				importBytes += int64(len(rdata.Data))
-				ex.Imports = append(ex.Imports, rdata)
-			}
+		ls := &lease{inst: rd.Inst, kern: rd.Kernel, node: target, attempts: 1, wall: time.Now(), bytes: importBytes}
+		if sink != nil {
+			ls.at = sink.Now()
 		}
-		stats.BytesOut += importBytes
+		leases[rd.Inst] = ls
+		return sendLease(ls, ex)
+	}
+
+	// redispatch moves a drained lease to the next surviving node.
+	redispatch := func(inst core.Instance, gen int64) error {
+		ls := leases[inst]
+		if ls == nil || ls.gen != gen {
+			return nil // completed or re-scheduled meanwhile
+		}
+		target := nextAlive(ls.node)
+		if target < 0 {
+			return fmt.Errorf("dist: all %d nodes lost; cannot re-dispatch %v; last failure: %w", n, inst, lastLoss)
+		}
+		ex, importBytes, err := buildExec(inst)
+		if err != nil {
+			return err
+		}
+		ex.Kernel = localFor(ls.kern, target)
+		ls.node = target
+		ls.bytes = importBytes
+		ls.wall = time.Now()
+		if sink != nil {
+			ls.at = sink.Now()
+		}
+		stats.Retries++
+		if foHist != nil && !ls.failedAt.IsZero() {
+			foHist.ObserveDuration(time.Since(ls.failedAt))
+		}
+		return sendLease(ls, ex)
+	}
+
+	// handleDone validates one Done frame and applies it. Validation
+	// comes first: a buggy or byzantine worker must not panic the
+	// coordinator or double-apply exports. A Done without a matching
+	// (instance, node) lease is a late duplicate — counted and dropped.
+	handleDone := func(d *Done, node int) error {
 		stats.Messages++
-		outstanding++
-		if pending != nil {
-			p := pendingRPC{wall: time.Now(), bytes: importBytes}
-			if sink != nil {
-				p.at = sink.Now()
-			}
-			pending[rd.Inst] = p
+		ls := leases[d.Inst]
+		if ls == nil || ls.node != node {
+			// No live lease binds this (instance, node) pair: a late
+			// Done from a failed-over node, or an unsolicited one.
+			// Either way its exports must not re-apply.
+			stats.DupeDones++
+			return nil
 		}
-		return links[node].send(envelope{Exec: &ex})
+		if d.Err != "" {
+			return errors.New("dist: " + d.Err)
+		}
+		if d.Kernel < 0 || d.Kernel >= nodeKernels[node] {
+			return markDead(node, fmt.Errorf("dist: node %d reported out-of-range kernel %d (hosts %d)", node, d.Kernel, nodeKernels[node]))
+		}
+		var exportBytes int64
+		for _, rdata := range d.Exports {
+			b := svb.Bytes(rdata.Buffer)
+			if b == nil {
+				return markDead(node, fmt.Errorf("dist: node %d export references unregistered buffer %q", node, rdata.Buffer))
+			}
+			if rdata.Offset < 0 || rdata.Offset+int64(len(rdata.Data)) > int64(len(b)) {
+				return markDead(node, fmt.Errorf("dist: node %d export [%d,%d) outside buffer %q (%d bytes)", node, rdata.Offset, rdata.Offset+int64(len(rdata.Data)), rdata.Buffer, len(b)))
+			}
+		}
+		delete(leases, d.Inst)
+		for _, rdata := range d.Exports {
+			writeRegion(svb.Bytes(rdata.Buffer), rdata) //nolint:errcheck // validated above
+			exportBytes += int64(len(rdata.Data))
+		}
+		stats.BytesIn += exportBytes
+		stats.Nodes[node].Executed++
+		dur := time.Since(ls.wall)
+		if sink != nil {
+			sink.Record(obs.Event{
+				Kind:  obs.DistRPC,
+				Lane:  node,
+				Inst:  d.Inst,
+				Start: ls.at,
+				Dur:   dur,
+				Bytes: ls.bytes + exportBytes,
+			})
+			// The same span doubles as the node lane's occupancy:
+			// remote body time plus transport, as observed here.
+			sink.Record(obs.Event{
+				Kind:  obs.ThreadComplete,
+				Lane:  node,
+				Inst:  d.Inst,
+				Start: ls.at,
+				Dur:   dur,
+			})
+		}
+		if rpcHist != nil {
+			rpcHist.ObserveDuration(dur)
+		}
+		global := tsu.KernelID(kernelBase[node] + d.Kernel)
+		res := complete(d.Inst, global)
+		if res.ProgramDone {
+			return errProgramDone
+		}
+		for _, next := range res.NewReady {
+			if err := dispatch(next); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
 
 	start := time.Now()
@@ -218,70 +548,39 @@ func CoordinateObs(prog *core.Program, svb *cellsim.SharedVariableBuffer, conns 
 			return err
 		}
 		for {
-			c := <-completions
-			if c.err != nil {
-				return c.err
-			}
-			d := c.done
-			outstanding--
-			stats.Messages++
-			if d.Err != "" {
-				return errors.New("dist: " + d.Err)
-			}
-			var exportBytes int64
-			for _, rdata := range d.Exports {
-				b := svb.Bytes(rdata.Buffer)
-				if b == nil {
-					return fmt.Errorf("dist: export references unregistered buffer %q", rdata.Buffer)
+			ev := <-events
+			var err error
+			switch {
+			case ev.err != nil:
+				err = markDead(ev.node, ev.err)
+			case ev.hbMiss:
+				err = markDead(ev.node, fmt.Errorf("heartbeat: no traffic for %v", time.Duration(opt.HeartbeatMisses)*opt.Heartbeat))
+			case ev.redispatch:
+				err = redispatch(ev.inst, ev.gen)
+			case ev.leaseTick:
+				nowT := time.Now()
+				for _, ls := range leases {
+					if alive[ls.node] && nowT.Sub(ls.wall) > opt.LeaseTimeout {
+						if err = markDead(ls.node, fmt.Errorf("lease on %v expired after %v", ls.inst, opt.LeaseTimeout)); err != nil {
+							break
+						}
+					}
 				}
-				if err := writeRegion(b, rdata); err != nil {
-					return err
-				}
-				exportBytes += int64(len(rdata.Data))
+			case ev.done != nil:
+				err = handleDone(ev.done, ev.node)
 			}
-			stats.BytesIn += exportBytes
-			stats.Nodes[c.node].Executed++
-			if p, ok := pending[d.Inst]; ok {
-				delete(pending, d.Inst)
-				dur := time.Since(p.wall)
-				if sink != nil {
-					sink.Record(obs.Event{
-						Kind:  obs.DistRPC,
-						Lane:  c.node,
-						Inst:  d.Inst,
-						Start: p.at,
-						Dur:   dur,
-						Bytes: p.bytes + exportBytes,
-					})
-					// The same span doubles as the node lane's occupancy:
-					// remote body time plus transport, as observed here.
-					sink.Record(obs.Event{
-						Kind:  obs.ThreadComplete,
-						Lane:  c.node,
-						Inst:  d.Inst,
-						Start: p.at,
-						Dur:   dur,
-					})
-				}
-				if rpcHist != nil {
-					rpcHist.ObserveDuration(dur)
-				}
+			if err != nil {
+				return err
 			}
-			global := tsu.KernelID(kernelBase[c.node] + d.Kernel)
-			res := complete(d.Inst, global)
-			if res.ProgramDone {
-				return errProgramDone
-			}
-			for _, next := range res.NewReady {
-				if err := dispatch(next); err != nil {
-					return err
-				}
-			}
-			if outstanding == 0 && state.Finished() {
+			if len(leases) == 0 && state.Finished() {
 				return errProgramDone
 			}
 		}
 	}()
+	close(stopCh)
+	for _, t := range timers {
+		t.Stop()
+	}
 	stats.Elapsed = time.Since(start)
 	stats.TSU = state.Stats()
 	if reg != nil {
@@ -289,6 +588,9 @@ func CoordinateObs(prog *core.Program, svb *cellsim.SharedVariableBuffer, conns 
 		reg.Counter("dist.bytes_in").Set(stats.BytesIn)
 		reg.Counter("dist.messages").Set(stats.Messages)
 		reg.Counter("dist.nodes").Set(int64(len(conns)))
+		reg.Counter("dist.failovers").Set(stats.Failovers)
+		reg.Counter("dist.retries").Set(stats.Retries)
+		reg.Counter("dist.dupe_done").Set(stats.DupeDones)
 		reg.Counter("tsu.decrements").Set(stats.TSU.Decrements)
 		reg.Counter("tsu.fired").Set(stats.TSU.Fired)
 	}

@@ -42,6 +42,19 @@
 // reads. Parallelism across nodes is the distributed axis; a node's
 // kernels overlap protocol work (decode, replies) with execution.
 //
+// Fault tolerance: D²NOW's network-of-workstations regime treats node
+// loss as an operating condition, and the coordinator follows suit.
+// Every in-flight Exec is tracked in a lease; nodes are declared dead on
+// transport errors, missed heartbeats (Ping/Pong frames), protocol
+// violations, or expired leases, and their leases re-dispatch to
+// surviving nodes with capped exponential backoff. A Done is accepted
+// only while a live lease binds its (instance, node) pair, so exports
+// apply exactly once even when a failover races a slow network — safe to
+// re-execute precisely because of the import/export contract above. The
+// run completes on any non-empty subset of the starting nodes; tuning
+// lives in Options (CoordinateOpts / RunLocalOpts), and
+// internal/chaos provides deterministic fault injection against it.
+//
 // Everything needed for tests and demos runs in one process via
 // RunLocal, which starts the workers on loopback TCP connections; Serve
 // and Coordinate are the building blocks for genuinely remote workers.

@@ -1,0 +1,125 @@
+package dist
+
+import (
+	"net"
+	"time"
+
+	"tflux/internal/core"
+	"tflux/internal/obs"
+	"tflux/internal/tsu"
+)
+
+// Options tunes the coordinator's observability and resilience. The
+// zero value means "defaults": heartbeats every 250ms, four missed
+// intervals before a node is declared dead, 30s leases, 10s handshake
+// and per-frame write deadlines, and capped exponential re-dispatch
+// backoff starting at 2ms.
+type Options struct {
+	// Sink receives run events (see CoordinateObs); may be nil.
+	Sink obs.Sink
+	// Metrics receives counters, gauges and histograms; may be nil.
+	Metrics *obs.Registry
+
+	// Heartbeat is the Ping interval per link. Zero means the default;
+	// negative disables heartbeats (failure detection then relies on
+	// recv errors and lease expiry alone).
+	Heartbeat time.Duration
+	// HeartbeatMisses is how many Heartbeat intervals without any
+	// inbound frame mark a node dead. Zero means the default.
+	HeartbeatMisses int
+	// LeaseTimeout bounds how long one dispatched Exec may stay
+	// outstanding before its node is declared dead. Zero means the
+	// default; negative disables lease expiry.
+	LeaseTimeout time.Duration
+	// HandshakeTimeout bounds the Hello recv per node, so a
+	// connected-but-silent worker fails the handshake instead of
+	// hanging the coordinator. Zero means the default.
+	HandshakeTimeout time.Duration
+	// WriteTimeout bounds each frame send. Zero means the default;
+	// negative disables the deadline.
+	WriteTimeout time.Duration
+
+	// RetryBase is the first re-dispatch backoff delay; each further
+	// attempt for the same instance doubles it up to RetryCap. Zero
+	// means the defaults.
+	RetryBase time.Duration
+	RetryCap  time.Duration
+	// MaxAttempts caps dispatch attempts per instance (first dispatch
+	// included) before the run hard-fails. Zero means the default.
+	MaxAttempts int
+
+	// WrapConn, when non-nil, wraps each coordinator-side connection of
+	// RunLocalOpts before use — the hook the chaos package plugs into.
+	WrapConn func(node int, c net.Conn) net.Conn
+}
+
+// Resilience defaults.
+const (
+	defaultHeartbeat        = 250 * time.Millisecond
+	defaultHeartbeatMisses  = 4
+	defaultLeaseTimeout     = 30 * time.Second
+	defaultHandshakeTimeout = 10 * time.Second
+	defaultWriteTimeout     = 10 * time.Second
+	defaultRetryBase        = 2 * time.Millisecond
+	defaultRetryCap         = 250 * time.Millisecond
+	defaultMaxAttempts      = 8
+)
+
+// withDefaults fills zero fields with the package defaults.
+func (o Options) withDefaults() Options {
+	if o.Heartbeat == 0 {
+		o.Heartbeat = defaultHeartbeat
+	}
+	if o.HeartbeatMisses <= 0 {
+		o.HeartbeatMisses = defaultHeartbeatMisses
+	}
+	if o.LeaseTimeout == 0 {
+		o.LeaseTimeout = defaultLeaseTimeout
+	}
+	if o.HandshakeTimeout <= 0 {
+		o.HandshakeTimeout = defaultHandshakeTimeout
+	}
+	if o.WriteTimeout == 0 {
+		o.WriteTimeout = defaultWriteTimeout
+	}
+	if o.RetryBase <= 0 {
+		o.RetryBase = defaultRetryBase
+	}
+	if o.RetryCap <= 0 {
+		o.RetryCap = defaultRetryCap
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = defaultMaxAttempts
+	}
+	return o
+}
+
+// lease tracks one in-flight Exec: where it was sent, when, with how
+// many bytes, and how many dispatch attempts it has consumed. The
+// coordinator re-dispatches a lease when its node dies or the lease
+// expires, and uses the (instance, node) pair to deduplicate late Dones
+// from slow-but-alive nodes.
+type lease struct {
+	inst     core.Instance
+	kern     tsu.KernelID // TKT owner kernel (global id)
+	node     int          // node currently executing it
+	attempts int          // dispatch attempts so far (first dispatch = 1)
+	gen      int64        // bumped per re-dispatch schedule; stale timers no-op
+	wall     time.Time    // last dispatch wall time (lease start)
+	at       time.Duration
+	bytes    int64     // import bytes shipped with the last dispatch
+	failedAt time.Time // when its node was declared dead (failover latency)
+}
+
+// backoffDelay returns the capped exponential backoff before the given
+// re-dispatch (retry 1 is the first re-dispatch).
+func backoffDelay(retry int, base, max time.Duration) time.Duration {
+	d := base
+	for i := 1; i < retry && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	return d
+}

@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -21,12 +22,22 @@ import (
 // It returns the coordinator's canonical buffers so callers can read the
 // program's results.
 func RunLocal(build func() (*core.Program, *cellsim.SharedVariableBuffer), nodes, kernelsPerNode int) (*Stats, *cellsim.SharedVariableBuffer, error) {
-	return RunLocalObs(build, nodes, kernelsPerNode, nil, nil)
+	return RunLocalOpts(build, nodes, kernelsPerNode, Options{})
 }
 
 // RunLocalObs is RunLocal with coordinator-side observability attached;
 // see CoordinateObs for what sink and reg receive.
 func RunLocalObs(build func() (*core.Program, *cellsim.SharedVariableBuffer), nodes, kernelsPerNode int, sink obs.Sink, reg *obs.Registry) (*Stats, *cellsim.SharedVariableBuffer, error) {
+	return RunLocalOpts(build, nodes, kernelsPerNode, Options{Sink: sink, Metrics: reg})
+}
+
+// RunLocalOpts is RunLocal with resilience and observability tuned by
+// opt (opt.WrapConn, when set, wraps each coordinator-side connection —
+// the fault-injection hook). Worker errors are surfaced alongside any
+// coordinator error instead of being dropped; errors from nodes the
+// coordinator deliberately failed over are expected casualties and are
+// not reported when the run itself succeeded.
+func RunLocalOpts(build func() (*core.Program, *cellsim.SharedVariableBuffer), nodes, kernelsPerNode int, opt Options) (*Stats, *cellsim.SharedVariableBuffer, error) {
 	if nodes < 1 {
 		nodes = 1
 	}
@@ -38,38 +49,64 @@ func RunLocalObs(build func() (*core.Program, *cellsim.SharedVariableBuffer), no
 
 	var wg sync.WaitGroup
 	workerErrs := make([]error, nodes)
-	for i := 0; i < nodes; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			conn, err := net.Dial("tcp", ln.Addr().String())
-			if err != nil {
-				workerErrs[i] = err
-				return
+
+	// joinWorkerErrs folds the worker results into one error, skipping
+	// nodes whose loss the coordinator already handled (lostOK).
+	joinWorkerErrs := func(base error, lostOK func(i int) bool) error {
+		errs := []error{base}
+		for i, werr := range workerErrs {
+			if werr == nil || (lostOK != nil && lostOK(i)) {
+				continue
 			}
-			workerErrs[i] = Serve(conn, kernelsPerNode, build)
-		}(i)
+			errs = append(errs, fmt.Errorf("dist: node %d: %w", i, werr))
+		}
+		return errors.Join(errs...)
 	}
 
-	conns := make([]net.Conn, nodes)
-	for i := range conns {
+	// Dial and accept pairwise so worker i IS coordinator node i — the
+	// failover bookkeeping (stats.Nodes[i].Lost) and workerErrs[i] must
+	// agree on which node is which, and concurrent dials would leave the
+	// accept order arbitrary.
+	conns := make([]net.Conn, 0, nodes)
+	for i := 0; i < nodes; i++ {
+		failSetup := func(err error) (*Stats, *cellsim.SharedVariableBuffer, error) {
+			// Release everything already connected so workers blocked in
+			// Serve unwind, then surface their errors too.
+			for _, c := range conns {
+				c.Close() //nolint:errcheck
+			}
+			ln.Close() //nolint:errcheck
+			wg.Wait()
+			return nil, nil, joinWorkerErrs(err, nil)
+		}
+		wconn, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			return failSetup(fmt.Errorf("dist: dial node %d: %w", i, err))
+		}
 		c, err := ln.Accept()
 		if err != nil {
-			return nil, nil, err
+			wconn.Close() //nolint:errcheck
+			return failSetup(fmt.Errorf("dist: accept: %w", err))
 		}
-		conns[i] = c
+		wg.Add(1)
+		go func(i int, wconn net.Conn) {
+			defer wg.Done()
+			workerErrs[i] = Serve(wconn, kernelsPerNode, build)
+		}(i, wconn)
+		if opt.WrapConn != nil {
+			c = opt.WrapConn(i, c)
+		}
+		conns = append(conns, c)
 	}
 
 	prog, svb := build()
-	stats, err := CoordinateObs(prog, svb, conns, sink, reg)
+	stats, err := CoordinateOpts(prog, svb, conns, opt)
 	wg.Wait()
-	if err != nil {
-		return stats, svb, err
+	lostOK := func(i int) bool {
+		return err == nil && stats != nil && stats.Nodes[i].Lost
 	}
-	for i, werr := range workerErrs {
-		if werr != nil {
-			return stats, svb, fmt.Errorf("dist: node %d: %w", i, werr)
-		}
+	if joined := joinWorkerErrs(err, lostOK); joined != nil {
+		return stats, svb, joined
 	}
 	return stats, svb, nil
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"tflux/internal/core"
 )
@@ -42,21 +43,33 @@ type Done struct {
 // Shutdown tells a worker to exit its serve loop.
 type Shutdown struct{}
 
+// Ping is the coordinator's liveness probe; a worker answers each one
+// with a Pong echoing the sequence number.
+type Ping struct{ Seq int64 }
+
+// Pong is the worker's heartbeat reply.
+type Pong struct{ Seq int64 }
+
 // envelope is the gob wire frame: exactly one field is non-nil.
 type envelope struct {
 	Hello    *Hello
 	Exec     *Exec
 	Done     *Done
 	Shutdown *Shutdown
+	Ping     *Ping
+	Pong     *Pong
 }
 
 // link wraps a connection with gob codecs and a write lock so multiple
-// goroutines can send frames.
+// goroutines can send frames. A non-zero wtimeout bounds each frame
+// send, so a stalled peer surfaces as an error instead of blocking the
+// sender forever.
 type link struct {
-	conn net.Conn
-	enc  *gob.Encoder
-	dec  *gob.Decoder
-	wmu  sync.Mutex
+	conn     net.Conn
+	enc      *gob.Encoder
+	dec      *gob.Decoder
+	wmu      sync.Mutex
+	wtimeout time.Duration
 }
 
 func newLink(conn net.Conn) *link {
@@ -66,6 +79,9 @@ func newLink(conn net.Conn) *link {
 func (l *link) send(e envelope) error {
 	l.wmu.Lock()
 	defer l.wmu.Unlock()
+	if l.wtimeout > 0 {
+		l.conn.SetWriteDeadline(time.Now().Add(l.wtimeout)) //nolint:errcheck
+	}
 	return l.enc.Encode(&e)
 }
 

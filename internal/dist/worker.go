@@ -46,10 +46,14 @@ func Serve(conn net.Conn, kernels int, build func() (*core.Program, *cellsim.Sha
 	// staging write could overlap another body's read of the shared
 	// replica. Parallel execution is the business of multiple nodes;
 	// within a node the replica behaves like the single memory it is.
+	// The queue depth bounds how many dispatched-but-unstarted Execs a
+	// kernel can absorb before the recv loop blocks; a blocked recv loop
+	// cannot answer Pings, so the buffer is generous to keep heartbeat
+	// replies flowing under dispatch bursts.
 	var memMu sync.Mutex
 	queues := make([]chan Exec, kernels)
 	for k := range queues {
-		queues[k] = make(chan Exec, 16)
+		queues[k] = make(chan Exec, 256)
 		go func(q <-chan Exec) {
 			for ex := range q {
 				memMu.Lock()
@@ -77,6 +81,8 @@ func Serve(conn net.Conn, kernels int, build func() (*core.Program, *cellsim.Sha
 				k = 0
 			}
 			queues[k] <- *e.Exec
+		case e.Ping != nil:
+			l.send(envelope{Pong: &Pong{Seq: e.Ping.Seq}}) //nolint:errcheck // conn errors surface in recv
 		case e.Shutdown != nil:
 			return nil
 		default:

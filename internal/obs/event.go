@@ -6,9 +6,10 @@ import (
 	"tflux/internal/core"
 )
 
-// Kind classifies an Event. The seven kinds cover the activity every
-// TFlux platform shares: DThread scheduling, TSU command processing, TUB
-// traffic, Cell DMA staging, distributed RPCs, and memory stalls.
+// Kind classifies an Event. The kinds cover the activity every TFlux
+// platform shares: DThread scheduling, TSU command processing, TUB
+// traffic, Cell DMA staging, distributed RPCs and failovers, and memory
+// stalls.
 type Kind uint8
 
 // The event kinds.
@@ -33,6 +34,10 @@ const (
 	// CacheStall spans the memory-hierarchy cycles of one DThread on
 	// TFluxHard (the non-compute part of its execution).
 	CacheStall
+	// DistFailover marks the instant the TFluxDist coordinator declares
+	// a worker node dead and drains its leases; Note carries the
+	// detection reason.
+	DistFailover
 
 	numKinds
 )
@@ -54,6 +59,8 @@ func (k Kind) String() string {
 		return "rpc"
 	case CacheStall:
 		return "stall"
+	case DistFailover:
+		return "failover"
 	}
 	return "unknown"
 }
