@@ -49,7 +49,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	defer in.Close()
-	src, err := ddmcpp.Process(fs.Arg(0), in, tgt)
+	src, warnings, err := ddmcpp.ProcessDiag(fs.Arg(0), in, tgt)
+	for _, w := range warnings {
+		fmt.Fprintf(stderr, "warning: %s\n", w)
+	}
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 1

@@ -17,7 +17,10 @@
 // deprecated alias for -trace-out.
 //
 // Extras: -dot FILE writes the Synchronization Graph in Graphviz format
-// and exits; -gantt (soft platform) prints an ASCII timeline chart.
+// and exits; -gantt (soft platform) prints an ASCII timeline chart; -vet
+// runs the instance-level static verifier (see internal/ddmlint and
+// cmd/tfluxvet) before dispatch and refuses to run a program with
+// findings.
 //
 // Fault injection (dist platform): -dist-faults applies a seeded chaos
 // plan to the coordinator↔worker links and prints the fired faults and
@@ -43,6 +46,7 @@ import (
 	"tflux/internal/cellsim"
 	"tflux/internal/chaos"
 	"tflux/internal/core"
+	"tflux/internal/ddmlint"
 	"tflux/internal/dist"
 	"tflux/internal/hardsim"
 	"tflux/internal/obs"
@@ -73,6 +77,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		traceLegacy = fs.String("trace", "", "deprecated alias for -trace-out")
 		metrics     = fs.Bool("metrics", false, "print the metrics registry and per-lane event summary after the run")
 		gantt       = fs.Bool("gantt", false, "print an ASCII per-kernel timeline chart (soft platform only)")
+		vet         = fs.Bool("vet", false, "statically verify the program at instance granularity (ddmlint) and refuse to dispatch on findings")
 		distFaults  = fs.String("dist-faults", "", "dist platform: seeded fault-injection plan, e.g. seed=7,plan=sever:node=1:after=40 (see internal/chaos)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -142,6 +147,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintf(stdout, "wrote synchronization graph to %s\n", *dotOut)
 		return 0
+	}
+	if *vet {
+		rep, err := ddmlint.Lint(prog)
+		if err != nil {
+			return fail(err)
+		}
+		if !rep.OK() {
+			if err := rep.WriteText(stderr); err != nil {
+				return fail(err)
+			}
+			return fail(fmt.Errorf("%d ddmlint finding(s); refusing to dispatch", len(rep.Findings)))
+		}
+		fmt.Fprintln(stdout, "vet:        ok")
 	}
 
 	// Observability plumbing, shared by every platform: one recorder

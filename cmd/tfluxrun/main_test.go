@@ -250,6 +250,21 @@ func TestRunErrors(t *testing.T) {
 	}
 }
 
+// TestRunVetFlag pins the pre-dispatch verifier: a clean benchmark runs
+// with a "vet: ok" line in the report.
+func TestRunVetFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-bench", "TRAPEZ", "-platform", "soft", "-size", "small",
+		"-kernels", "2", "-reps", "1", "-vet"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "vet:        ok") || !strings.Contains(s, "verify:     ok") {
+		t.Fatalf("output:\n%s", s)
+	}
+}
+
 func TestRunGanttFlag(t *testing.T) {
 	var out, errb bytes.Buffer
 	code := run([]string{"-bench", "TRAPEZ", "-platform", "soft", "-size", "small",

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runVet(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestVetSuiteIsClean(t *testing.T) {
+	code, out, errb := runVet(t)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errb)
+	}
+	for _, name := range []string{"trapez", "mmult", "qsort", "susan", "fft"} {
+		if !strings.Contains(out, `"`+name+`": ok (no findings)`) {
+			t.Fatalf("output missing clean verdict for %s:\n%s", name, out)
+		}
+	}
+}
+
+func TestVetSingleBenchmarkWithDOT(t *testing.T) {
+	dot := filepath.Join(t.TempDir(), "g.dot")
+	code, out, errb := runVet(t, "-kernels", "8", "-unroll", "16", "-dot", dot, "MMULT")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errb)
+	}
+	if !strings.Contains(out, "ok (no findings)") || !strings.Contains(out, "wrote synchronization graph") {
+		t.Fatalf("output = %q", out)
+	}
+	g, err := os.ReadFile(dot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(g), "digraph") {
+		t.Fatalf("dot output = %q", g)
+	}
+}
+
+func TestVetUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{"NOSUCH"},
+		{"-size", "gigantic", "MMULT"},
+		{"-dot", "x.dot", "MMULT", "FFT"},
+		{"-dot", "x.dot"}, // whole suite + -dot
+	}
+	for _, args := range cases {
+		code, _, errb := runVet(t, args...)
+		if code != 2 {
+			t.Errorf("args %v: exit %d, want 2 (stderr %q)", args, code, errb)
+		}
+		if errb == "" {
+			t.Errorf("args %v: no diagnostic on stderr", args)
+		}
+	}
+}

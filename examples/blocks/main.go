@@ -21,16 +21,38 @@ const (
 	pieces    = 4
 )
 
+// buildMonolithic puts all the work in one Block — more instances than
+// the TSU has slots, so the runtime must reject it.
+func buildMonolithic(acc []int64) *tflux.Program {
+	p := tflux.NewProgram("monolithic")
+	p.Thread(1, "work", func(ctx tflux.Context) {
+		acc[ctx] = int64(ctx)
+	}).Instances(totalWork)
+	return p
+}
+
+// buildBlocked splits the same work into sequential Blocks that each fit
+// the TSU.
+func buildBlocked(acc []int64) *tflux.Program {
+	p := tflux.NewProgram("blocked")
+	per := tflux.Context(totalWork / pieces)
+	for blk := 0; blk < pieces; blk++ {
+		blk := blk
+		p.Block()
+		p.Thread(tflux.ThreadID(blk+1), fmt.Sprintf("work%d", blk), func(ctx tflux.Context) {
+			i := blk*int(per) + int(ctx)
+			acc[i] = int64(i)
+		}).Instances(per)
+	}
+	return p
+}
+
 func main() {
 	acc := make([]int64, totalWork)
 
 	// Attempt 1: everything in one Block. 4096 instances > 1024 TSU
 	// slots, so the TSU rejects the program before running anything.
-	oneBlock := tflux.NewProgram("monolithic")
-	oneBlock.Thread(1, "work", func(ctx tflux.Context) {
-		acc[ctx] = int64(ctx)
-	}).Instances(totalWork)
-	_, err := tflux.RunSoft(oneBlock, tflux.SoftOptions{Kernels: 4, TSUSize: tsuSlots})
+	_, err := tflux.RunSoft(buildMonolithic(acc), tflux.SoftOptions{Kernels: 4, TSUSize: tsuSlots})
 	if err == nil {
 		log.Fatal("expected the monolithic program to exceed the TSU")
 	}
@@ -39,17 +61,7 @@ func main() {
 	// Attempt 2: the DDM way — split into Blocks. Only one Block is
 	// resident at a time; the Outlet of each Block chains to the Inlet of
 	// the next, so the 1024-slot TSU is always enough.
-	split := tflux.NewProgram("blocked")
-	per := tflux.Context(totalWork / pieces)
-	for blk := 0; blk < pieces; blk++ {
-		blk := blk
-		split.Block()
-		split.Thread(tflux.ThreadID(blk+1), fmt.Sprintf("work%d", blk), func(ctx tflux.Context) {
-			i := blk*int(per) + int(ctx)
-			acc[i] = int64(i)
-		}).Instances(per)
-	}
-	stats, err := tflux.RunSoft(split, tflux.SoftOptions{Kernels: 4, TSUSize: tsuSlots})
+	stats, err := tflux.RunSoft(buildBlocked(acc), tflux.SoftOptions{Kernels: 4, TSUSize: tsuSlots})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,26 @@
+package main
+
+import (
+	"testing"
+
+	"tflux"
+)
+
+// TestVetClean statically verifies both variants' graphs at instance
+// granularity; the monolithic one is oversized for the TSU (a runtime
+// capacity limit) but structurally sound.
+func TestVetClean(t *testing.T) {
+	acc := make([]int64, totalWork)
+	for name, p := range map[string]*tflux.Program{
+		"monolithic": buildMonolithic(acc),
+		"blocked":    buildBlocked(acc),
+	} {
+		rep, err := tflux.Vet(p)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !rep.OK() || len(rep.Notes) > 0 {
+			t.Fatalf("%s: findings %+v, notes %v", name, rep.Findings, rep.Notes)
+		}
+	}
+}

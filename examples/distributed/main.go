@@ -19,60 +19,60 @@ import (
 	"tflux/internal/byteview"
 )
 
+const chunks = 24
+const intervals = 1 << 18
+
+// build constructs one node's replica: fresh buffers, same graph.
+func build() (*tflux.Program, *tflux.CellBuffers) {
+	partials := make([]float64, chunks)
+	result := make([]float64, 1)
+
+	p := tflux.NewProgram("dist-pi")
+	p.Buffer("partials", chunks*8)
+	p.Buffer("result", 8)
+
+	p.Thread(1, "integrate", func(ctx tflux.Context) {
+		lo, hi := int(ctx)*intervals/chunks, (int(ctx)+1)*intervals/chunks
+		h := 1.0 / float64(intervals)
+		var s float64
+		for i := lo; i < hi; i++ {
+			x0, x1 := float64(i)*h, float64(i+1)*h
+			s += (4/(1+x0*x0) + 4/(1+x1*x1)) * h / 2
+		}
+		partials[ctx] = s
+	}).Instances(chunks).
+		Then(2, tflux.AllToOne{}).
+		// The export declaration is the data movement: without it the
+		// partial sum would stay on the worker node.
+		Access(func(ctx tflux.Context) []tflux.MemRegion {
+			return []tflux.MemRegion{{Buffer: "partials", Offset: int64(ctx) * 8, Size: 8, Write: true}}
+		})
+
+	p.Thread(2, "reduce", func(tflux.Context) {
+		var s float64
+		for _, v := range partials {
+			s += v
+		}
+		result[0] = s
+	}).Access(func(tflux.Context) []tflux.MemRegion {
+		return []tflux.MemRegion{
+			{Buffer: "partials", Size: chunks * 8},
+			{Buffer: "result", Size: 8, Write: true},
+		}
+	})
+
+	bufs := tflux.NewCellBuffers()
+	bufs.Register("partials", byteview.Float64s(partials))
+	bufs.Register("result", byteview.Float64s(result))
+	return p, bufs
+}
+
 func main() {
 	var (
 		nodes   = flag.Int("nodes", 3, "worker nodes (separate address spaces)")
 		kernels = flag.Int("kernels", 2, "kernels per node")
 	)
 	flag.Parse()
-
-	const chunks = 24
-	const intervals = 1 << 18
-
-	// build constructs one node's replica: fresh buffers, same graph.
-	build := func() (*tflux.Program, *tflux.CellBuffers) {
-		partials := make([]float64, chunks)
-		result := make([]float64, 1)
-
-		p := tflux.NewProgram("dist-pi")
-		p.Buffer("partials", chunks*8)
-		p.Buffer("result", 8)
-
-		p.Thread(1, "integrate", func(ctx tflux.Context) {
-			lo, hi := int(ctx)*intervals/chunks, (int(ctx)+1)*intervals/chunks
-			h := 1.0 / float64(intervals)
-			var s float64
-			for i := lo; i < hi; i++ {
-				x0, x1 := float64(i)*h, float64(i+1)*h
-				s += (4/(1+x0*x0) + 4/(1+x1*x1)) * h / 2
-			}
-			partials[ctx] = s
-		}).Instances(chunks).
-			Then(2, tflux.AllToOne{}).
-			// The export declaration is the data movement: without it the
-			// partial sum would stay on the worker node.
-			Access(func(ctx tflux.Context) []tflux.MemRegion {
-				return []tflux.MemRegion{{Buffer: "partials", Offset: int64(ctx) * 8, Size: 8, Write: true}}
-			})
-
-		p.Thread(2, "reduce", func(tflux.Context) {
-			var s float64
-			for _, v := range partials {
-				s += v
-			}
-			result[0] = s
-		}).Access(func(tflux.Context) []tflux.MemRegion {
-			return []tflux.MemRegion{
-				{Buffer: "partials", Size: chunks * 8},
-				{Buffer: "result", Size: 8, Write: true},
-			}
-		})
-
-		bufs := tflux.NewCellBuffers()
-		bufs.Register("partials", byteview.Float64s(partials))
-		bufs.Register("result", byteview.Float64s(result))
-		return p, bufs
-	}
 
 	stats, canonical, err := tflux.RunDistLocal(build, *nodes, *kernels)
 	if err != nil {

@@ -1,0 +1,21 @@
+package main
+
+import (
+	"testing"
+
+	"tflux"
+)
+
+// TestVetClean statically verifies one replica's graph; on the dist
+// runtime the Access declarations double as the wire protocol, so a race
+// here would also be a data-movement bug.
+func TestVetClean(t *testing.T) {
+	p, _ := build()
+	rep, err := tflux.Vet(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() || len(rep.Notes) > 0 {
+		t.Fatalf("findings %+v, notes %v", rep.Findings, rep.Notes)
+	}
+}

@@ -15,19 +15,9 @@ import (
 	"tflux"
 )
 
-func main() {
-	var (
-		w       = flag.Int("w", 512, "image width")
-		h       = flag.Int("h", 384, "image height")
-		kernels = flag.Int("kernels", 4, "TFlux kernels / simulated cores")
-	)
-	flag.Parse()
-
-	width, height := *w, *h
-	img := make([]byte, width*height)
-	out := make([]byte, width*height)
-	var checksum uint64
-
+// build constructs the generate → smooth → checksum graph over a
+// width×height image held in img/out.
+func build(width, height int, img, out []byte, checksum *uint64) *tflux.Program {
 	rows := tflux.Context(height)
 	pixBytes := int64(width)
 
@@ -88,14 +78,30 @@ func main() {
 
 	// Phase 3: fold the result into a checksum.
 	p.Thread(3, "checksum", func(tflux.Context) {
-		checksum = 0
+		*checksum = 0
 		for _, b := range out {
-			checksum = checksum*131 + uint64(b)
+			*checksum = *checksum*131 + uint64(b)
 		}
 	}).Cost(func(tflux.Context) int64 { return int64(len(out)) * 2 }).
 		Access(func(tflux.Context) []tflux.MemRegion {
 			return []tflux.MemRegion{{Buffer: "out", Size: int64(len(out))}}
 		})
+	return p
+}
+
+func main() {
+	var (
+		w       = flag.Int("w", 512, "image width")
+		h       = flag.Int("h", 384, "image height")
+		kernels = flag.Int("kernels", 4, "TFlux kernels / simulated cores")
+	)
+	flag.Parse()
+
+	width, height := *w, *h
+	img := make([]byte, width*height)
+	out := make([]byte, width*height)
+	var checksum uint64
+	p := build(width, height, img, out, &checksum)
 
 	// Native execution under the TFluxSoft runtime.
 	soft, err := tflux.RunSoft(p, tflux.SoftOptions{Kernels: *kernels})

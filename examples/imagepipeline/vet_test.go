@@ -1,0 +1,23 @@
+package main
+
+import (
+	"testing"
+
+	"tflux"
+)
+
+// TestVetClean statically verifies the three-phase image graph: the
+// smoothing phase reads halo rows written by neighbouring generate
+// instances, which is only race-free because the phase boundary is a
+// OneToAll barrier — exactly what the verifier proves.
+func TestVetClean(t *testing.T) {
+	const w, h = 64, 48
+	var sum uint64
+	rep, err := tflux.Vet(build(w, h, make([]byte, w*h), make([]byte, w*h), &sum))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() || len(rep.Notes) > 0 {
+		t.Fatalf("findings %+v, notes %v", rep.Findings, rep.Notes)
+	}
+}

@@ -39,13 +39,33 @@ func main() {
 		data[i] = seed
 	}
 
-	L := *leaves
-	bound := func(i int) int { return i * *n / L }
+	p := build(*n, *leaves, data, scratch)
+
+	bufs := tflux.NewCellBuffers()
+	bufs.Register("data", byteview.Uint32s(data))
+	bufs.Register("scratch", byteview.Uint32s(scratch))
+
+	st, err := tflux.RunCell(p, bufs, tflux.CellConfig{SPEs: *spes})
+	if err != nil {
+		log.Fatalf("cell run failed (chunk too large for the Local Store?): %v", err)
+	}
+	if !sort.SliceIsSorted(data, func(i, j int) bool { return data[i] < data[j] }) {
+		log.Fatal("output not sorted")
+	}
+	fmt.Printf("sorted %d elements on %d SPEs in %v\n", *n, *spes, st.Elapsed)
+	fmt.Printf("DMA: %d transfers, %d bytes in, %d bytes out, Local Store high water %d bytes\n",
+		st.DMATransfers, st.DMABytesIn, st.DMABytesOut, st.LSHighWater)
+}
+
+// build constructs the sort-leaves → merge-pairs → final-merge graph over
+// n elements split into L leaf chunks.
+func build(n, L int, data, scratch []uint32) *tflux.Program {
+	bound := func(i int) int { return i * n / L }
 	elemBytes := int64(4)
 
 	p := tflux.NewProgram("mergesort")
-	p.Buffer("data", int64(*n)*elemBytes)
-	p.Buffer("scratch", int64(*n)*elemBytes)
+	p.Buffer("data", int64(n)*elemBytes)
+	p.Buffer("scratch", int64(n)*elemBytes)
 
 	// Leaves: sort chunk ctx of data in place.
 	p.Thread(1, "sortleaf", func(ctx tflux.Context) {
@@ -100,7 +120,7 @@ func main() {
 		for i := range heads {
 			heads[i], ends[i] = bound(2*i), bound(2*i+2)
 		}
-		for k := 0; k < *n; k++ {
+		for k := 0; k < n; k++ {
 			best := -1
 			for r := range heads {
 				if heads[r] == ends[r] {
@@ -114,25 +134,11 @@ func main() {
 			heads[best]++
 		}
 	}).Access(func(tflux.Context) []tflux.MemRegion {
-		full := int64(*n) * elemBytes
+		full := int64(n) * elemBytes
 		return []tflux.MemRegion{
 			{Buffer: "scratch", Size: full, Stream: full > 48<<10},
 			{Buffer: "data", Size: full, Write: true, Stream: full > 48<<10},
 		}
 	})
-
-	bufs := tflux.NewCellBuffers()
-	bufs.Register("data", byteview.Uint32s(data))
-	bufs.Register("scratch", byteview.Uint32s(scratch))
-
-	st, err := tflux.RunCell(p, bufs, tflux.CellConfig{SPEs: *spes})
-	if err != nil {
-		log.Fatalf("cell run failed (chunk too large for the Local Store?): %v", err)
-	}
-	if !sort.SliceIsSorted(data, func(i, j int) bool { return data[i] < data[j] }) {
-		log.Fatal("output not sorted")
-	}
-	fmt.Printf("sorted %d elements on %d SPEs in %v\n", *n, *spes, st.Elapsed)
-	fmt.Printf("DMA: %d transfers, %d bytes in, %d bytes out, Local Store high water %d bytes\n",
-		st.DMATransfers, st.DMABytesIn, st.DMABytesOut, st.LSHighWater)
+	return p
 }

@@ -1,0 +1,23 @@
+package main
+
+import (
+	"testing"
+
+	"tflux"
+)
+
+// TestVetClean statically verifies the merge-tree graph and its Access
+// declarations: leaf chunks are disjoint, each merger's reads are ordered
+// after exactly its Gather pair, the final merge after everything.
+func TestVetClean(t *testing.T) {
+	for _, leaves := range []int{2, 8, 16} {
+		n := 4096
+		rep, err := tflux.Vet(build(n, leaves, make([]uint32, n), make([]uint32, n)))
+		if err != nil {
+			t.Fatalf("leaves=%d: %v", leaves, err)
+		}
+		if !rep.OK() || len(rep.Notes) > 0 {
+			t.Fatalf("leaves=%d: findings %+v, notes %v", leaves, rep.Findings, rep.Notes)
+		}
+	}
+}

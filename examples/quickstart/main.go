@@ -16,11 +16,12 @@ import (
 	"tflux"
 )
 
-func main() {
-	const n = 8
-	squares := make([]int, n)
-	var sum int
+const n = 8
 
+// build constructs the two-thread map/reduce program over the given
+// state. A package-level function so the example's vet test can verify
+// the graph without running it.
+func build(squares []int, sum *int) *tflux.Program {
 	p := tflux.NewProgram("quickstart")
 
 	// A loop DThread: one template, n dynamic instances (contexts).
@@ -32,11 +33,17 @@ func main() {
 
 	p.Thread(2, "reduce", func(tflux.Context) {
 		for _, s := range squares {
-			sum += s
+			*sum += s
 		}
 	})
+	return p
+}
 
-	stats, err := tflux.RunSoft(p, tflux.SoftOptions{Kernels: 4})
+func main() {
+	squares := make([]int, n)
+	var sum int
+
+	stats, err := tflux.RunSoft(build(squares, &sum), tflux.SoftOptions{Kernels: 4})
 	if err != nil {
 		log.Fatal(err)
 	}

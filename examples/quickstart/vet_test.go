@@ -1,0 +1,20 @@
+package main
+
+import (
+	"testing"
+
+	"tflux"
+)
+
+// TestVetClean statically verifies the example's graph at instance
+// granularity (see cmd/tfluxvet).
+func TestVetClean(t *testing.T) {
+	var sum int
+	rep, err := tflux.Vet(build(make([]int, n), &sum))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() || len(rep.Notes) > 0 {
+		t.Fatalf("findings %+v, notes %v", rep.Findings, rep.Notes)
+	}
+}

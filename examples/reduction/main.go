@@ -16,52 +16,54 @@ import (
 	"tflux"
 )
 
+const chunks = 1024
+
+// build constructs the integrate-then-reduce graph for n intervals,
+// writing π into *result when run.
+func build(n int, result *float64) *tflux.Program {
+	parts := make([]float64, chunks)
+	p := tflux.NewProgram("reduction")
+	p.Buffer("parts", chunks*8)
+	p.Thread(1, "integrate", func(ctx tflux.Context) {
+		lo, hi := int(ctx)*n/chunks, (int(ctx)+1)*n/chunks
+		h := 1.0 / float64(n)
+		var s float64
+		for i := lo; i < hi; i++ {
+			x0, x1 := float64(i)*h, float64(i+1)*h
+			s += (4/(1+x0*x0) + 4/(1+x1*x1)) * h / 2
+		}
+		parts[ctx] = s
+	}).Instances(chunks).
+		Then(2, tflux.AllToOne{}).
+		Cost(func(ctx tflux.Context) int64 {
+			lo, hi := int(ctx)*n/chunks, (int(ctx)+1)*n/chunks
+			return int64(hi-lo) * 12
+		}).
+		Access(func(ctx tflux.Context) []tflux.MemRegion {
+			return []tflux.MemRegion{{Buffer: "parts", Offset: int64(ctx) * 8, Size: 8, Write: true}}
+		})
+	p.Thread(2, "reduce", func(tflux.Context) {
+		var s float64
+		for _, v := range parts {
+			s += v
+		}
+		*result = s
+	}).Cost(func(tflux.Context) int64 { return chunks * 4 }).
+		Access(func(tflux.Context) []tflux.MemRegion {
+			return []tflux.MemRegion{{Buffer: "parts", Size: chunks * 8}}
+		})
+	return p
+}
+
 func main() {
 	intervals := flag.Int("intervals", 1<<20, "integration intervals")
 	flag.Parse()
-
-	const chunks = 1024
-	build := func(result *float64) *tflux.Program {
-		parts := make([]float64, chunks)
-		n := *intervals
-		p := tflux.NewProgram("reduction")
-		p.Buffer("parts", chunks*8)
-		p.Thread(1, "integrate", func(ctx tflux.Context) {
-			lo, hi := int(ctx)*n/chunks, (int(ctx)+1)*n/chunks
-			h := 1.0 / float64(n)
-			var s float64
-			for i := lo; i < hi; i++ {
-				x0, x1 := float64(i)*h, float64(i+1)*h
-				s += (4/(1+x0*x0) + 4/(1+x1*x1)) * h / 2
-			}
-			parts[ctx] = s
-		}).Instances(chunks).
-			Then(2, tflux.AllToOne{}).
-			Cost(func(ctx tflux.Context) int64 {
-				lo, hi := int(ctx)*n/chunks, (int(ctx)+1)*n/chunks
-				return int64(hi-lo) * 12
-			}).
-			Access(func(ctx tflux.Context) []tflux.MemRegion {
-				return []tflux.MemRegion{{Buffer: "parts", Offset: int64(ctx) * 8, Size: 8, Write: true}}
-			})
-		p.Thread(2, "reduce", func(tflux.Context) {
-			var s float64
-			for _, v := range parts {
-				s += v
-			}
-			*result = s
-		}).Cost(func(tflux.Context) int64 { return chunks * 4 }).
-			Access(func(tflux.Context) []tflux.MemRegion {
-				return []tflux.MemRegion{{Buffer: "parts", Size: chunks * 8}}
-			})
-		return p
-	}
 
 	var base int64
 	fmt.Printf("%-7s %-14s %-9s %s\n", "cores", "cycles", "speedup", "result")
 	for _, cores := range []int{1, 2, 4, 8, 16, 27} {
 		var pi float64
-		res, err := tflux.RunHard(build(&pi), tflux.HardConfig{Cores: cores})
+		res, err := tflux.RunHard(build(*intervals, &pi), tflux.HardConfig{Cores: cores})
 		if err != nil {
 			log.Fatal(err)
 		}

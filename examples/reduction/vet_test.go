@@ -1,0 +1,20 @@
+package main
+
+import (
+	"testing"
+
+	"tflux"
+)
+
+// TestVetClean statically verifies the integrate/reduce graph, including
+// its per-chunk Access declarations (disjoint writes, ordered read).
+func TestVetClean(t *testing.T) {
+	var pi float64
+	rep, err := tflux.Vet(build(1<<16, &pi))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() || len(rep.Notes) > 0 {
+		t.Fatalf("findings %+v, notes %v", rep.Findings, rep.Notes)
+	}
+}

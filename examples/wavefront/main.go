@@ -50,6 +50,17 @@ func (m shift2D) StrictlyIncreasing() bool { return m.dr*m.n+m.dc > 0 }
 
 func (m shift2D) String() string { return fmt.Sprintf("shift(%+d,%+d)", m.dr, m.dc) }
 
+// build wires the N×N tile grid as one template with two monotone
+// self-arcs: finishing tile (r,c) releases (r,c+1) and (r+1,c).
+func build(n int, body func(tflux.Context)) *tflux.Program {
+	p := tflux.NewProgram("wavefront")
+	p.Thread(1, "tile", body).
+		Instances(tflux.Context(n*n)).
+		Then(1, shift2D{n: n, dr: 0, dc: 1}). // release right neighbour
+		Then(1, shift2D{n: n, dr: 1, dc: 0})  // release lower neighbour
+	return p
+}
+
 func main() {
 	var (
 		tiles   = flag.Int("tiles", 8, "tiles per side")
@@ -93,13 +104,7 @@ func main() {
 
 	// DDM version: one template, two monotone self-arcs.
 	table := make([]int32, side*side)
-	p := tflux.NewProgram("wavefront")
-	p.Thread(1, "tile", fill(table)).
-		Instances(tflux.Context(N*N)).
-		Then(1, shift2D{n: N, dr: 0, dc: 1}). // release right neighbour
-		Then(1, shift2D{n: N, dr: 1, dc: 0})  // release lower neighbour
-
-	stats, err := tflux.RunSoft(p, tflux.SoftOptions{Kernels: *kernels})
+	stats, err := tflux.RunSoft(build(N, fill(table)), tflux.SoftOptions{Kernels: *kernels})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,22 @@
+package main
+
+import (
+	"testing"
+
+	"tflux"
+)
+
+// TestVetClean statically verifies the wavefront graph: the verifier
+// expands the two shift2D self-arcs per tile and must prove every tile
+// fires exactly once with no instance-level cycle.
+func TestVetClean(t *testing.T) {
+	for _, tiles := range []int{1, 2, 8} {
+		rep, err := tflux.Vet(build(tiles, func(tflux.Context) {}))
+		if err != nil {
+			t.Fatalf("tiles=%d: %v", tiles, err)
+		}
+		if !rep.OK() || len(rep.Notes) > 0 {
+			t.Fatalf("tiles=%d: findings %+v, notes %v", tiles, rep.Findings, rep.Notes)
+		}
+	}
+}

@@ -6,6 +6,27 @@ import (
 	"strings"
 )
 
+// ArcKey identifies one dependency arc of the Synchronization Graph by its
+// template endpoints.
+type ArcKey struct {
+	From, To ThreadID
+}
+
+// DOTHighlight marks Synchronization Graph elements for emphasis in the
+// DOT rendering: highlighted templates and arcs are drawn in red with a
+// heavier stroke. The static verifier (internal/ddmlint) produces one from
+// its findings so `tfluxvet -dot` can show exactly which parts of the
+// graph are implicated.
+type DOTHighlight struct {
+	Threads map[ThreadID]bool
+	Arcs    map[ArcKey]bool
+}
+
+// Empty reports whether the highlight marks nothing.
+func (h *DOTHighlight) Empty() bool {
+	return h == nil || (len(h.Threads) == 0 && len(h.Arcs) == 0)
+}
+
 // WriteDOT renders the program's Synchronization Graph in Graphviz DOT
 // format: one subgraph cluster per DDM Block, one node per DThread
 // template (labelled with its name and instance count), one edge per arc
@@ -14,6 +35,12 @@ import (
 //
 //	dot -Tsvg graph.dot > graph.svg
 func WriteDOT(w io.Writer, p *Program) error {
+	return WriteDOTHighlight(w, p, nil)
+}
+
+// WriteDOTHighlight is WriteDOT with the given elements emphasized (drawn
+// red, penwidth 2). hl may be nil for a plain rendering.
+func WriteDOTHighlight(w io.Writer, p *Program, hl *DOTHighlight) error {
 	var b strings.Builder
 	fmt.Fprintf(&b, "digraph %q {\n", p.Name)
 	b.WriteString("\trankdir=TB;\n\tnode [shape=box, fontname=\"monospace\"];\n")
@@ -28,14 +55,29 @@ func WriteDOT(w io.Writer, p *Program) error {
 			if t.Affinity >= 0 {
 				label += fmt.Sprintf("\\n@kernel %d", t.Affinity)
 			}
-			fmt.Fprintf(&b, "\t\tt%d [label=\"%s\"];\n", t.ID, label)
+			style := ""
+			if hl != nil && hl.Threads[t.ID] {
+				style = ", color=red, fontcolor=red, penwidth=2"
+			}
+			fmt.Fprintf(&b, "\t\tt%d [label=\"%s\"%s];\n", t.ID, label, style)
 		}
 		b.WriteString("\t}\n")
 	}
 	for _, blk := range p.Blocks {
 		for _, t := range blk.Templates {
 			for _, a := range t.Arcs {
-				fmt.Fprintf(&b, "\tt%d -> t%d [label=%q];\n", t.ID, a.To, a.Map.String())
+				style := ""
+				if hl != nil && hl.Arcs[ArcKey{From: t.ID, To: a.To}] {
+					style = ", color=red, fontcolor=red, penwidth=2"
+				}
+				if p.Template(a.To) == nil {
+					// Arc to a template that does not exist (the program
+					// would fail Validate): render it dashed so the broken
+					// edge is visible instead of silently materializing a
+					// bare node.
+					style += ", style=dashed"
+				}
+				fmt.Fprintf(&b, "\tt%d -> t%d [label=%q%s];\n", t.ID, a.To, a.Map.String(), style)
 			}
 		}
 	}

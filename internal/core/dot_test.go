@@ -40,6 +40,52 @@ func TestWriteDOT(t *testing.T) {
 	}
 }
 
+func TestWriteDOTHighlight(t *testing.T) {
+	p := NewProgram("hl")
+	b := p.AddBlock()
+	src := NewTemplate(1, "src", noop)
+	work := NewTemplate(2, "work", noop)
+	work.Instances = 4
+	src.Then(2, Scatter{Fan: 4})
+	b.Add(src)
+	b.Add(work)
+
+	hl := &DOTHighlight{
+		Threads: map[ThreadID]bool{2: true},
+		Arcs:    map[ArcKey]bool{{From: 1, To: 2}: true},
+	}
+	if hl.Empty() {
+		t.Fatal("non-empty highlight reported Empty")
+	}
+	if (&DOTHighlight{}).Empty() == false || (*DOTHighlight)(nil).Empty() == false {
+		t.Fatal("empty highlight not reported Empty")
+	}
+
+	var sb strings.Builder
+	if err := WriteDOTHighlight(&sb, p, hl); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `t2 [label="work\nT2 ×4", color=red, fontcolor=red, penwidth=2];`) {
+		t.Fatalf("highlighted node not styled:\n%s", out)
+	}
+	if !strings.Contains(out, "t1 -> t2 [label=\"scatter(fan=4)\", color=red, fontcolor=red, penwidth=2];") {
+		t.Fatalf("highlighted edge not styled:\n%s", out)
+	}
+	if strings.Contains(out, `t1 [label="src\nT1", color=red`) {
+		t.Fatalf("unhighlighted node styled:\n%s", out)
+	}
+
+	// Plain WriteDOT must stay unstyled.
+	sb.Reset()
+	if err := WriteDOT(&sb, p); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "color=red") {
+		t.Fatalf("plain rendering contains highlight styling:\n%s", sb.String())
+	}
+}
+
 func TestWriteDOTEmptyProgram(t *testing.T) {
 	var sb strings.Builder
 	if err := WriteDOT(&sb, NewProgram("empty")); err != nil {

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 )
 
 // Block is a DDM Block: the subset of a program's DThreads that is resident
@@ -70,6 +71,29 @@ func (b *Block) Template(id ThreadID) *Template {
 		}
 	}
 	return nil
+}
+
+// Template returns the template with the given program-unique ID, or nil.
+// IDs are unique program-wide (Validate enforces it), so the first match is
+// the only one. Shared by the static analyses (internal/ddmlint) and the
+// DOT renderer.
+func (p *Program) Template(id ThreadID) *Template {
+	for _, b := range p.Blocks {
+		if t := b.Template(id); t != nil {
+			return t
+		}
+	}
+	return nil
+}
+
+// TemplateName formats a thread ID with its template name for error
+// messages, e.g. `2 ("scale")`, falling back to the bare ID when the
+// program has no such template.
+func (p *Program) TemplateName(id ThreadID) string {
+	if t := p.Template(id); t != nil {
+		return fmt.Sprintf("%d (%q)", id, t.Name)
+	}
+	return fmt.Sprintf("%d", id)
 }
 
 // TotalInstances returns the number of dynamic DThread instances in the
@@ -173,13 +197,13 @@ func (p *Program) Validate() error {
 			for _, a := range t.Arcs {
 				c, ok := local[a.To]
 				if !ok {
-					return p.errf(b.ID, "thread %d (%q) depends-arc to unknown thread %d (arcs may not cross blocks)", t.ID, t.Name, a.To)
+					return p.errf(b.ID, "thread %d (%q) depends-arc to unknown thread %s (arcs may not cross blocks)", t.ID, t.Name, p.TemplateName(a.To))
 				}
 				if a.Map == nil {
-					return p.errf(b.ID, "arc %d->%d has nil mapping", t.ID, a.To)
+					return p.errf(b.ID, "arc %d (%q) -> %d (%q) has nil mapping", t.ID, t.Name, c.ID, c.Name)
 				}
 				if _, one := a.Map.(OneToOne); one && t.Instances != c.Instances {
-					return p.errf(b.ID, "one-to-one arc %d->%d between unequal instance counts %d and %d", t.ID, a.To, t.Instances, c.Instances)
+					return p.errf(b.ID, "one-to-one arc %d (%q) -> %d (%q) between unequal instance counts %d and %d", t.ID, t.Name, c.ID, c.Name, t.Instances, c.Instances)
 				}
 				if a.To == t.ID {
 					// Self-arcs are legal only for strictly increasing
@@ -249,7 +273,11 @@ func checkAcyclic(p *Program, b *Block) error {
 			}
 		}
 		sort.Slice(cyclic, func(i, j int) bool { return cyclic[i] < cyclic[j] })
-		return p.errf(b.ID, "dependency cycle among threads %v", cyclic)
+		names := make([]string, len(cyclic))
+		for i, id := range cyclic {
+			names[i] = p.TemplateName(id)
+		}
+		return p.errf(b.ID, "dependency cycle among threads %s", strings.Join(names, ", "))
 	}
 	return nil
 }

@@ -148,15 +148,67 @@ func TestValidateRejectsBadBuffers(t *testing.T) {
 	}
 }
 
-func TestValidateRejectsAllSinkBlock(t *testing.T) {
-	// Two mutually independent templates but both with producers is
-	// impossible in a DAG, so construct the degenerate case: a single
-	// template whose every instance has a producer cannot exist without a
-	// cycle, which is caught earlier; instead check a ragged gather where
-	// a consumer exists with zero sources is still fine.
+// allProduced is a strictly-increasing self-arc mapping whose declared
+// in-degree claims every context has a producer — including context 0,
+// which nothing actually feeds. Validate takes declarations at face value
+// (cross-checking them is ddmlint's job), but it can still see that a
+// Block whose every instance starts with a non-zero Ready Count can never
+// begin executing.
+type allProduced struct{}
+
+func (allProduced) AppendTargets(dst []Context, pctx, pInst, cInst Context) []Context {
+	if pctx+1 < cInst {
+		dst = append(dst, pctx+1)
+	}
+	return dst
+}
+func (allProduced) InDegree(Context, Context, Context) uint32 { return 1 }
+func (allProduced) String() string                            { return "allProduced" }
+func (allProduced) StrictlyIncreasing() bool                  { return true }
+
+func TestValidateRejectsBlockWithNoSource(t *testing.T) {
+	p := NewProgram("nosource")
+	tpl := NewTemplate(1, "stage", noop)
+	tpl.Instances = 4
+	tpl.Then(1, allProduced{})
+	p.AddBlock().Add(tpl)
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "no source instance") {
+		t.Fatalf("err = %v, want no-source rejection", err)
+	}
+}
+
+func TestProgramTemplateLookup(t *testing.T) {
 	p := linearProgram(3)
-	if err := p.Validate(); err != nil {
-		t.Fatal(err)
+	p.AddBlock().Add(NewTemplate(9, "extra", noop))
+	if tpl := p.Template(2); tpl == nil || tpl.Name != "mid" {
+		t.Fatalf("Template(2) = %v, want mid", tpl)
+	}
+	if tpl := p.Template(9); tpl == nil || tpl.Name != "extra" {
+		t.Fatalf("Template(9) = %v, want extra (second block)", tpl)
+	}
+	if tpl := p.Template(42); tpl != nil {
+		t.Fatalf("Template(42) = %v, want nil", tpl)
+	}
+	if got := p.TemplateName(2); got != `2 ("mid")` {
+		t.Fatalf("TemplateName(2) = %q", got)
+	}
+	if got := p.TemplateName(42); got != "42" {
+		t.Fatalf("TemplateName(42) = %q, want bare id for unknown thread", got)
+	}
+}
+
+func TestValidateErrorsIncludeNames(t *testing.T) {
+	p := NewProgram("cycle")
+	b := p.AddBlock()
+	a := NewTemplate(1, "alpha", noop)
+	c := NewTemplate(2, "beta", noop)
+	a.Then(2, OneToOne{})
+	c.Then(1, OneToOne{})
+	b.Add(a)
+	b.Add(c)
+	err := p.Validate()
+	if err == nil || !strings.Contains(err.Error(), `"alpha"`) || !strings.Contains(err.Error(), `"beta"`) {
+		t.Fatalf("cycle error %v does not name both templates", err)
 	}
 }
 

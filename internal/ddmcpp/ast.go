@@ -31,14 +31,34 @@ type Block struct {
 	Threads []*Thread
 }
 
+// VarRef is one entry of an import/export clause: a shared var,
+// optionally chunked. A plain reference declares the whole buffer for
+// every instance; `name:chunk` declares only the instance's own
+// contiguous 1/Instances share (element-granular, the same split
+// ddmChunk applies to a loop thread's iteration range), which is what
+// lets multi-instance threads export disjoint slices without the race
+// detector — or the dist back-end's replica merge — seeing them as
+// overlapping whole-buffer writes.
+type VarRef struct {
+	Name    string
+	Chunked bool
+}
+
+func (r VarRef) String() string {
+	if r.Chunked {
+		return r.Name + ":chunk"
+	}
+	return r.Name
+}
+
 // Thread is one DThread declaration with its body.
 type Thread struct {
 	ID        int
 	Line      int
 	Instances int // >= 1
 	Kernel    int // -1 = unpinned
-	Imports   []string
-	Exports   []string
+	Imports   []VarRef
+	Exports   []VarRef
 	// Cost is the optional per-instance compute-cycle model for the hard
 	// target (`cost(n)` clause); 0 means unspecified.
 	Cost int64

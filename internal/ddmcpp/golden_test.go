@@ -32,10 +32,16 @@ func TestPreprocessedExamplesInSync(t *testing.T) {
 		}
 		// Use the path the committed file was generated with, so the
 		// input name embedded in comments matches.
-		got, err := Process(filepath.Join("examples", c.dir, c.in), in, c.target)
+		got, warnings, err := ProcessDiag(filepath.Join("examples", c.dir, c.in), in, c.target)
 		in.Close()
 		if err != nil {
 			t.Fatal(err)
+		}
+		// The shipped examples must be findings-free: multi-instance
+		// exports use :chunk so the race detector sees the per-instance
+		// ownership the bodies actually observe.
+		for _, w := range warnings {
+			t.Errorf("examples/%s/%s: %s", c.dir, c.in, w)
 		}
 		if !bytes.Equal(got, want) {
 			t.Fatalf("examples/%s/main.go is out of date; regenerate with:\n  go run ./cmd/ddmcpp -target %s -o examples/%s/main.go examples/%s/%s",

@@ -1,0 +1,277 @@
+package ddmcpp
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"tflux/internal/core"
+	"tflux/internal/ddmlint"
+)
+
+func TestParseChunkedVarRef(t *testing.T) {
+	src := "//#pragma ddm startprogram\n" +
+		"//#pragma ddm var vec f64 8\n" +
+		"//#pragma ddm thread 1 instances(8) import(vec) export(vec:chunk)\n" +
+		"_ = ctx\n//#pragma ddm endthread\n//#pragma ddm endprogram\n"
+	f := mustParse(t, src)
+	th := f.Blocks[0].Threads[0]
+	if len(th.Imports) != 1 || th.Imports[0].Chunked {
+		t.Fatalf("imports = %+v, want plain vec", th.Imports)
+	}
+	if len(th.Exports) != 1 || !th.Exports[0].Chunked || th.Exports[0].Name != "vec" {
+		t.Fatalf("exports = %+v, want vec:chunk", th.Exports)
+	}
+	if th.Exports[0].String() != "vec:chunk" || th.Imports[0].String() != "vec" {
+		t.Fatalf("String() = %q / %q", th.Exports[0], th.Imports[0])
+	}
+	if err := Analyze(f); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseBadVarRef(t *testing.T) {
+	for _, bad := range []string{"vec:banana", "vec:chunk:extra", ":chunk"} {
+		src := "//#pragma ddm startprogram\n" +
+			"//#pragma ddm thread 1 export(" + bad + ")\n" +
+			"//#pragma ddm endthread\n//#pragma ddm endprogram\n"
+		_, err := parseString(t, src)
+		if err == nil || !strings.Contains(err.Error(), "var reference") {
+			t.Errorf("export(%s): err = %v, want bad var reference", bad, err)
+		}
+	}
+}
+
+// TestProcessDiagRaceWarning compiles the testdata pipeline — whose
+// multi-instance threads export the whole of vec — and checks the
+// write-conflict comes back as a positioned warning, not an error.
+func TestProcessDiagRaceWarning(t *testing.T) {
+	in, err := os.Open("testdata/pipeline.ddm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+	code, warnings, err := ProcessDiag("testdata/pipeline.ddm", in, TargetSoft)
+	if err != nil {
+		t.Fatalf("compile failed: %v", err)
+	}
+	if len(code) == 0 {
+		t.Fatal("no code generated")
+	}
+	if len(warnings) == 0 {
+		t.Fatal("expected write-conflict warnings for whole-buffer multi-instance exports")
+	}
+	for _, w := range warnings {
+		if !strings.HasPrefix(w, "testdata/pipeline.ddm:") || !strings.Contains(w, "ddmlint:") {
+			t.Fatalf("warning lacks position or ddmlint prefix: %q", w)
+		}
+	}
+	if !strings.Contains(warnings[0], "vec") {
+		t.Fatalf("warning does not name the buffer: %q", warnings[0])
+	}
+}
+
+// TestProcessDiagCyclePositioned exercises a dependency cycle that
+// Analyze cannot see (it only rejects self-deps): the Validate failure
+// must surface as a positioned error at the block's line, not a bare
+// internal error.
+func TestProcessDiagCyclePositioned(t *testing.T) {
+	src := "//#pragma ddm startprogram name(loopy)\n" +
+		"//#pragma ddm thread 1\n_ = ctx\n//#pragma ddm endthread\n" + // implicit block opens at line 2
+		"//#pragma ddm thread 2 depends(1) depends(3)\n_ = ctx\n//#pragma ddm endthread\n" +
+		"//#pragma ddm thread 3 depends(2)\n_ = ctx\n//#pragma ddm endthread\n" +
+		"//#pragma ddm endprogram\n"
+	_, _, err := ProcessDiag("cycle.ddm", strings.NewReader(src), TargetSoft)
+	if err == nil {
+		t.Fatal("cyclic program compiled")
+	}
+	msg := err.Error()
+	if !strings.HasPrefix(msg, "cycle.ddm:2:") {
+		t.Fatalf("error not positioned at the block line: %q", msg)
+	}
+	if !strings.Contains(msg, "cycle") {
+		t.Fatalf("error does not mention the cycle: %q", msg)
+	}
+}
+
+func TestDistTargetChunkedExportCompiles(t *testing.T) {
+	src := "//#pragma ddm startprogram name(dchunk)\n" +
+		"//#pragma ddm var v f64 8\n" +
+		"//#pragma ddm thread 1 instances(8) export(v:chunk)\n" +
+		"v[int(ctx)] = 1\n//#pragma ddm endthread\n" +
+		"//#pragma ddm thread 2 depends(1:all) import(v)\n_ = v\n//#pragma ddm endthread\n" +
+		"//#pragma ddm endprogram\n"
+	f := mustParse(t, src)
+	if err := Analyze(f); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Generate(f, TargetDist)
+	if err != nil {
+		t.Fatalf("chunked multi-instance export rejected on dist: %v", err)
+	}
+	for _, want := range []string{
+		"func ddmChunkRegion(",
+		`ddmChunkRegion("v", 64, 8, 8, int(rctx), true)`,
+	} {
+		if !strings.Contains(string(out), want) {
+			t.Fatalf("dist output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDistTargetWholeExportSuggestsChunk(t *testing.T) {
+	src := "//#pragma ddm startprogram\n" +
+		"//#pragma ddm var v f64 8\n" +
+		"//#pragma ddm thread 1 instances(8) export(v)\n_ = ctx\n//#pragma ddm endthread\n" +
+		"//#pragma ddm endprogram\n"
+	f := mustParse(t, src)
+	if err := Analyze(f); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Generate(f, TargetDist)
+	if err == nil || !strings.Contains(err.Error(), `"v:chunk"`) {
+		t.Fatalf("err = %v, want a :chunk suggestion", err)
+	}
+}
+
+// TestBuildCoreMirrorsGenerate checks the compile-time model BuildCore
+// hands to the verifier matches what the generated program builds:
+// thread shapes, mappings, buffers, and per-instance chunk regions that
+// partition the buffer exactly.
+func TestBuildCoreMirrorsGenerate(t *testing.T) {
+	src := "//#pragma ddm startprogram name(model)\n" +
+		"//#pragma ddm var vec f64 10\n" +
+		"//#pragma ddm thread 1 instances(4) kernel(2) export(vec:chunk)\n" +
+		"_ = ctx\n//#pragma ddm endthread\n" +
+		"//#pragma ddm thread 2 depends(1:all) import(vec)\n_ = vec\n//#pragma ddm endthread\n" +
+		"//#pragma ddm endprogram\n"
+	f := mustParse(t, src)
+	if err := Analyze(f); err != nil {
+		t.Fatal(err)
+	}
+	p, lines, err := BuildCore(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("model program invalid: %v", err)
+	}
+	if lines[1] == 0 || lines[2] == 0 {
+		t.Fatalf("missing directive lines: %v", lines)
+	}
+	t1 := p.Template(1)
+	if t1 == nil || t1.Instances != 4 || t1.Affinity != 2 {
+		t.Fatalf("thread 1 model = %+v", t1)
+	}
+	if len(t1.Arcs) != 1 || t1.Arcs[0].To != 2 {
+		t.Fatalf("thread 1 arcs = %+v", t1.Arcs)
+	}
+	if _, ok := t1.Arcs[0].Map.(core.AllToOne); !ok {
+		t.Fatalf("mapping = %T, want AllToOne", t1.Arcs[0].Map)
+	}
+	// The four chunk regions must partition vec's 80 bytes: contiguous,
+	// disjoint, covering.
+	var next int64
+	for ctx := core.Context(0); ctx < 4; ctx++ {
+		regs := t1.Access(ctx)
+		if len(regs) != 1 || regs[0].Buffer != "vec" || !regs[0].Write {
+			t.Fatalf("ctx %d regions = %+v", ctx, regs)
+		}
+		if regs[0].Offset != next {
+			t.Fatalf("ctx %d starts at %d, want %d", ctx, regs[0].Offset, next)
+		}
+		if regs[0].Size%8 != 0 || regs[0].Size <= 0 {
+			t.Fatalf("ctx %d size %d not a positive element multiple", ctx, regs[0].Size)
+		}
+		next = regs[0].Offset + regs[0].Size
+	}
+	if next != 80 {
+		t.Fatalf("chunks cover [0,%d), want [0,80)", next)
+	}
+	// And the verifier agrees: no findings on the chunked program.
+	rep, err := ddmlint.Lint(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("chunked model not clean: %+v", rep.Findings)
+	}
+}
+
+// TestChunkSilencesWriteConflict is the before/after pair: the same
+// program with whole-buffer exports is flagged, with :chunk it is clean.
+func TestChunkSilencesWriteConflict(t *testing.T) {
+	build := func(export string) *core.Program {
+		src := "//#pragma ddm startprogram\n" +
+			"//#pragma ddm var vec f64 8\n" +
+			"//#pragma ddm thread 1 instances(8) export(" + export + ")\n" +
+			"_ = ctx\n//#pragma ddm endthread\n//#pragma ddm endprogram\n"
+		f := mustParse(t, src)
+		if err := Analyze(f); err != nil {
+			t.Fatal(err)
+		}
+		p, _, err := BuildCore(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	rep, err := ddmlint.Lint(build("vec"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	conflict := false
+	for _, fd := range rep.Findings {
+		if fd.Kind == ddmlint.KindWriteConflict {
+			conflict = true
+		}
+	}
+	if !conflict {
+		t.Fatalf("whole-buffer export not flagged: %+v", rep.Findings)
+	}
+	rep, err = ddmlint.Lint(build("vec:chunk"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("chunked export still flagged: %+v", rep.Findings)
+	}
+}
+
+func TestGeneratedChunkRegionHelper(t *testing.T) {
+	src := "//#pragma ddm startprogram\n" +
+		"//#pragma ddm var vec f64 8\n" +
+		"//#pragma ddm thread 1 instances(4) import(vec:chunk) export(vec:chunk)\n" +
+		"_ = ctx\n//#pragma ddm endthread\n//#pragma ddm endprogram\n"
+	f := mustParse(t, src)
+	if err := Analyze(f); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Generate(f, TargetSoft)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"func ddmChunkRegion(",
+		`ddmChunkRegion("vec", 64, 8, 4, int(rctx), false)`,
+		`ddmChunkRegion("vec", 64, 8, 4, int(rctx), true)`,
+		"func(rctx tflux.Context) []tflux.MemRegion",
+	} {
+		if !strings.Contains(string(out), want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Plain references must keep the context-free closure shape.
+	plain := mustParse(t, "//#pragma ddm startprogram\n//#pragma ddm var vec f64 8\n"+
+		"//#pragma ddm thread 1 import(vec)\n_ = vec\n//#pragma ddm endthread\n//#pragma ddm endprogram\n")
+	if err := Analyze(plain); err != nil {
+		t.Fatal(err)
+	}
+	out, err = Generate(plain, TargetSoft)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(out), "ddmChunkRegion") {
+		t.Fatalf("plain import needlessly emits chunk helper:\n%s", out)
+	}
+}

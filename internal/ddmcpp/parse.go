@@ -228,9 +228,21 @@ func parseThread(file string, line int, args []string) (*Thread, error) {
 			}
 			th.Kernel = k
 		case "import":
-			th.Imports = append(th.Imports, vals...)
+			for _, v := range vals {
+				ref, err := parseVarRef(file, line, v)
+				if err != nil {
+					return nil, err
+				}
+				th.Imports = append(th.Imports, ref)
+			}
 		case "export":
-			th.Exports = append(th.Exports, vals...)
+			for _, v := range vals {
+				ref, err := parseVarRef(file, line, v)
+				if err != nil {
+					return nil, err
+				}
+				th.Exports = append(th.Exports, ref)
+			}
 		case "depends":
 			for _, v := range vals {
 				d, err := parseDep(file, line, v)
@@ -248,6 +260,22 @@ func parseThread(file string, line int, args []string) (*Thread, error) {
 		}
 	}
 	return th, nil
+}
+
+// parseVarRef parses one import/export entry: `name` or `name:chunk`.
+func parseVarRef(file string, line int, s string) (VarRef, error) {
+	parts := strings.Split(s, ":")
+	ref := VarRef{Name: strings.TrimSpace(parts[0])}
+	switch {
+	case ref.Name == "":
+		return VarRef{}, errf(file, line, "empty var reference %q", s)
+	case len(parts) == 1:
+	case len(parts) == 2 && strings.TrimSpace(parts[1]) == "chunk":
+		ref.Chunked = true
+	default:
+		return VarRef{}, errf(file, line, "bad var reference %q (want name or name:chunk)", s)
+	}
+	return ref, nil
 }
 
 // varElemSize maps typed-var type names to element byte sizes.

@@ -65,13 +65,13 @@ func Analyze(f *File) error {
 				}
 			}
 			for _, imp := range th.Imports {
-				if !vars[imp] {
-					return errf(f.Input, th.Line, "thread %d imports undeclared var %q", th.ID, imp)
+				if !vars[imp.Name] {
+					return errf(f.Input, th.Line, "thread %d imports undeclared var %q", th.ID, imp.Name)
 				}
 			}
 			for _, ex := range th.Exports {
-				if !vars[ex] {
-					return errf(f.Input, th.Line, "thread %d exports undeclared var %q", th.ID, ex)
+				if !vars[ex.Name] {
+					return errf(f.Input, th.Line, "thread %d exports undeclared var %q", th.ID, ex.Name)
 				}
 			}
 		}

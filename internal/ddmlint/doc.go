@@ -1,0 +1,40 @@
+// Package ddmlint statically verifies TFlux programs at instance
+// granularity: the graph the TSU actually executes, not the template-level
+// summary core.Validate checks.
+//
+// Validate takes every Mapping's declared in-degree at face value and only
+// inspects the template DAG. ddmlint expands each Block to its dynamic
+// instances through the same Mapping machinery the TSU uses and
+// cross-checks the two views:
+//
+//   - Ready counts. For every context it compares the Ready Count the
+//     Inlet DThread will load (core.InDegrees, i.e. the sum of declared
+//     per-arc in-degrees) against the decrements producers actually
+//     deliver (Mapping.AppendTargets). Fewer deliveries than declared
+//     means the context can never be enabled; more means the TSU's count
+//     goes negative at runtime (tsu.State panics on exactly this).
+//
+//   - Instance-level deadlock. A template DAG can still expand to a
+//     cyclic instance graph (e.g. a self-arc whose mapping claims to be
+//     strictly increasing but is not). ddmlint runs cycle detection and a
+//     dataflow firing simulation over the expanded graph, reporting both
+//     cyclic instances and instances that are transitively starved —
+//     i.e. a Block that cannot drain.
+//
+//   - Races. The DDM model requires all inter-thread ordering to flow
+//     through arcs; bodies that touch overlapping buffer regions without
+//     an arc path between them race. ddmlint computes reachability over
+//     the instance graph (the happens-before relation DDM guarantees) and
+//     reports unordered instance pairs whose declared MemRegions overlap
+//     with at least one write, and unordered writer/writer pairs
+//     (nondeterministic results even when each write is atomic).
+//
+//   - Buffer safety. Declared regions must name a declared buffer and
+//     stay inside its bounds.
+//
+// Soundness caveats: the race detector trusts the Access declarations —
+// a body that touches memory it does not declare is invisible (threads
+// with a nil Access model are skipped entirely), so a clean report is
+// proof only relative to the declarations. The structural checks have no
+// such caveat: they reason about the same tables the TSU loads.
+package ddmlint

@@ -1,0 +1,172 @@
+package ddmlint
+
+import (
+	"testing"
+
+	"tflux/internal/core"
+)
+
+// oracleAccepts is an independent brute-force check of the structural
+// graph properties ddmlint proves: it literally simulates the TSU's
+// dataflow firing over the instance graph and accepts iff every instance
+// fires exactly as its declared Ready Count predicts — no out-of-range
+// targets, no count driven negative, no instance left unfired. It shares
+// no code with the linter (no CSR, no Kahn, no aggregation), so agreement
+// is meaningful.
+func oracleAccepts(p *core.Program) bool {
+	for _, b := range p.Blocks {
+		if !oracleBlock(b) {
+			return false
+		}
+	}
+	return true
+}
+
+func oracleBlock(b *core.Block) bool {
+	type inst struct {
+		t   *core.Template
+		ctx core.Context
+	}
+	cnt := make(map[inst]int64)
+	for _, t := range b.Templates {
+		for ctx, d := range core.InDegrees(b, t) {
+			cnt[inst{t, core.Context(ctx)}] = int64(d)
+		}
+	}
+	fired := make(map[inst]bool)
+	var queue []inst
+	for i, c := range cnt {
+		if c == 0 {
+			queue = append(queue, i)
+		}
+	}
+	var scratch []core.Context
+	for len(queue) > 0 {
+		i := queue[0]
+		queue = queue[1:]
+		if fired[i] {
+			return false // double-enabled
+		}
+		fired[i] = true
+		for _, a := range i.t.Arcs {
+			c := b.Template(a.To)
+			scratch = a.Map.AppendTargets(scratch[:0], i.ctx, i.t.Instances, c.Instances)
+			for _, cctx := range scratch {
+				if cctx >= c.Instances {
+					return false // TSU would index out of range
+				}
+				j := inst{c, cctx}
+				cnt[j]--
+				if cnt[j] < 0 {
+					return false // tsu.State panics on exactly this
+				}
+				if cnt[j] == 0 {
+					queue = append(queue, j)
+				}
+			}
+		}
+	}
+	return len(fired) == len(cnt) // unfired instances: deadlock / starvation
+}
+
+// structuralGraphFindings counts the findings the oracle can witness
+// (ready counts, dead instances, cycles, bad targets). Memory findings
+// are out of scope: the fuzz programs declare no Access models.
+func structuralGraphFindings(r *Report) int {
+	n := 0
+	for i := range r.Findings {
+		switch r.Findings[i].Kind {
+		case KindReadyCount, KindDeadInstance, KindInstanceCycle, KindBadTarget:
+			n++
+		}
+	}
+	return n
+}
+
+// fuzzMappings is the generator pool: the standard mappings plus the
+// lying ones from lint_test.go. Index comes from the fuzz input.
+func fuzzMapping(sel, param byte) core.Mapping {
+	switch sel % 10 {
+	case 0:
+		return core.OneToOne{}
+	case 1:
+		return core.AllToOne{Target: core.Context(param % 8)}
+	case 2:
+		return core.OneToAll{}
+	case 3:
+		return core.Gather{Fan: core.Context(param%3 + 1)}
+	case 4:
+		return core.Scatter{Fan: core.Context(param%3 + 1)}
+	case 5:
+		return core.Const{Target: core.Context(param % 8)}
+	case 6:
+		return overDeliver{}
+	case 7:
+		return underDeliver{}
+	case 8:
+		return fakeInc{}
+	default:
+		return wildTarget{}
+	}
+}
+
+// buildFuzzProgram decodes a byte string into a program: the first byte
+// sets the template count, then per template one byte of instance count
+// and two (selector, param) byte pairs of arcs. Arcs may target any
+// template including self and earlier ones, so cycles, fan mismatches and
+// every lying mapping are all reachable.
+func buildFuzzProgram(data []byte) *core.Program {
+	next := func() byte {
+		if len(data) == 0 {
+			return 0
+		}
+		b := data[0]
+		data = data[1:]
+		return b
+	}
+	p := core.NewProgram("fuzz")
+	blk := p.AddBlock()
+	nt := int(next()%4) + 1
+	tmpls := make([]*core.Template, nt)
+	for i := 0; i < nt; i++ {
+		t := core.NewTemplate(core.ThreadID(i+1), "t", noop)
+		t.Instances = core.Context(next()%8) + 1
+		tmpls[i] = t
+		blk.Add(t)
+	}
+	for i := 0; i < nt; i++ {
+		narcs := int(next() % 3)
+		for a := 0; a < narcs; a++ {
+			to := core.ThreadID(int(next())%nt) + 1
+			tmpls[i].Then(to, fuzzMapping(next(), next()))
+		}
+	}
+	return p
+}
+
+func FuzzLintOracle(f *testing.F) {
+	f.Add([]byte{1, 4, 1, 1, 8, 0})                   // self-arc fakeInc: instance cycle
+	f.Add([]byte{2, 4, 4, 1, 2, 6, 0, 0})             // overDeliver between two templates
+	f.Add([]byte{2, 4, 4, 1, 2, 7, 0, 0})             // underDeliver: dead instances
+	f.Add([]byte{2, 2, 2, 1, 2, 9, 0, 0})             // wildTarget: out-of-range
+	f.Add([]byte{3, 8, 8, 1, 1, 2, 4, 3, 1, 2, 1, 0}) // scatter/all-to-one chain
+	f.Add([]byte{2, 5, 5, 1, 2, 0, 0, 0})             // clean one-to-one
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p := buildFuzzProgram(data)
+		if p.Validate() != nil {
+			return // ddmlint only analyzes structurally valid programs
+		}
+		r, err := Lint(p) // must never panic
+		if err != nil {
+			t.Fatalf("Lint errored on a validated program: %v", err)
+		}
+		accepted := oracleAccepts(p)
+		found := structuralGraphFindings(r)
+		if accepted && found > 0 {
+			t.Fatalf("false positive: oracle accepts but ddmlint reports %d structural finding(s): %v", found, r.Findings)
+		}
+		if !accepted && found == 0 {
+			t.Fatalf("false negative: oracle rejects but ddmlint is clean (notes: %v)", r.Notes)
+		}
+	})
+}

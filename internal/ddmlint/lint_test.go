@@ -1,0 +1,550 @@
+package ddmlint
+
+import (
+	"strings"
+	"testing"
+
+	"tflux/internal/core"
+)
+
+func noop(core.Context) {}
+
+// --- lying mappings: each one passes core.Validate but breaks an
+// invariant only visible at instance granularity. ---
+
+// overDeliver declares one decrement per consumer context but delivers
+// two: the TSU's ready count goes negative on the second.
+type overDeliver struct{}
+
+func (overDeliver) AppendTargets(dst []core.Context, pctx, pInst, cInst core.Context) []core.Context {
+	if pctx < cInst {
+		dst = append(dst, pctx, pctx)
+	}
+	return dst
+}
+func (overDeliver) InDegree(cctx, pInst, cInst core.Context) uint32 {
+	if cctx < pInst {
+		return 1
+	}
+	return 0
+}
+func (overDeliver) String() string { return "overDeliver" }
+
+// underDeliver declares two decrements per consumer context but delivers
+// one: the consumer never becomes ready.
+type underDeliver struct{}
+
+func (underDeliver) AppendTargets(dst []core.Context, pctx, pInst, cInst core.Context) []core.Context {
+	if pctx < cInst {
+		dst = append(dst, pctx)
+	}
+	return dst
+}
+func (underDeliver) InDegree(cctx, pInst, cInst core.Context) uint32 {
+	if cctx < pInst {
+		return 2
+	}
+	return 0
+}
+func (underDeliver) String() string { return "underDeliver" }
+
+// fakeInc claims to be strictly increasing (so Validate allows it on a
+// self-arc) but actually maps each context ≥ 1 to itself: an instance-level
+// self-loop the template DAG cannot see.
+type fakeInc struct{}
+
+func (fakeInc) AppendTargets(dst []core.Context, pctx, pInst, cInst core.Context) []core.Context {
+	if pctx >= 1 && pctx < cInst {
+		dst = append(dst, pctx)
+	}
+	return dst
+}
+func (fakeInc) InDegree(cctx, pInst, cInst core.Context) uint32 {
+	if cctx == 0 {
+		return 0
+	}
+	return 1
+}
+func (fakeInc) String() string           { return "fakeInc" }
+func (fakeInc) StrictlyIncreasing() bool { return true }
+
+// wildTarget declares nothing but emits the out-of-range consumer context
+// cInst for every producer context.
+type wildTarget struct{}
+
+func (wildTarget) AppendTargets(dst []core.Context, pctx, pInst, cInst core.Context) []core.Context {
+	return append(dst, cInst)
+}
+func (wildTarget) InDegree(cctx, pInst, cInst core.Context) uint32 { return 0 }
+func (wildTarget) String() string                                  { return "wildTarget" }
+
+// realInc is a correct strictly-increasing self-arc mapping (ctx -> ctx+1).
+type realInc struct{}
+
+func (realInc) AppendTargets(dst []core.Context, pctx, pInst, cInst core.Context) []core.Context {
+	if pctx+1 < cInst {
+		dst = append(dst, pctx+1)
+	}
+	return dst
+}
+func (realInc) InDegree(cctx, pInst, cInst core.Context) uint32 {
+	if cctx == 0 {
+		return 0
+	}
+	return 1
+}
+func (realInc) String() string           { return "realInc" }
+func (realInc) StrictlyIncreasing() bool { return true }
+
+// mustLint lints a program that must pass Validate.
+func mustLint(t *testing.T, p *core.Program) *Report {
+	t.Helper()
+	r, err := Lint(p)
+	if err != nil {
+		t.Fatalf("Lint(%s): %v", p.Name, err)
+	}
+	return r
+}
+
+func kinds(r *Report) []Kind {
+	ks := make([]Kind, len(r.Findings))
+	for i := range r.Findings {
+		ks[i] = r.Findings[i].Kind
+	}
+	return ks
+}
+
+func hasKind(r *Report, k Kind) *Finding {
+	for i := range r.Findings {
+		if r.Findings[i].Kind == k {
+			return &r.Findings[i]
+		}
+	}
+	return nil
+}
+
+func TestCleanProgram(t *testing.T) {
+	p := core.NewProgram("clean")
+	p.AddBuffer("data", 64)
+	p.AddBuffer("out", 64)
+	b := p.AddBlock()
+	src := core.NewTemplate(1, "src", noop)
+	src.Access = func(core.Context) []core.MemRegion {
+		return []core.MemRegion{{Buffer: "data", Size: 64, Write: true}}
+	}
+	work := core.NewTemplate(2, "work", noop)
+	work.Instances = 8
+	work.Access = func(ctx core.Context) []core.MemRegion {
+		return []core.MemRegion{
+			{Buffer: "data", Size: 64},
+			{Buffer: "out", Offset: int64(ctx) * 8, Size: 8, Write: true},
+		}
+	}
+	sink := core.NewTemplate(3, "sink", noop)
+	sink.Access = func(core.Context) []core.MemRegion {
+		return []core.MemRegion{{Buffer: "out", Size: 64}}
+	}
+	src.Then(2, core.Scatter{Fan: 8})
+	work.Then(3, core.AllToOne{})
+	b.Add(src)
+	b.Add(work)
+	b.Add(sink)
+
+	r := mustLint(t, p)
+	if !r.OK() {
+		t.Fatalf("clean program has findings: %v", kinds(r))
+	}
+	if len(r.Notes) != 0 {
+		t.Fatalf("clean program has notes: %v", r.Notes)
+	}
+	if err := r.Err(); err != nil {
+		t.Fatalf("Err on clean report: %v", err)
+	}
+}
+
+func TestReadyCountDoubleFire(t *testing.T) {
+	p := core.NewProgram("doublefire")
+	b := p.AddBlock()
+	a := core.NewTemplate(1, "a", noop)
+	a.Instances = 4
+	c := core.NewTemplate(2, "c", noop)
+	c.Instances = 4
+	a.Then(2, overDeliver{})
+	b.Add(a)
+	b.Add(c)
+
+	r := mustLint(t, p)
+	f := hasKind(r, KindReadyCount)
+	if f == nil {
+		t.Fatalf("no ready-count finding: %v", kinds(r))
+	}
+	if f.Count != 4 {
+		t.Fatalf("Count = %d, want 4 mismatched contexts", f.Count)
+	}
+	if !strings.Contains(f.Msg, "double-fire") {
+		t.Fatalf("message does not explain the double-fire: %s", f.Msg)
+	}
+	if len(f.Arcs) != 1 || f.Arcs[0] != (core.ArcKey{From: 1, To: 2}) {
+		t.Fatalf("arc provenance = %v", f.Arcs)
+	}
+	// The over-delivered contexts still fire; there must be no dead or
+	// cycle findings.
+	if hasKind(r, KindDeadInstance) != nil || hasKind(r, KindInstanceCycle) != nil {
+		t.Fatalf("unexpected extra findings: %v", kinds(r))
+	}
+}
+
+func TestDeadInstance(t *testing.T) {
+	p := core.NewProgram("dead")
+	b := p.AddBlock()
+	a := core.NewTemplate(1, "a", noop)
+	a.Instances = 4
+	c := core.NewTemplate(2, "c", noop)
+	c.Instances = 4
+	sink := core.NewTemplate(3, "sink", noop)
+	a.Then(2, underDeliver{})
+	c.Then(3, core.AllToOne{})
+	b.Add(a)
+	b.Add(c)
+	b.Add(sink)
+
+	r := mustLint(t, p)
+	if hasKind(r, KindReadyCount) == nil {
+		t.Fatalf("no ready-count finding for the starved template: %v", kinds(r))
+	}
+	var deadC, deadSink *Finding
+	for i := range r.Findings {
+		f := &r.Findings[i]
+		if f.Kind != KindDeadInstance {
+			continue
+		}
+		switch f.Threads[0] {
+		case 2:
+			deadC = f
+		case 3:
+			deadSink = f
+		}
+	}
+	if deadC == nil || deadC.Count != 4 {
+		t.Fatalf("starved template not reported dead: %+v", deadC)
+	}
+	if !strings.Contains(deadC.Msg, "exceeds") {
+		t.Fatalf("direct starvation message: %s", deadC.Msg)
+	}
+	if deadSink == nil {
+		t.Fatalf("transitively dead sink not reported: %v", kinds(r))
+	}
+	if !strings.Contains(deadSink.Msg, "themselves never fire") {
+		t.Fatalf("transitive starvation message: %s", deadSink.Msg)
+	}
+}
+
+func TestInstanceCycle(t *testing.T) {
+	p := core.NewProgram("cycle")
+	tpl := core.NewTemplate(1, "stage", noop)
+	tpl.Instances = 4
+	tpl.Then(1, fakeInc{})
+	p.AddBlock().Add(tpl)
+	if err := p.Validate(); err != nil {
+		t.Fatalf("seeded program must pass Validate (the template DAG is clean): %v", err)
+	}
+
+	r := mustLint(t, p)
+	f := hasKind(r, KindInstanceCycle)
+	if f == nil {
+		t.Fatalf("no instance-cycle finding: %v", kinds(r))
+	}
+	if f.Count != 3 { // contexts 1..3 self-loop; context 0 is the source
+		t.Fatalf("Count = %d, want 3 cyclic instances", f.Count)
+	}
+	if !strings.Contains(f.Msg, "template graph is acyclic") {
+		t.Fatalf("message: %s", f.Msg)
+	}
+	// Cyclic instances must not be double-reported as plain dead.
+	if hasKind(r, KindDeadInstance) != nil {
+		t.Fatalf("cyclic instances also reported dead: %v", kinds(r))
+	}
+	// Race analysis cannot run on a cyclic graph; that must be noted.
+	foundNote := false
+	for _, n := range r.Notes {
+		if strings.Contains(n, "race analysis skipped") {
+			foundNote = true
+		}
+	}
+	if !foundNote {
+		t.Fatalf("no skipped-race note on cyclic block: %v", r.Notes)
+	}
+}
+
+func TestBadTarget(t *testing.T) {
+	p := core.NewProgram("badtarget")
+	b := p.AddBlock()
+	a := core.NewTemplate(1, "a", noop)
+	a.Instances = 2
+	c := core.NewTemplate(2, "c", noop)
+	c.Instances = 2
+	a.Then(2, wildTarget{})
+	b.Add(a)
+	b.Add(c)
+
+	r := mustLint(t, p)
+	f := hasKind(r, KindBadTarget)
+	if f == nil {
+		t.Fatalf("no bad-target finding: %v", kinds(r))
+	}
+	if f.Count != 2 {
+		t.Fatalf("Count = %d, want 2 (one per producer context)", f.Count)
+	}
+	if !strings.Contains(f.Msg, "out-of-range") {
+		t.Fatalf("message: %s", f.Msg)
+	}
+}
+
+// racePair builds two single-instance templates touching the same 8 bytes
+// of "buf", with an ordering arc between them iff ordered.
+func racePair(name string, aWrites, bWrites, ordered bool) *core.Program {
+	p := core.NewProgram(name)
+	p.AddBuffer("buf", 64)
+	blk := p.AddBlock()
+	mk := func(id core.ThreadID, nm string, write bool) *core.Template {
+		t := core.NewTemplate(id, nm, noop)
+		t.Access = func(core.Context) []core.MemRegion {
+			return []core.MemRegion{{Buffer: "buf", Size: 8, Write: write}}
+		}
+		return t
+	}
+	a := mk(1, "a", aWrites)
+	b := mk(2, "b", bWrites)
+	if ordered {
+		a.Then(2, core.OneToOne{})
+	}
+	blk.Add(a)
+	blk.Add(b)
+	return p
+}
+
+func TestRaceReadWrite(t *testing.T) {
+	r := mustLint(t, racePair("race", true, false, false))
+	f := hasKind(r, KindRace)
+	if f == nil {
+		t.Fatalf("no race finding: %v", kinds(r))
+	}
+	if f.Buffer != "buf" || f.Count != 1 {
+		t.Fatalf("finding = %+v", f)
+	}
+	if !strings.Contains(f.Msg, "no arc path orders them") {
+		t.Fatalf("message: %s", f.Msg)
+	}
+	if f.Kind.Structural() {
+		t.Fatalf("race must be non-structural")
+	}
+
+	// The same pair with an ordering arc is clean.
+	r = mustLint(t, racePair("ordered", true, false, true))
+	if !r.OK() {
+		t.Fatalf("ordered pair flagged: %v", kinds(r))
+	}
+}
+
+func TestWriteConflict(t *testing.T) {
+	r := mustLint(t, racePair("ww", true, true, false))
+	f := hasKind(r, KindWriteConflict)
+	if f == nil {
+		t.Fatalf("no write-conflict finding: %v", kinds(r))
+	}
+	if !strings.Contains(f.Msg, "nondeterministic") {
+		t.Fatalf("message: %s", f.Msg)
+	}
+	// Two readers never conflict.
+	r = mustLint(t, racePair("rr", false, false, false))
+	if !r.OK() {
+		t.Fatalf("read/read pair flagged: %v", kinds(r))
+	}
+}
+
+func TestDisjointWritesNoRace(t *testing.T) {
+	p := core.NewProgram("disjoint")
+	p.AddBuffer("buf", 64)
+	tpl := core.NewTemplate(1, "w", noop)
+	tpl.Instances = 8
+	tpl.Access = func(ctx core.Context) []core.MemRegion {
+		return []core.MemRegion{{Buffer: "buf", Offset: int64(ctx) * 8, Size: 8, Write: true}}
+	}
+	p.AddBlock().Add(tpl)
+	r := mustLint(t, p)
+	if !r.OK() {
+		t.Fatalf("disjoint per-context writes flagged: %v", kinds(r))
+	}
+}
+
+func TestOrderingThroughTransitivePath(t *testing.T) {
+	// a -> m -> b: a and b conflict but are ordered through m (two hops).
+	p := core.NewProgram("transitive")
+	p.AddBuffer("buf", 64)
+	blk := p.AddBlock()
+	a := core.NewTemplate(1, "a", noop)
+	a.Access = func(core.Context) []core.MemRegion {
+		return []core.MemRegion{{Buffer: "buf", Size: 8, Write: true}}
+	}
+	m := core.NewTemplate(2, "m", noop)
+	b := core.NewTemplate(3, "b", noop)
+	b.Access = func(core.Context) []core.MemRegion {
+		return []core.MemRegion{{Buffer: "buf", Size: 8}}
+	}
+	a.Then(2, core.OneToOne{})
+	m.Then(3, core.OneToOne{})
+	blk.Add(a)
+	blk.Add(m)
+	blk.Add(b)
+	r := mustLint(t, p)
+	if !r.OK() {
+		t.Fatalf("transitively ordered pair flagged: %v", kinds(r))
+	}
+}
+
+func TestMonotoneSelfArcClean(t *testing.T) {
+	p := core.NewProgram("pipe")
+	tpl := core.NewTemplate(1, "stage", noop)
+	tpl.Instances = 8
+	tpl.Then(1, realInc{})
+	p.AddBlock().Add(tpl)
+	r := mustLint(t, p)
+	if !r.OK() {
+		t.Fatalf("correct monotone self-arc flagged: %v", kinds(r))
+	}
+}
+
+func TestBufferBounds(t *testing.T) {
+	p := core.NewProgram("bounds")
+	p.AddBuffer("buf", 64)
+	tpl := core.NewTemplate(1, "w", noop)
+	tpl.Instances = 4
+	tpl.Access = func(ctx core.Context) []core.MemRegion {
+		return []core.MemRegion{{Buffer: "buf", Offset: 32, Size: 64, Write: true}}
+	}
+	p.AddBlock().Add(tpl)
+	r := mustLint(t, p)
+	f := hasKind(r, KindBufferBounds)
+	if f == nil {
+		t.Fatalf("no buffer-bounds finding: %v", kinds(r))
+	}
+	if f.Count != 4 || f.Buffer != "buf" {
+		t.Fatalf("finding = %+v", f)
+	}
+	if !strings.Contains(f.Msg, "[32,96)") {
+		t.Fatalf("message: %s", f.Msg)
+	}
+}
+
+func TestUndeclaredBuffer(t *testing.T) {
+	p := core.NewProgram("ghost")
+	tpl := core.NewTemplate(1, "w", noop)
+	tpl.Access = func(core.Context) []core.MemRegion {
+		return []core.MemRegion{{Buffer: "ghost", Size: 8, Write: true}}
+	}
+	p.AddBlock().Add(tpl)
+	r := mustLint(t, p)
+	f := hasKind(r, KindUndeclaredBuffer)
+	if f == nil {
+		t.Fatalf("no undeclared-buffer finding: %v", kinds(r))
+	}
+	if f.Buffer != "ghost" {
+		t.Fatalf("finding = %+v", f)
+	}
+}
+
+func TestLintRejectsInvalidProgram(t *testing.T) {
+	if _, err := Lint(core.NewProgram("empty")); err == nil {
+		t.Fatal("Lint accepted a program that fails Validate")
+	}
+}
+
+func TestReportSurface(t *testing.T) {
+	r := mustLint(t, racePair("ww", true, true, false))
+	if r.Structural() {
+		t.Fatal("write-conflict-only report claims structural findings")
+	}
+	if err := r.Err(); err == nil || !strings.Contains(err.Error(), "write-conflict") {
+		t.Fatalf("Err = %v", err)
+	}
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "1 finding(s)") || !strings.Contains(sb.String(), "[write-conflict]") {
+		t.Fatalf("WriteText output:\n%s", sb.String())
+	}
+
+	// Structural reports highlight the implicated graph elements.
+	r = mustLint(t, func() *core.Program {
+		p := core.NewProgram("doublefire")
+		b := p.AddBlock()
+		a := core.NewTemplate(1, "a", noop)
+		a.Instances = 4
+		c := core.NewTemplate(2, "c", noop)
+		c.Instances = 4
+		a.Then(2, overDeliver{})
+		b.Add(a)
+		b.Add(c)
+		return p
+	}())
+	if !r.Structural() {
+		t.Fatal("ready-count report not structural")
+	}
+	hl := r.Highlight()
+	if !hl.Threads[2] || !hl.Arcs[core.ArcKey{From: 1, To: 2}] {
+		t.Fatalf("highlight = %+v", hl)
+	}
+
+	// A clean report renders "ok" and an empty highlight.
+	clean := mustLint(t, racePair("ordered", true, false, true))
+	sb.Reset()
+	if err := clean.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "ok (no findings)") {
+		t.Fatalf("WriteText output:\n%s", sb.String())
+	}
+	if !clean.Highlight().Empty() {
+		t.Fatal("clean report has a non-empty highlight")
+	}
+}
+
+func TestCapsLeaveNotes(t *testing.T) {
+	p := racePair("big", true, true, false)
+	r, err := LintOpts(p, Options{MaxInstances: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Findings) != 0 || len(r.Notes) == 0 {
+		t.Fatalf("capped lint: findings=%v notes=%v", kinds(r), r.Notes)
+	}
+	if !strings.Contains(r.Notes[0], "MaxInstances") {
+		t.Fatalf("note: %s", r.Notes[0])
+	}
+
+	r, err = LintOpts(p, Options{MaxRaceInstances: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hasKind(r, KindWriteConflict) != nil {
+		t.Fatal("race pass ran despite MaxRaceInstances cap")
+	}
+	foundNote := false
+	for _, n := range r.Notes {
+		if strings.Contains(n, "MaxRaceInstances") {
+			foundNote = true
+		}
+	}
+	if !foundNote {
+		t.Fatalf("no cap note: %v", r.Notes)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k := KindReadyCount; k <= KindUndeclaredBuffer; k++ {
+		if strings.Contains(k.String(), "kind(") {
+			t.Fatalf("kind %d has no name", int(k))
+		}
+	}
+}

@@ -1,0 +1,229 @@
+package ddmlint
+
+import (
+	"fmt"
+	"sort"
+
+	"tflux/internal/core"
+)
+
+// checkBounds verifies every declared MemRegion names a declared buffer
+// and stays inside its bounds, aggregated per (template, buffer).
+func checkBounds(r *Report, g *blockGraph, bufs map[string]int64) {
+	type agg struct {
+		kind  Kind
+		count int
+		ctx   core.Context   // exemplar
+		reg   core.MemRegion // exemplar
+	}
+	for _, t := range g.tmpls {
+		if t.Access == nil {
+			continue
+		}
+		byBuf := make(map[string]*agg)
+		var order []string
+		for ctx := core.Context(0); ctx < t.Instances; ctx++ {
+			for _, reg := range t.Access(ctx) {
+				if reg.Size == 0 {
+					continue
+				}
+				size, declared := bufs[reg.Buffer]
+				kind := Kind(-1)
+				switch {
+				case !declared:
+					kind = KindUndeclaredBuffer
+				case reg.Offset < 0 || reg.Size < 0 || reg.Offset+reg.Size > size:
+					kind = KindBufferBounds
+				default:
+					continue
+				}
+				a := byBuf[reg.Buffer]
+				if a == nil {
+					a = &agg{kind: kind, ctx: ctx, reg: reg}
+					byBuf[reg.Buffer] = a
+					order = append(order, reg.Buffer)
+				}
+				a.count++
+			}
+		}
+		for _, name := range order {
+			a := byBuf[name]
+			var msg string
+			if a.kind == KindUndeclaredBuffer {
+				msg = fmt.Sprintf(
+					"thread %s declares %d region(s) on buffer %q, which the program never declares (e.g. context %d, bytes [%d,%d))",
+					g.p.TemplateName(t.ID), a.count, name, a.ctx, a.reg.Offset, a.reg.Offset+a.reg.Size)
+			} else {
+				msg = fmt.Sprintf(
+					"thread %s declares %d region(s) exceeding buffer %q (size %d): e.g. context %d touches bytes [%d,%d)",
+					g.p.TemplateName(t.ID), a.count, name, bufs[name], a.ctx, a.reg.Offset, a.reg.Offset+a.reg.Size)
+			}
+			r.Findings = append(r.Findings, Finding{
+				Kind:      a.kind,
+				Block:     g.b.ID,
+				Threads:   []core.ThreadID{t.ID},
+				Instances: []core.Instance{{Thread: t.ID, Ctx: a.ctx}},
+				Buffer:    name,
+				Count:     a.count,
+				Msg:       msg,
+			})
+		}
+	}
+}
+
+// accessor is one instance with a non-empty declared access set.
+type accessor struct {
+	inst int32
+	id   core.Instance
+	regs []core.MemRegion
+}
+
+// checkRaces reports unordered instance pairs with conflicting declared
+// accesses. Happens-before within a Block is exactly reachability over
+// the instance graph: the TSU enables an instance only after all its
+// producers complete, and DDM bodies may not block on anything else, so
+// two instances without an arc path between them can run concurrently.
+// Requires an acyclic instance graph (g.topo valid).
+func checkRaces(r *Report, g *blockGraph, opts Options) {
+	var accs []accessor
+	for ti, t := range g.tmpls {
+		if t.Access == nil {
+			continue
+		}
+		for ctx := core.Context(0); ctx < t.Instances; ctx++ {
+			var regs []core.MemRegion
+			for _, reg := range t.Access(ctx) {
+				if reg.Size > 0 {
+					regs = append(regs, reg)
+				}
+			}
+			if len(regs) > 0 {
+				accs = append(accs, accessor{
+					inst: g.inst(ti, ctx),
+					id:   core.Instance{Thread: t.ID, Ctx: ctx},
+					regs: regs,
+				})
+			}
+		}
+	}
+	if len(accs) < 2 {
+		return
+	}
+	if len(accs) > opts.MaxRaceInstances {
+		r.Notes = append(r.Notes, fmt.Sprintf(
+			"block %d: race analysis skipped (%d accessor instances exceeds MaxRaceInstances %d)",
+			g.b.ID, len(accs), opts.MaxRaceInstances))
+		return
+	}
+	words := (len(accs) + 63) / 64
+	if bytes := int64(g.n) * int64(words) * 8; bytes > opts.MaxRaceBytes {
+		r.Notes = append(r.Notes, fmt.Sprintf(
+			"block %d: race analysis skipped (reachability bitsets need %d bytes, MaxRaceBytes is %d)",
+			g.b.ID, bytes, opts.MaxRaceBytes))
+		return
+	}
+
+	// accOf[i] = accessor bit of instance i, or -1.
+	accOf := make([]int32, g.n)
+	for i := range accOf {
+		accOf[i] = -1
+	}
+	for ai := range accs {
+		accOf[accs[ai].inst] = int32(ai)
+	}
+
+	// reach[i] = set of accessor instances reachable from i via ≥1 edge,
+	// computed in reverse topological order.
+	reach := make([]uint64, int(g.n)*words)
+	row := func(i int32) []uint64 { return reach[int(i)*words : (int(i)+1)*words] }
+	for k := len(g.topo) - 1; k >= 0; k-- {
+		i := g.topo[k]
+		ri := row(i)
+		for _, e := range g.out(i) {
+			if a := accOf[e.to]; a >= 0 {
+				ri[a/64] |= 1 << (a % 64)
+			}
+			for w, v := range row(e.to) {
+				ri[w] |= v
+			}
+		}
+	}
+	ordered := func(a, b int) bool { // accessor a happens-before accessor b?
+		return row(accs[a].inst)[b/64]&(1<<(uint(b)%64)) != 0
+	}
+
+	// Aggregate conflicts per (kind, template pair, buffer).
+	type pairKey struct {
+		kind   Kind
+		ta, tb core.ThreadID
+		buf    string
+	}
+	type pairAgg struct {
+		count  int
+		a, b   core.Instance  // exemplar pair
+		ra, rb core.MemRegion // exemplar regions
+	}
+	found := make(map[pairKey]*pairAgg)
+	var order []pairKey
+	for ai := 0; ai < len(accs); ai++ {
+		for bi := ai + 1; bi < len(accs); bi++ {
+			if ordered(ai, bi) || ordered(bi, ai) {
+				continue
+			}
+			a, b := &accs[ai], &accs[bi]
+			for _, ra := range a.regs {
+				for _, rb := range b.regs {
+					if ra.Buffer != rb.Buffer || (!ra.Write && !rb.Write) {
+						continue
+					}
+					if ra.Offset+ra.Size <= rb.Offset || rb.Offset+rb.Size <= ra.Offset {
+						continue // disjoint
+					}
+					kind := KindRace
+					if ra.Write && rb.Write {
+						kind = KindWriteConflict
+					}
+					key := pairKey{kind: kind, ta: a.id.Thread, tb: b.id.Thread, buf: ra.Buffer}
+					pa := found[key]
+					if pa == nil {
+						pa = &pairAgg{a: a.id, b: b.id, ra: ra, rb: rb}
+						found[key] = pa
+						order = append(order, key)
+					}
+					pa.count++
+				}
+			}
+		}
+	}
+	for _, key := range order {
+		pa := found[key]
+		mode := "read/write"
+		if key.kind == KindWriteConflict {
+			mode = "write/write"
+		}
+		threads := []core.ThreadID{key.ta}
+		if key.tb != key.ta {
+			threads = append(threads, key.tb)
+			sort.Slice(threads, func(i, j int) bool { return threads[i] < threads[j] })
+		}
+		consequence := "no arc path orders them"
+		if key.kind == KindWriteConflict {
+			consequence = "no arc path orders them; the final contents depend on scheduling (nondeterministic result)"
+		}
+		r.Findings = append(r.Findings, Finding{
+			Kind:      key.kind,
+			Block:     g.b.ID,
+			Threads:   threads,
+			Instances: []core.Instance{pa.a, pa.b},
+			Buffer:    key.buf,
+			Count:     pa.count,
+			Msg: fmt.Sprintf(
+				"%d unordered %s conflict(s) on buffer %q between threads %s and %s: e.g. %s touches bytes [%d,%d) and %s touches bytes [%d,%d); %s",
+				pa.count, mode, key.buf,
+				g.p.TemplateName(key.ta), g.p.TemplateName(key.tb),
+				pa.a, pa.ra.Offset, pa.ra.Offset+pa.ra.Size,
+				pa.b, pa.rb.Offset, pa.rb.Offset+pa.rb.Size,
+				consequence),
+		})
+	}
+}

@@ -1,0 +1,89 @@
+package ddmlint
+
+import (
+	"runtime"
+	"testing"
+
+	"tflux/internal/core"
+	"tflux/internal/rts"
+)
+
+// counterProgram builds two single-instance DThreads that each perform
+// 2000 read-modify-write increments of a shared counter, yielding between
+// the read and the write so interleavings actually happen. With ordered
+// true an arc serializes them; without it ddmlint reports a
+// write-conflict — and this test shows that conflict is real: unordered
+// execution loses updates.
+func counterProgram(name string, ordered bool, counter *int64) *core.Program {
+	const iters = 2000
+	body := func(core.Context) {
+		for i := 0; i < iters; i++ {
+			v := *counter
+			runtime.Gosched()
+			*counter = v + 1
+		}
+	}
+	access := func(core.Context) []core.MemRegion {
+		return []core.MemRegion{{Buffer: "counter", Size: 8, Write: true}}
+	}
+	p := core.NewProgram(name)
+	p.AddBuffer("counter", 8)
+	b := p.AddBlock()
+	a := core.NewTemplate(1, "incA", body)
+	a.Access = access
+	a.Affinity = 0 // pin to different kernels: the default contiguous
+	c := core.NewTemplate(2, "incB", body)
+	c.Access = access
+	c.Affinity = 1 // distribution puts both 1-instance threads on kernel 0
+	if ordered {
+		a.Then(2, core.OneToOne{})
+	}
+	b.Add(a)
+	b.Add(c)
+	return p
+}
+
+// TestSeededRaceIsRealNondeterminism demonstrates that the write-conflict
+// ddmlint reports on the unordered counter program is not a modelling
+// artifact: executing it on TFluxSoft actually loses updates, while the
+// arc-ordered variant ddmlint accepts always produces the exact total.
+func TestSeededRaceIsRealNondeterminism(t *testing.T) {
+	var counter int64
+	racy := counterProgram("racy", false, &counter)
+	r := mustLint(t, racy)
+	if hasKind(r, KindWriteConflict) == nil {
+		t.Fatalf("seeded program not flagged: %v", kinds(r))
+	}
+
+	const want = 2 * 2000
+	lost := false
+	for attempt := 0; attempt < 100 && !lost; attempt++ {
+		counter = 0
+		if _, err := rts.Run(racy, rts.Options{Kernels: 2}); err != nil {
+			t.Fatal(err)
+		}
+		if counter != want {
+			lost = true
+		}
+	}
+	if !lost {
+		t.Fatalf("flagged race never manifested: counter always reached %d across 100 runs", want)
+	}
+
+	// The ordered variant is clean under ddmlint and deterministic under
+	// execution: the arc is a real happens-before edge.
+	ordered := counterProgram("ordered", true, &counter)
+	r = mustLint(t, ordered)
+	if !r.OK() {
+		t.Fatalf("ordered variant flagged: %v", kinds(r))
+	}
+	for attempt := 0; attempt < 5; attempt++ {
+		counter = 0
+		if _, err := rts.Run(ordered, rts.Options{Kernels: 2}); err != nil {
+			t.Fatal(err)
+		}
+		if counter != want {
+			t.Fatalf("ordered program lost updates: counter = %d, want %d", counter, want)
+		}
+	}
+}

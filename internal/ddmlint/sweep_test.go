@@ -1,0 +1,48 @@
+package ddmlint
+
+import (
+	"strings"
+	"testing"
+
+	"tflux/internal/workload"
+)
+
+// TestBenchmarkSuiteIsClean lints the DDM build of all five paper
+// benchmarks at several shapes (kernel counts and unroll factors stress
+// different mapping arities). A finding here means either a real bug in a
+// benchmark's graph/access model or a false positive in the linter; both
+// must fail the build.
+func TestBenchmarkSuiteIsClean(t *testing.T) {
+	for _, spec := range workload.Suite() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			sizes, ok := spec.Sizes(workload.Native)
+			if !ok {
+				sizes, _ = spec.Sizes(workload.Simulated)
+			}
+			job := spec.Make(sizes[0]) // Small: expansion stays fast
+			for _, shape := range []struct{ kernels, unroll int }{
+				{1, 1}, {4, 1}, {4, 16}, {8, 64},
+			} {
+				p, err := job.Build(shape.kernels, shape.unroll)
+				if err != nil {
+					t.Fatalf("Build(%d,%d): %v", shape.kernels, shape.unroll, err)
+				}
+				r, err := Lint(p)
+				if err != nil {
+					t.Fatalf("Lint(%d,%d): %v", shape.kernels, shape.unroll, err)
+				}
+				if !r.OK() {
+					var sb strings.Builder
+					r.WriteText(&sb)
+					t.Fatalf("benchmark %s (kernels=%d unroll=%d) has findings:\n%s",
+						spec.Name, shape.kernels, shape.unroll, sb.String())
+				}
+				for _, n := range r.Notes {
+					t.Errorf("analysis skipped on %s (kernels=%d unroll=%d): %s",
+						spec.Name, shape.kernels, shape.unroll, n)
+				}
+			}
+		})
+	}
+}

@@ -44,6 +44,7 @@ import (
 
 	"tflux/internal/cellsim"
 	"tflux/internal/core"
+	"tflux/internal/ddmlint"
 	"tflux/internal/dist"
 	"tflux/internal/hardsim"
 	"tflux/internal/obs"
@@ -247,6 +248,19 @@ func NewCellBuffers() *CellBuffers { return cellsim.NewSharedVariableBuffer() }
 // WriteDOT renders the program's Synchronization Graph in Graphviz DOT
 // format (one cluster per DDM Block, one edge per dependency arc).
 func WriteDOT(w io.Writer, p *Program) error { return core.WriteDOT(w, p.p) }
+
+// VetReport is the result of Vet (ddmlint.Report): the findings, the
+// analysis notes, and helpers to render them (WriteText) or overlay them
+// on the DOT graph (Highlight).
+type VetReport = ddmlint.Report
+
+// Vet statically verifies the program at instance granularity: it expands
+// every DThread to its dynamic contexts through the arc mappings and
+// checks Ready-Count consistency, instance-level deadlock, undeclared or
+// out-of-bounds buffer regions, and — when Access models are declared —
+// unordered conflicting accesses (DDM races). It returns an error only if
+// the program fails Validate; findings are reported in the VetReport.
+func Vet(p *Program) (*VetReport, error) { return ddmlint.Lint(p.p) }
 
 // DistStats is the distributed run report (dist.Stats).
 type DistStats = dist.Stats
