@@ -22,16 +22,24 @@
 // cmd/tfluxvet) before dispatch and refuses to run a program with
 // findings.
 //
+// Data-plane tuning (dist platform): -dist-batch, -dist-batch-bytes and
+// -dist-window bound how many Execs coalesce per ExecBatch frame and how
+// many instances may be in flight per node; -dist-no-cache disables the
+// worker-side import-region cache so every dispatch ships full bytes.
+//
 // Fault injection (dist platform): -dist-faults applies a seeded chaos
 // plan to the coordinator↔worker links and prints the fired faults and
 // the failover summary, e.g.
 //
 //	tfluxrun -bench MMULT -platform dist -nodes 4 -kernels 8 \
-//	    -dist-faults 'seed=7,plan=sever:node=1:after=6;sever:node=2:after=9:midframe=true'
+//	    -dist-window 1 -dist-batch 1 \
+//	    -dist-faults 'seed=7,plan=sever:node=1:after=1;sever:node=2:after=2:midframe=true'
 //
 // The run must still verify: severed nodes are declared dead and their
-// in-flight DThreads re-dispatch to the survivors. See internal/chaos
-// for the plan grammar.
+// in-flight DThreads re-dispatch to the survivors. (The tight window
+// forces several frames per node so the faults land mid-run; with the
+// default window a small benchmark coalesces into one frame per node.)
+// See internal/chaos for the plan grammar.
 package main
 
 import (
@@ -79,6 +87,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		gantt       = fs.Bool("gantt", false, "print an ASCII per-kernel timeline chart (soft platform only)")
 		vet         = fs.Bool("vet", false, "statically verify the program at instance granularity (ddmlint) and refuse to dispatch on findings")
 		distFaults  = fs.String("dist-faults", "", "dist platform: seeded fault-injection plan, e.g. seed=7,plan=sever:node=1:after=40 (see internal/chaos)")
+		distBatch   = fs.Int("dist-batch", 0, "dist platform: max Execs per ExecBatch frame (0 = default 32, negative = 1)")
+		distBatchKB = fs.Int64("dist-batch-bytes", 0, "dist platform: flush a node's batch at this many payload bytes (0 = default 256 KiB)")
+		distWindow  = fs.Int("dist-window", 0, "dist platform: per-node in-flight instance window (0 = default 64, negative = 1)")
+		distNoCache = fs.Bool("dist-no-cache", false, "dist platform: disable the worker-side import-region cache (ship full bytes every dispatch)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -293,7 +305,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 				mu.Unlock()
 				return p, svb
 			}
-			opt := dist.Options{Sink: sink, Metrics: reg}
+			opt := dist.Options{Sink: sink, Metrics: reg,
+				BatchCount: *distBatch, BatchBytes: *distBatchKB,
+				Window: *distWindow, DisableRegionCache: *distNoCache}
 			var chaosLog *chaos.Log
 			if *distFaults != "" {
 				plan, err := chaos.ParseSpec(*distFaults)
@@ -319,8 +333,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 				return fail(fmt.Errorf("dist: coordinator job missing"))
 			}
 			parT = st.Elapsed
-			fmt.Fprintf(stdout, "dist:       %d nodes × %d kernels, %d messages, %d bytes out, %d bytes in\n",
-				*nodes, kpn, st.Messages, st.BytesOut, st.BytesIn)
+			fmt.Fprintf(stdout, "dist:       %d nodes × %d kernels, %d messages in %d batches, %d bytes out, %d bytes in\n",
+				*nodes, kpn, st.Messages, st.Batches, st.BytesOut, st.BytesIn)
+			fmt.Fprintf(stdout, "regioncache: %d hit(s), %d miss(es), %d bytes saved\n",
+				st.RegionCacheHits, st.RegionCacheMisses, st.BytesSaved)
 			if chaosLog != nil {
 				fmt.Fprintf(stdout, "chaos:      %d fault(s) fired\n", chaosLog.Count())
 				for _, ev := range chaosLog.Events() {

@@ -163,12 +163,14 @@ func TestRunDistPlatform(t *testing.T) {
 
 // TestRunDistFaults drives the chaos demo: sever one of four nodes
 // mid-run, expect the run to fail over, still verify, and report the
-// fired faults.
+// fired faults. The tight batch/window keeps the run from coalescing
+// into one frame per node, so the sever lands mid-run.
 func TestRunDistFaults(t *testing.T) {
 	var out, errb bytes.Buffer
 	code := run([]string{"-bench", "MMULT", "-platform", "dist", "-size", "small",
 		"-kernels", "8", "-nodes", "4", "-reps", "1",
-		"-dist-faults", "seed=7,plan=sever:node=1:after=4"}, &out, &errb)
+		"-dist-window", "1", "-dist-batch", "1",
+		"-dist-faults", "seed=7,plan=sever:node=1:after=1"}, &out, &errb)
 	if code != 0 {
 		t.Fatalf("exit %d: %s", code, errb.String())
 	}

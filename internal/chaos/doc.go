@@ -18,9 +18,14 @@
 // failure byte-for-byte.
 //
 // A "frame" is one Write (or, for read-side faults, one Read) call on
-// the wrapped connection. For the gob-encoded TFluxDist protocol each
-// envelope is one or two Write calls (type descriptors ride ahead of
-// the first value of each type), so frame counts track protocol
-// progress closely enough to script faults like "sever node 2's
-// connection after the 50th frame".
+// the wrapped connection. The TFluxDist binary protocol writes exactly
+// one wire frame per Write call, so fault counts align one-to-one with
+// protocol frames — "sever node 2's connection after the 2nd frame"
+// cuts it right after its second ExecBatch/Shutdown/Ping, and a
+// midframe sever delivers the first half of a frame (the tail of an
+// ExecBatch simply never arrives). Note that batching coalesces many
+// dispatches into few frames: scripting a mid-run fault against a small
+// workload usually requires tightening dist.Options.BatchCount/Window
+// (or the tfluxrun -dist-batch/-dist-window flags) so the run produces
+// more than one data frame per node.
 package chaos

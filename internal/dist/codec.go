@@ -1,0 +1,360 @@
+package dist
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync"
+
+	"tflux/internal/core"
+)
+
+// Wire format
+//
+// Every frame is one length-prefixed binary record, written with a
+// single Write call:
+//
+//	byte 0    tag: high nibble = protocol version, low nibble = frame type
+//	bytes 1+  uvarint payload length
+//	bytes …   payload
+//
+// The tag byte is validated before anything else, so a peer speaking a
+// different protocol version (or the old gob framing) fails the
+// handshake with a clear error instead of desynchronizing mid-stream.
+// Integers are unsigned varints; byte strings are uvarint-length-
+// prefixed. Region payloads are appended straight from their source
+// buffers into the frame buffer — no intermediate per-region copies —
+// and frame buffers are pooled.
+const (
+	protoVersion = 1
+	// maxFrame caps a frame's declared payload size. The decoder also
+	// reads payloads incrementally, so a lying length prefix cannot
+	// force a large allocation without the peer actually sending the
+	// bytes.
+	maxFrame = 1 << 28
+	// frameHeader is the space reserved at the front of a pooled frame
+	// buffer for the tag byte and the payload-length varint.
+	frameHeader = 1 + binary.MaxVarintLen32
+	// pooledFrameCap is the largest frame buffer returned to the pool;
+	// bigger ones (huge region payloads) are left to the GC.
+	pooledFrameCap = 4 << 20
+	// readChunk is the step size for incremental payload reads.
+	readChunk = 64 << 10
+)
+
+// frameType identifies a frame's payload layout (low nibble of the tag).
+type frameType byte
+
+const (
+	ftHello frameType = 1 + iota
+	ftExecBatch
+	ftDoneBatch
+	ftShutdown
+	ftPing
+	ftPong
+)
+
+func (t frameType) String() string {
+	switch t {
+	case ftHello:
+		return "Hello"
+	case ftExecBatch:
+		return "ExecBatch"
+	case ftDoneBatch:
+		return "DoneBatch"
+	case ftShutdown:
+		return "Shutdown"
+	case ftPing:
+		return "Ping"
+	case ftPong:
+		return "Pong"
+	}
+	return fmt.Sprintf("frameType(%d)", byte(t))
+}
+
+// frame is one decoded wire frame; typ selects which fields are set.
+type frame struct {
+	typ   frameType
+	hello Hello
+	execs []Exec
+	dones []Done
+	seq   int64 // Ping / Pong
+}
+
+// framePool recycles encode-side buffers; each holds header space plus
+// the growing payload.
+var framePool = sync.Pool{
+	New: func() any {
+		b := make([]byte, frameHeader, readChunk)
+		return &b
+	},
+}
+
+// ----- encoding -----
+
+func appendUvarint(b []byte, v uint64) []byte { return binary.AppendUvarint(b, v) }
+
+func appendBytes(b, p []byte) []byte {
+	b = appendUvarint(b, uint64(len(p)))
+	return append(b, p...)
+}
+
+func appendString(b []byte, s string) []byte {
+	b = appendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// appendRegion encodes one import/export region. Ref regions ship only
+// their key and version; full regions append the payload bytes directly
+// from rd.Data (which may alias the canonical buffer) into the frame.
+func appendRegion(b []byte, rd *RegionData) []byte {
+	b = appendString(b, rd.Buffer)
+	b = appendUvarint(b, uint64(rd.Offset))
+	if rd.Ref {
+		b = append(b, 1)
+		b = appendUvarint(b, rd.Ver)
+		return appendUvarint(b, uint64(rd.Size))
+	}
+	b = append(b, 0)
+	b = appendUvarint(b, rd.Ver)
+	return appendBytes(b, rd.Data)
+}
+
+func appendExec(b []byte, ex *Exec) []byte {
+	b = appendUvarint(b, uint64(ex.Inst.Thread))
+	b = appendUvarint(b, uint64(ex.Inst.Ctx))
+	b = appendUvarint(b, uint64(ex.Kernel))
+	b = appendUvarint(b, uint64(len(ex.Imports)))
+	for i := range ex.Imports {
+		b = appendRegion(b, &ex.Imports[i])
+	}
+	return b
+}
+
+func appendDone(b []byte, d *Done) []byte {
+	b = appendUvarint(b, uint64(d.Inst.Thread))
+	b = appendUvarint(b, uint64(d.Inst.Ctx))
+	b = appendUvarint(b, uint64(d.Kernel))
+	b = appendString(b, d.Err)
+	b = appendUvarint(b, uint64(len(d.Exports)))
+	for i := range d.Exports {
+		b = appendRegion(b, &d.Exports[i])
+	}
+	return b
+}
+
+// finishFrame writes the tag and payload-length varint right-aligned
+// into the reserved header space and returns the wire-ready slice.
+func finishFrame(buf []byte, ft frameType) ([]byte, error) {
+	payload := len(buf) - frameHeader
+	if payload > maxFrame {
+		return nil, fmt.Errorf("dist: %v frame payload %d exceeds limit %d", ft, payload, maxFrame)
+	}
+	var hdr [frameHeader]byte
+	n := binary.PutUvarint(hdr[:], uint64(payload))
+	start := frameHeader - 1 - n
+	buf[start] = protoVersion<<4 | byte(ft)
+	copy(buf[start+1:frameHeader], hdr[:n])
+	return buf[start:], nil
+}
+
+// ----- decoding -----
+
+// wireReader is a bounds-checked cursor over one frame's payload. All
+// reads after an error return zero values; the first error sticks.
+type wireReader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *wireReader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("dist: malformed frame: "+format, args...)
+	}
+}
+
+func (r *wireReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		r.fail("truncated varint at offset %d", r.off)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// length reads a uvarint that counts items or bytes still to come in
+// this payload; anything exceeding the remaining bytes is malformed,
+// which also bounds allocations to the bytes actually received.
+func (r *wireReader) length(what string) int {
+	v := r.uvarint()
+	if r.err != nil {
+		return 0
+	}
+	if v > uint64(len(r.b)-r.off) {
+		r.fail("%s count %d exceeds %d remaining payload bytes", what, v, len(r.b)-r.off)
+		return 0
+	}
+	return int(v)
+}
+
+func (r *wireReader) byte() byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.off >= len(r.b) {
+		r.fail("truncated at offset %d", r.off)
+		return 0
+	}
+	c := r.b[r.off]
+	r.off++
+	return c
+}
+
+// bytes returns the next length-prefixed byte string as a subslice of
+// the payload (no copy; the payload buffer is owned by the frame).
+func (r *wireReader) bytes() []byte {
+	n := r.length("byte string")
+	if r.err != nil {
+		return nil
+	}
+	p := r.b[r.off : r.off+n : r.off+n]
+	r.off += n
+	return p
+}
+
+func (r *wireReader) str() string { return string(r.bytes()) }
+
+func (r *wireReader) region(rd *RegionData) {
+	rd.Buffer = r.str()
+	rd.Offset = int64(r.uvarint())
+	mode := r.byte()
+	rd.Ver = r.uvarint()
+	switch mode {
+	case 0:
+		rd.Data = r.bytes()
+		rd.Size = int64(len(rd.Data))
+	case 1:
+		rd.Ref = true
+		rd.Size = int64(r.uvarint())
+		if rd.Size > maxFrame {
+			r.fail("region ref size %d exceeds limit %d", rd.Size, maxFrame)
+		}
+	default:
+		r.fail("unknown region mode %d", mode)
+	}
+	if rd.Offset < 0 || rd.Size < 0 {
+		r.fail("region [%d,+%d) overflows", rd.Offset, rd.Size)
+	}
+}
+
+func (r *wireReader) exec(ex *Exec) {
+	ex.Inst.Thread = core.ThreadID(r.uvarint())
+	ex.Inst.Ctx = core.Context(r.uvarint())
+	ex.Kernel = int(r.uvarint())
+	n := r.length("import region")
+	if n > 0 {
+		ex.Imports = make([]RegionData, n)
+		for i := range ex.Imports {
+			r.region(&ex.Imports[i])
+		}
+	}
+}
+
+func (r *wireReader) done(d *Done) {
+	d.Inst.Thread = core.ThreadID(r.uvarint())
+	d.Inst.Ctx = core.Context(r.uvarint())
+	d.Kernel = int(r.uvarint())
+	d.Err = r.str()
+	n := r.length("export region")
+	if n > 0 {
+		d.Exports = make([]RegionData, n)
+		for i := range d.Exports {
+			r.region(&d.Exports[i])
+		}
+	}
+}
+
+// parseFrame decodes one payload. Region data fields alias the payload
+// buffer, so the buffer's ownership transfers to the returned frame.
+func parseFrame(ft frameType, payload []byte) (frame, error) {
+	f := frame{typ: ft}
+	r := &wireReader{b: payload}
+	switch ft {
+	case ftHello:
+		f.hello.Kernels = int(r.uvarint())
+	case ftExecBatch:
+		n := r.length("exec")
+		f.execs = make([]Exec, 0, min(n, 256))
+		for i := 0; i < n && r.err == nil; i++ {
+			var ex Exec
+			r.exec(&ex)
+			f.execs = append(f.execs, ex)
+		}
+	case ftDoneBatch:
+		n := r.length("done")
+		f.dones = make([]Done, 0, min(n, 256))
+		for i := 0; i < n && r.err == nil; i++ {
+			var d Done
+			r.done(&d)
+			f.dones = append(f.dones, d)
+		}
+	case ftShutdown:
+		// no payload
+	case ftPing, ftPong:
+		f.seq = int64(r.uvarint())
+	default:
+		return f, fmt.Errorf("dist: unknown frame type 0x%x", byte(ft))
+	}
+	if r.err != nil {
+		return f, r.err
+	}
+	if r.off != len(r.b) {
+		return f, fmt.Errorf("dist: %v frame has %d trailing bytes", ft, len(r.b)-r.off)
+	}
+	return f, nil
+}
+
+// readFrame reads and decodes one frame from br. The payload is read
+// incrementally in readChunk steps so an adversarial length prefix
+// cannot force a large allocation ahead of the bytes actually arriving.
+func readFrame(br *bufio.Reader) (frame, error) {
+	tag, err := br.ReadByte()
+	if err != nil {
+		return frame{}, err
+	}
+	if tag>>4 != protoVersion {
+		return frame{}, fmt.Errorf("dist: bad frame tag 0x%02x: peer speaks protocol version %d, this side %d (incompatible wire protocol)", tag, tag>>4, protoVersion)
+	}
+	ft := frameType(tag & 0x0f)
+	size, err := binary.ReadUvarint(br)
+	if err != nil {
+		return frame{}, fmt.Errorf("dist: reading %v frame length: %w", ft, err)
+	}
+	if size > maxFrame {
+		return frame{}, fmt.Errorf("dist: %v frame declares %d payload bytes, limit %d", ft, size, maxFrame)
+	}
+	payload := make([]byte, 0, min(int(size), readChunk))
+	for len(payload) < int(size) {
+		n := min(int(size)-len(payload), readChunk)
+		if cap(payload) < len(payload)+n {
+			grown := make([]byte, len(payload), min(int(size), 2*cap(payload)+n))
+			copy(grown, payload)
+			payload = grown
+		}
+		start := len(payload)
+		payload = payload[:start+n]
+		if _, err := io.ReadFull(br, payload[start:]); err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return frame{}, fmt.Errorf("dist: reading %v frame payload: %w", ft, err)
+		}
+	}
+	return parseFrame(ft, payload)
+}

@@ -29,8 +29,19 @@ type Stats struct {
 	TSU      tsu.Stats
 	BytesOut int64 // import bytes shipped to workers (re-dispatches included)
 	BytesIn  int64 // export bytes received from workers
-	Messages int64 // Exec sends + Done receipts (heartbeats excluded)
+	Messages int64 // ExecBatch sends + DoneBatch receipts (heartbeats excluded)
 	Nodes    []NodeStats
+
+	// Batches counts ExecBatch frames sent; Messages/Batches below the
+	// instance count is the dispatch coalescing at work.
+	Batches int64
+	// RegionCacheHits counts import regions shipped as (key, version)
+	// references because the target worker's cached copy was current;
+	// RegionCacheMisses counts full-payload ships. BytesSaved is the
+	// wire bytes the references elided.
+	RegionCacheHits   int64
+	RegionCacheMisses int64
+	BytesSaved        int64
 
 	// Failovers counts nodes declared dead during the run; Retries
 	// counts Execs re-dispatched to surviving nodes; DupeDones counts
@@ -64,10 +75,11 @@ func CoordinateObs(prog *core.Program, svb *cellsim.SharedVariableBuffer, conns 
 // coordEvent is one occurrence the coordinator's main loop reacts to.
 // Exactly one of the cases is populated.
 type coordEvent struct {
-	// A Done frame (or link/protocol failure when err != nil) from node.
-	done *Done
-	node int
-	err  error
+	// A DoneBatch frame (or link/protocol failure when err != nil) from
+	// node.
+	dones []Done
+	node  int
+	err   error
 	// A heartbeat miss on node (no inbound traffic for the window).
 	hbMiss bool
 	// A scheduled re-dispatch of inst; gen guards against stale timers.
@@ -78,14 +90,44 @@ type coordEvent struct {
 	leaseTick bool
 }
 
-// CoordinateOpts is Coordinate with resilience and observability tuned
-// by opt. The coordinator tracks every in-flight Exec in a lease table;
-// a node that drops its connection, misses heartbeats, violates the
-// protocol, or sits on an expired lease is declared dead, its leases
-// are re-dispatched to surviving nodes with capped exponential backoff,
-// and late Dones from it are discarded by the (instance, node) lease
-// check — so every instance's exports apply exactly once. The run
-// completes on any non-empty subset of the starting nodes and fails
+// trackedRegion is the coordinator's version record for one import
+// region key. The version bumps whenever an applied export overlaps the
+// region, invalidating every worker's cached copy at the old version.
+type trackedRegion struct {
+	key regionKey
+	ver uint64
+}
+
+// nodeIO is the coordinator's per-node dispatch state: the accumulating
+// ExecBatch, the in-flight window occupancy, and the ready instances
+// deferred because the window is full.
+type nodeIO struct {
+	batch      []Exec
+	batchBytes int64 // payload bytes in batch (refs count nothing)
+	inflight   int   // leased instances currently on the node (batched included)
+	deferred   []tsu.Ready
+}
+
+// CoordinateOpts is Coordinate with batching, caching, resilience and
+// observability tuned by opt.
+//
+// Dispatch is batched and pipelined: ready instances bound for the same
+// node coalesce into one ExecBatch frame (flushed on BatchCount /
+// BatchBytes thresholds, or when the event loop goes idle), and each
+// node runs up to Window instances concurrently in flight, so dispatch
+// overlaps remote execution instead of ping-ponging per instance.
+// Import regions whose content is unchanged since the target worker
+// last received them ship as (key, version) cache references instead of
+// bytes; a region's version bumps when an applied export overlaps it.
+//
+// The coordinator tracks every in-flight Exec in a per-instance lease —
+// batching does not coarsen failover. A node that drops its connection,
+// misses heartbeats, violates the protocol, or sits on an expired lease
+// is declared dead, its leases are re-dispatched to surviving nodes
+// with capped exponential backoff, and late Dones from it are discarded
+// by the (instance, node) lease check — so every instance's exports
+// apply exactly once even when a batch frame is severed mid-write. The
+// run completes on any non-empty subset of the starting nodes and fails
 // hard only when every node is lost.
 func CoordinateOpts(prog *core.Program, svb *cellsim.SharedVariableBuffer, conns []net.Conn, opt Options) (*Stats, error) {
 	opt = opt.withDefaults()
@@ -98,6 +140,7 @@ func CoordinateOpts(prog *core.Program, svb *cellsim.SharedVariableBuffer, conns
 	}
 	rpcHist := reg.Histogram("dist.rpc_ns", obs.LatencyBuckets)
 	foHist := reg.Histogram("dist.failover_ns", obs.LatencyBuckets)
+	batchHist := reg.Histogram("dist.batch_size", obs.CountBuckets)
 	coordLane := len(conns)
 	n := len(conns)
 
@@ -126,17 +169,19 @@ func CoordinateOpts(prog *core.Program, svb *cellsim.SharedVariableBuffer, conns
 			links[i].wtimeout = opt.WriteTimeout
 		}
 		// A connected-but-silent worker must fail the handshake with a
-		// clear error, not hang Coordinate forever.
+		// clear error, not hang Coordinate forever. The tag check inside
+		// recv also rejects peers speaking a different protocol version
+		// (e.g. an old gob build) before any state is built.
 		c.SetReadDeadline(time.Now().Add(opt.HandshakeTimeout)) //nolint:errcheck
-		e, err := links[i].recv()
-		if err != nil || e.Hello == nil {
+		f, err := links[i].recv()
+		if err != nil || f.typ != ftHello {
 			return failEarly(fmt.Errorf("dist: handshake with node %d failed (no Hello within %v): %v", i, opt.HandshakeTimeout, err))
 		}
 		c.SetReadDeadline(time.Time{}) //nolint:errcheck
 		kernelBase[i] = totalKernels
-		nodeKernels[i] = e.Hello.Kernels
-		stats.Nodes[i].Kernels = e.Hello.Kernels
-		totalKernels += e.Hello.Kernels
+		nodeKernels[i] = f.hello.Kernels
+		stats.Nodes[i].Kernels = f.hello.Kernels
+		totalKernels += f.hello.Kernels
 	}
 	nodeOf := func(global tsu.KernelID) (node, local int) {
 		for i := len(kernelBase) - 1; i >= 0; i-- {
@@ -152,13 +197,15 @@ func CoordinateOpts(prog *core.Program, svb *cellsim.SharedVariableBuffer, conns
 		return failEarly(err)
 	}
 
-	// Per-node liveness gauges: 1 while the node serves, 0 once dead.
+	// Per-node liveness and in-flight-window gauges.
 	aliveGauge := make([]*obs.Gauge, n)
+	inflightGauge := make([]*obs.Gauge, n)
 	for i := range aliveGauge {
 		aliveGauge[i] = reg.Gauge(fmt.Sprintf("dist.node%d.alive", i))
 		if aliveGauge[i] != nil {
 			aliveGauge[i].Set(1)
 		}
+		inflightGauge[i] = reg.Gauge(fmt.Sprintf("dist.node%d.inflight", i))
 	}
 
 	// Everything below the main loop communicates through one channel;
@@ -173,7 +220,7 @@ func CoordinateOpts(prog *core.Program, svb *cellsim.SharedVariableBuffer, conns
 	}
 
 	// lastSeen is the unixnano of the most recent inbound frame per
-	// node; any frame (Done or Pong) counts as liveness.
+	// node; any frame (DoneBatch or Pong) counts as liveness.
 	lastSeen := make([]atomic.Int64, n)
 	now := time.Now().UnixNano()
 	for i := range lastSeen {
@@ -182,19 +229,19 @@ func CoordinateOpts(prog *core.Program, svb *cellsim.SharedVariableBuffer, conns
 	for i, l := range links {
 		go func(i int, l *link) {
 			for {
-				e, err := l.recv()
+				f, err := l.recv()
 				if err != nil {
 					push(coordEvent{node: i, err: err})
 					return
 				}
 				lastSeen[i].Store(time.Now().UnixNano())
-				switch {
-				case e.Done != nil:
-					push(coordEvent{done: e.Done, node: i})
-				case e.Pong != nil:
+				switch f.typ {
+				case ftDoneBatch:
+					push(coordEvent{dones: f.dones, node: i})
+				case ftPong:
 					// Liveness already recorded.
 				default:
-					push(coordEvent{node: i, err: fmt.Errorf("dist: unexpected frame from node %d", i)})
+					push(coordEvent{node: i, err: fmt.Errorf("dist: unexpected frame %v from node %d", f.typ, i)})
 					return
 				}
 			}
@@ -217,7 +264,7 @@ func CoordinateOpts(prog *core.Program, svb *cellsim.SharedVariableBuffer, conns
 							return
 						}
 						seq++
-						if err := l.send(envelope{Ping: &Ping{Seq: seq}}); err != nil {
+						if err := l.sendPing(seq); err != nil {
 							push(coordEvent{node: i, err: fmt.Errorf("dist: ping node %d: %w", i, err)})
 							return
 						}
@@ -253,7 +300,7 @@ func CoordinateOpts(prog *core.Program, svb *cellsim.SharedVariableBuffer, conns
 			if stats.Nodes[i].Lost {
 				continue // already closed at failover time
 			}
-			l.send(envelope{Shutdown: &Shutdown{}}) //nolint:errcheck // best effort
+			l.sendShutdown() //nolint:errcheck // best effort
 			if force {
 				l.close() //nolint:errcheck
 			}
@@ -278,8 +325,10 @@ func CoordinateOpts(prog *core.Program, svb *cellsim.SharedVariableBuffer, conns
 		return res
 	}
 
-	// ----- failure handling state (owned by the main loop) -----
+	// ----- dispatch, caching and failure handling state (owned by the
+	// main loop) -----
 	leases := make(map[core.Instance]*lease)
+	nodes := make([]nodeIO, n)
 	alive := make([]bool, n)
 	for i := range alive {
 		alive[i] = true
@@ -289,6 +338,39 @@ func CoordinateOpts(prog *core.Program, svb *cellsim.SharedVariableBuffer, conns
 	var genCtr int64
 	var timers []*time.Timer
 
+	// Region version tracking: regions[key] is the current version of a
+	// tracked import region, byBuf indexes them per buffer for the
+	// overlap scan on export application. nodeCache[i] is what node i
+	// holds: key → the version it was last shipped in full.
+	cacheOn := !opt.DisableRegionCache
+	regions := make(map[regionKey]*trackedRegion)
+	byBuf := make(map[string][]*trackedRegion)
+	nodeCache := make([]map[regionKey]uint64, n)
+	for i := range nodeCache {
+		nodeCache[i] = make(map[regionKey]uint64)
+	}
+	trackRegion := func(key regionKey) *trackedRegion {
+		tr := regions[key]
+		if tr == nil {
+			tr = &trackedRegion{key: key, ver: 1}
+			regions[key] = tr
+			byBuf[key.buffer] = append(byBuf[key.buffer], tr)
+		}
+		return tr
+	}
+	bumpOverlapping := func(buffer string, off, length int64) {
+		for _, tr := range byBuf[buffer] {
+			if tr.key.offset < off+length && off < tr.key.offset+tr.key.size {
+				tr.ver++
+			}
+		}
+	}
+	setInflight := func(i int) {
+		if inflightGauge[i] != nil {
+			inflightGauge[i].Set(int64(nodes[i].inflight))
+		}
+	}
+
 	nextAlive := func(from int) int {
 		for i := 1; i <= n; i++ {
 			if k := (from + i) % n; alive[k] {
@@ -297,13 +379,17 @@ func CoordinateOpts(prog *core.Program, svb *cellsim.SharedVariableBuffer, conns
 		}
 		return -1
 	}
-	// buildExec reassembles the Exec for an instance, re-reading import
-	// regions from the canonical buffers; safe to repeat because exports
-	// apply only here and an instance's imports were finalized before it
-	// became ready. Errors are fatal program errors.
-	buildExec := func(inst core.Instance) (Exec, int64, error) {
+	// buildExec assembles the Exec for an instance bound for target,
+	// re-reading import regions from the canonical buffers; safe to
+	// repeat because exports apply only here and an instance's imports
+	// were finalized before it became ready (the same invariant lets
+	// Data alias the canonical buffer until the batch flushes). Regions
+	// whose version matches what target already caches become refs.
+	// Returns the payload bytes actually shipped. Errors are fatal
+	// program errors.
+	buildExec := func(inst core.Instance, target int) (Exec, int64, error) {
 		ex := Exec{Inst: inst}
-		var importBytes int64
+		var shipped int64
 		tpl := state.Template(inst.Thread)
 		if tpl != nil && tpl.Access != nil {
 			for _, r := range tpl.Access(inst.Ctx) {
@@ -314,15 +400,32 @@ func CoordinateOpts(prog *core.Program, svb *cellsim.SharedVariableBuffer, conns
 				if b == nil {
 					return ex, 0, fmt.Errorf("dist: import references unregistered buffer %q", r.Buffer)
 				}
-				rdata, err := readRegion(b, r)
+				rdata, err := readRegionRef(b, r)
 				if err != nil {
 					return ex, 0, err
 				}
-				importBytes += int64(len(rdata.Data))
+				if cacheOn {
+					key := rdata.key()
+					tr := trackRegion(key)
+					rdata.Ver = tr.ver
+					if nodeCache[target][key] == tr.ver {
+						// Current on the worker: ship the reference only.
+						rdata.Ref = true
+						rdata.Data = nil
+						stats.RegionCacheHits++
+						stats.BytesSaved += rdata.Size
+					} else {
+						stats.RegionCacheMisses++
+						nodeCache[target][key] = tr.ver
+						shipped += rdata.Size
+					}
+				} else {
+					shipped += rdata.Size
+				}
 				ex.Imports = append(ex.Imports, rdata)
 			}
 		}
-		return ex, importBytes, nil
+		return ex, shipped, nil
 	}
 	localFor := func(k tsu.KernelID, target int) int {
 		if node, local := nodeOf(k); node == target {
@@ -332,6 +435,70 @@ func CoordinateOpts(prog *core.Program, svb *cellsim.SharedVariableBuffer, conns
 			return 0
 		}
 		return int(k) % nodeKernels[target]
+	}
+
+	// flushNode sends node i's accumulated ExecBatch as one frame; a
+	// transport error fails the node over (the leases it carries are
+	// re-scheduled by markDead).
+	var markDead func(node int, reason error) error
+	flushNode := func(i int) error {
+		nio := &nodes[i]
+		if len(nio.batch) == 0 {
+			return nil
+		}
+		if !alive[i] {
+			nio.batch, nio.batchBytes = nio.batch[:0], 0
+			return nil
+		}
+		stats.BytesOut += nio.batchBytes
+		stats.Messages++
+		stats.Batches++
+		if batchHist != nil {
+			batchHist.Observe(int64(len(nio.batch)))
+		}
+		err := links[i].sendExecBatch(nio.batch)
+		nio.batch, nio.batchBytes = nio.batch[:0], 0
+		if err != nil {
+			return markDead(i, fmt.Errorf("send: %w", err))
+		}
+		return nil
+	}
+	flushAll := func() error {
+		for i := range nodes {
+			if err := flushNode(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// appendExecTo stages one built Exec into target's batch, flushing on
+	// the size/count thresholds.
+	appendExecTo := func(target int, ex Exec, shipped int64) error {
+		nio := &nodes[target]
+		nio.batch = append(nio.batch, ex)
+		nio.batchBytes += shipped
+		if len(nio.batch) >= opt.BatchCount || nio.batchBytes >= opt.BatchBytes {
+			return flushNode(target)
+		}
+		return nil
+	}
+
+	// enqueueExec leases an instance onto target and stages its Exec.
+	enqueueExec := func(inst core.Instance, kern tsu.KernelID, target int) error {
+		ex, shipped, err := buildExec(inst, target)
+		if err != nil {
+			return err
+		}
+		ex.Kernel = localFor(kern, target)
+		ls := &lease{inst: inst, kern: kern, node: target, attempts: 1, wall: time.Now(), bytes: shipped}
+		if sink != nil {
+			ls.at = sink.Now()
+		}
+		leases[inst] = ls
+		nodes[target].inflight++
+		setInflight(target)
+		return appendExecTo(target, ex, shipped)
 	}
 
 	// scheduleRedispatch arms a backoff timer that re-queues the lease's
@@ -353,10 +520,58 @@ func CoordinateOpts(prog *core.Program, svb *cellsim.SharedVariableBuffer, conns
 		return nil
 	}
 
+	// dispatch sends one application instance to its owner node (or a
+	// surviving fallback) — deferring it when the node's in-flight
+	// window is full — or processes a service instance (Inlet / Outlet)
+	// locally at the TSU. Only fatal program errors are returned;
+	// transport failures fail over internally.
+	var dispatch func(rd tsu.Ready) error
+	dispatch = func(rd tsu.Ready) error {
+		if state.IsService(rd.Inst) {
+			res := complete(rd.Inst, rd.Kernel)
+			if res.ProgramDone {
+				return errProgramDone
+			}
+			for _, next := range res.NewReady {
+				if err := dispatch(next); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		owner, _ := nodeOf(rd.Kernel)
+		target := owner
+		if !alive[target] {
+			target = nextAlive(owner)
+			if target < 0 {
+				return fmt.Errorf("dist: all %d nodes lost; cannot dispatch %v; last failure: %w", n, rd.Inst, lastLoss)
+			}
+		}
+		if nodes[target].inflight >= opt.Window {
+			nodes[target].deferred = append(nodes[target].deferred, rd)
+			return nil
+		}
+		return enqueueExec(rd.Inst, rd.Kernel, target)
+	}
+
+	// drainDeferred refills node i's window from its deferred queue.
+	drainDeferred := func(i int) error {
+		nio := &nodes[i]
+		for alive[i] && nio.inflight < opt.Window && len(nio.deferred) > 0 {
+			rd := nio.deferred[0]
+			nio.deferred = nio.deferred[1:]
+			if err := enqueueExec(rd.Inst, rd.Kernel, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
 	// markDead declares a node lost: close its link (unblocking its
-	// reader), drain its leases into re-dispatch timers, and hard-fail
-	// if no node survives.
-	markDead := func(node int, reason error) error {
+	// reader), drop its pending batch and cache view, drain its leases
+	// into re-dispatch timers, re-route its deferred instances, and
+	// hard-fail if no node survives.
+	markDead = func(node int, reason error) error {
 		if node < 0 || node >= n || !alive[node] {
 			return nil
 		}
@@ -373,6 +588,12 @@ func CoordinateOpts(prog *core.Program, svb *cellsim.SharedVariableBuffer, conns
 		if sink != nil {
 			sink.Record(obs.Event{Kind: obs.DistFailover, Lane: node, Start: sink.Now(), Note: reason.Error()})
 		}
+		nio := &nodes[node]
+		nio.batch, nio.batchBytes, nio.inflight = nio.batch[:0], 0, 0
+		setInflight(node)
+		nodeCache[node] = nil
+		deferred := nio.deferred
+		nio.deferred = nil
 		failedAt := time.Now()
 		for _, ls := range leases {
 			if ls.node != node {
@@ -386,62 +607,17 @@ func CoordinateOpts(prog *core.Program, svb *cellsim.SharedVariableBuffer, conns
 		if aliveN == 0 {
 			return fmt.Errorf("dist: all %d nodes lost; last failure: %w", n, lastLoss)
 		}
-		return nil
-	}
-
-	// sendLease ships the lease's Exec to its current node, recording
-	// traffic; a transport error fails the target node over (the lease
-	// it carries is re-scheduled by markDead).
-	sendLease := func(ls *lease, ex Exec) error {
-		stats.BytesOut += ls.bytes
-		stats.Messages++
-		if err := links[ls.node].send(envelope{Exec: &ex}); err != nil {
-			return markDead(ls.node, fmt.Errorf("send: %w", err))
+		for _, rd := range deferred {
+			if err := dispatch(rd); err != nil {
+				return err
+			}
 		}
 		return nil
 	}
 
-	// dispatch sends one application instance to its owner node (or a
-	// surviving fallback), or processes a service instance (Inlet /
-	// Outlet) locally at the TSU. Only fatal program errors are
-	// returned; transport failures fail over internally.
-	var dispatch func(rd tsu.Ready) error
-	dispatch = func(rd tsu.Ready) error {
-		if state.IsService(rd.Inst) {
-			res := complete(rd.Inst, rd.Kernel)
-			if res.ProgramDone {
-				return errProgramDone
-			}
-			for _, next := range res.NewReady {
-				if err := dispatch(next); err != nil {
-					return err
-				}
-			}
-			return nil
-		}
-		owner, local := nodeOf(rd.Kernel)
-		target := owner
-		if !alive[target] {
-			target = nextAlive(owner)
-			if target < 0 {
-				return fmt.Errorf("dist: all %d nodes lost; cannot dispatch %v; last failure: %w", n, rd.Inst, lastLoss)
-			}
-			local = localFor(rd.Kernel, target)
-		}
-		ex, importBytes, err := buildExec(rd.Inst)
-		if err != nil {
-			return err
-		}
-		ex.Kernel = local
-		ls := &lease{inst: rd.Inst, kern: rd.Kernel, node: target, attempts: 1, wall: time.Now(), bytes: importBytes}
-		if sink != nil {
-			ls.at = sink.Now()
-		}
-		leases[rd.Inst] = ls
-		return sendLease(ls, ex)
-	}
-
-	// redispatch moves a drained lease to the next surviving node.
+	// redispatch moves a drained lease to the next surviving node. It
+	// bypasses the window (failover work must not starve behind new
+	// dispatches) but rides the same batch path.
 	redispatch := func(inst core.Instance, gen int64) error {
 		ls := leases[inst]
 		if ls == nil || ls.gen != gen {
@@ -451,13 +627,13 @@ func CoordinateOpts(prog *core.Program, svb *cellsim.SharedVariableBuffer, conns
 		if target < 0 {
 			return fmt.Errorf("dist: all %d nodes lost; cannot re-dispatch %v; last failure: %w", n, inst, lastLoss)
 		}
-		ex, importBytes, err := buildExec(inst)
+		ex, shipped, err := buildExec(inst, target)
 		if err != nil {
 			return err
 		}
 		ex.Kernel = localFor(ls.kern, target)
 		ls.node = target
-		ls.bytes = importBytes
+		ls.bytes = shipped
 		ls.wall = time.Now()
 		if sink != nil {
 			ls.at = sink.Now()
@@ -466,15 +642,16 @@ func CoordinateOpts(prog *core.Program, svb *cellsim.SharedVariableBuffer, conns
 		if foHist != nil && !ls.failedAt.IsZero() {
 			foHist.ObserveDuration(time.Since(ls.failedAt))
 		}
-		return sendLease(ls, ex)
+		nodes[target].inflight++
+		setInflight(target)
+		return appendExecTo(target, ex, shipped)
 	}
 
-	// handleDone validates one Done frame and applies it. Validation
+	// handleDone validates one Done entry and applies it. Validation
 	// comes first: a buggy or byzantine worker must not panic the
 	// coordinator or double-apply exports. A Done without a matching
 	// (instance, node) lease is a late duplicate — counted and dropped.
 	handleDone := func(d *Done, node int) error {
-		stats.Messages++
 		ls := leases[d.Inst]
 		if ls == nil || ls.node != node {
 			// No live lease binds this (instance, node) pair: a late
@@ -495,6 +672,9 @@ func CoordinateOpts(prog *core.Program, svb *cellsim.SharedVariableBuffer, conns
 			if b == nil {
 				return markDead(node, fmt.Errorf("dist: node %d export references unregistered buffer %q", node, rdata.Buffer))
 			}
+			if rdata.Ref {
+				return markDead(node, fmt.Errorf("dist: node %d shipped a cache reference as an export", node))
+			}
 			if rdata.Offset < 0 || rdata.Offset+int64(len(rdata.Data)) > int64(len(b)) {
 				return markDead(node, fmt.Errorf("dist: node %d export [%d,%d) outside buffer %q (%d bytes)", node, rdata.Offset, rdata.Offset+int64(len(rdata.Data)), rdata.Buffer, len(b)))
 			}
@@ -502,10 +682,15 @@ func CoordinateOpts(prog *core.Program, svb *cellsim.SharedVariableBuffer, conns
 		delete(leases, d.Inst)
 		for _, rdata := range d.Exports {
 			writeRegion(svb.Bytes(rdata.Buffer), rdata) //nolint:errcheck // validated above
+			// The canonical bytes changed: invalidate every cached copy
+			// of any overlapping import region.
+			bumpOverlapping(rdata.Buffer, rdata.Offset, int64(len(rdata.Data)))
 			exportBytes += int64(len(rdata.Data))
 		}
 		stats.BytesIn += exportBytes
 		stats.Nodes[node].Executed++
+		nodes[node].inflight--
+		setInflight(node)
 		dur := time.Since(ls.wall)
 		if sink != nil {
 			sink.Record(obs.Event{
@@ -539,6 +724,23 @@ func CoordinateOpts(prog *core.Program, svb *cellsim.SharedVariableBuffer, conns
 				return err
 			}
 		}
+		return drainDeferred(node)
+	}
+
+	// handleDoneBatch applies a DoneBatch frame entry by entry. If an
+	// entry gets the node declared dead (byzantine validation failure),
+	// the rest of its batch is untrusted and dropped — the dead node's
+	// leases are already re-scheduled.
+	handleDoneBatch := func(dones []Done, node int) error {
+		stats.Messages++
+		for i := range dones {
+			if !alive[node] {
+				return nil
+			}
+			if err := handleDone(&dones[i], node); err != nil {
+				return err
+			}
+		}
 		return nil
 	}
 
@@ -548,7 +750,19 @@ func CoordinateOpts(prog *core.Program, svb *cellsim.SharedVariableBuffer, conns
 			return err
 		}
 		for {
-			ev := <-events
+			// Batches flush when the size/count thresholds trip or when
+			// the loop is about to go idle — everything a burst of
+			// completions made ready leaves in coalesced frames, and
+			// nothing waits on a timer.
+			var ev coordEvent
+			select {
+			case ev = <-events:
+			default:
+				if err := flushAll(); err != nil {
+					return err
+				}
+				ev = <-events
+			}
 			var err error
 			switch {
 			case ev.err != nil:
@@ -566,8 +780,8 @@ func CoordinateOpts(prog *core.Program, svb *cellsim.SharedVariableBuffer, conns
 						}
 					}
 				}
-			case ev.done != nil:
-				err = handleDone(ev.done, ev.node)
+			case ev.dones != nil:
+				err = handleDoneBatch(ev.dones, ev.node)
 			}
 			if err != nil {
 				return err
@@ -586,7 +800,11 @@ func CoordinateOpts(prog *core.Program, svb *cellsim.SharedVariableBuffer, conns
 	if reg != nil {
 		reg.Counter("dist.bytes_out").Set(stats.BytesOut)
 		reg.Counter("dist.bytes_in").Set(stats.BytesIn)
+		reg.Counter("dist.bytes_saved").Set(stats.BytesSaved)
 		reg.Counter("dist.messages").Set(stats.Messages)
+		reg.Counter("dist.batches").Set(stats.Batches)
+		reg.Counter("dist.region_cache_hits").Set(stats.RegionCacheHits)
+		reg.Counter("dist.region_cache_misses").Set(stats.RegionCacheMisses)
 		reg.Counter("dist.nodes").Set(int64(len(conns)))
 		reg.Counter("dist.failovers").Set(stats.Failovers)
 		reg.Counter("dist.retries").Set(stats.Retries)

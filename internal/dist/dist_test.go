@@ -268,9 +268,9 @@ func TestCoordinatorRejectsProtocolViolation(t *testing.T) {
 			return
 		}
 		l := newLink(conn)
-		l.send(envelope{Hello: &Hello{Kernels: 1}}) //nolint:errcheck
-		// A Hello where a Done is expected is a protocol violation.
-		l.send(envelope{Hello: &Hello{Kernels: 1}}) //nolint:errcheck
+		l.sendHello(1) //nolint:errcheck
+		// A Hello where a DoneBatch is expected is a protocol violation.
+		l.sendHello(1) //nolint:errcheck
 	}()
 	conn, err := ln.Accept()
 	if err != nil {
@@ -299,8 +299,8 @@ func TestCoordinatorSurvivesWorkerDisconnect(t *testing.T) {
 			return
 		}
 		l := newLink(conn)
-		l.send(envelope{Hello: &Hello{Kernels: 1}}) //nolint:errcheck
-		// Read the first Exec, then vanish.
+		l.sendHello(1) //nolint:errcheck
+		// Read the first ExecBatch, then vanish.
 		l.recv() //nolint:errcheck
 		conn.Close()
 	}()

@@ -20,13 +20,18 @@
 //
 //   - When an application DThread instance becomes ready, the coordinator
 //     looks up its owning kernel in the TKT, maps the kernel to a node,
-//     and sends an Exec message carrying the instance plus the *bytes* of
-//     its declared import regions, read from the canonical buffers.
+//     and builds an Exec carrying the instance plus its declared import
+//     regions — full bytes read from the canonical buffers, or
+//     (key, version) references to regions the worker already caches.
+//     Execs bound for the same node coalesce into one ExecBatch frame,
+//     flushed on count/byte thresholds or when the event loop goes idle;
+//     a bounded per-node window keeps dispatch pipelined with execution.
 //
-//   - The worker copies the imports into its replica buffers, runs the
-//     body on one of its Kernel goroutines, reads its declared export
-//     regions out of the replica, and replies with a Done message
-//     carrying the export bytes.
+//   - The worker stages the imports into its replica buffers in frame
+//     order (caching full payloads by their (buffer, offset, size) key),
+//     runs the bodies on its Kernel goroutines, reads each declared
+//     export region out of the replica, and replies with Dones coalesced
+//     into DoneBatch frames.
 //
 //   - The coordinator applies the exports to the canonical buffers
 //     *before* performing the Post-Processing Phase, so any consumer
@@ -58,5 +63,16 @@
 // Everything needed for tests and demos runs in one process via
 // RunLocal, which starts the workers on loopback TCP connections; Serve
 // and Coordinate are the building blocks for genuinely remote workers.
-// The wire format is encoding/gob.
+//
+// The wire format is a hand-rolled length-prefixed binary codec (see
+// codec.go): a version-tagged type byte, a uvarint payload length, and
+// varint-encoded fields, with region payloads appended straight from
+// their source buffers into pooled frame buffers. Each frame goes out
+// in a single Write, so chaos fault points (internal/chaos) count and
+// sever whole frames. Peers speaking another protocol version — or the
+// retired gob framing — fail the handshake with a clear error. The
+// coherence rule for the worker-side region cache is: applying an
+// export bumps the coordinator-tracked version of every region it
+// overlaps; a dispatch ships a reference only when its target node is
+// known to hold the current version.
 package dist

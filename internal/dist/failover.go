@@ -9,16 +9,33 @@ import (
 	"tflux/internal/tsu"
 )
 
-// Options tunes the coordinator's observability and resilience. The
-// zero value means "defaults": heartbeats every 250ms, four missed
-// intervals before a node is declared dead, 30s leases, 10s handshake
-// and per-frame write deadlines, and capped exponential re-dispatch
-// backoff starting at 2ms.
+// Options tunes the coordinator's batching, caching, observability and
+// resilience. The zero value means "defaults": batches of up to 32
+// Execs / 256 KiB, a 64-instance in-flight window per node, region
+// caching on, heartbeats every 250ms, four missed intervals before a
+// node is declared dead, 30s leases, 10s handshake and per-frame write
+// deadlines, and capped exponential re-dispatch backoff starting at 2ms.
 type Options struct {
 	// Sink receives run events (see CoordinateObs); may be nil.
 	Sink obs.Sink
 	// Metrics receives counters, gauges and histograms; may be nil.
 	Metrics *obs.Registry
+
+	// BatchCount caps how many Execs coalesce into one ExecBatch frame.
+	// Zero means the default (32); negative sends one Exec per frame.
+	BatchCount int
+	// BatchBytes flushes a node's pending batch once its shipped
+	// payload bytes reach this. Zero means the default (256 KiB);
+	// negative flushes on every payload-carrying Exec.
+	BatchBytes int64
+	// Window bounds how many instances may be in flight on one node at
+	// a time; ready instances beyond it are deferred until completions
+	// free slots, so dispatch overlaps execution without unbounded
+	// queueing. Zero means the default (64); negative means 1.
+	Window int
+	// DisableRegionCache ships full import bytes on every dispatch
+	// instead of (key, version) references to worker-cached regions.
+	DisableRegionCache bool
 
 	// Heartbeat is the Ping interval per link. Zero means the default;
 	// negative disables heartbeats (failure detection then relies on
@@ -53,8 +70,11 @@ type Options struct {
 	WrapConn func(node int, c net.Conn) net.Conn
 }
 
-// Resilience defaults.
+// Batching and resilience defaults.
 const (
+	defaultBatchCount       = 32
+	defaultBatchBytes       = 256 << 10
+	defaultWindow           = 64
 	defaultHeartbeat        = 250 * time.Millisecond
 	defaultHeartbeatMisses  = 4
 	defaultLeaseTimeout     = 30 * time.Second
@@ -67,6 +87,24 @@ const (
 
 // withDefaults fills zero fields with the package defaults.
 func (o Options) withDefaults() Options {
+	switch {
+	case o.BatchCount == 0:
+		o.BatchCount = defaultBatchCount
+	case o.BatchCount < 0:
+		o.BatchCount = 1
+	}
+	switch {
+	case o.BatchBytes == 0:
+		o.BatchBytes = defaultBatchBytes
+	case o.BatchBytes < 0:
+		o.BatchBytes = 1
+	}
+	switch {
+	case o.Window == 0:
+		o.Window = defaultWindow
+	case o.Window < 0:
+		o.Window = 1
+	}
 	if o.Heartbeat == 0 {
 		o.Heartbeat = defaultHeartbeat
 	}

@@ -1,7 +1,7 @@
 package dist
 
 import (
-	"encoding/gob"
+	"bufio"
 	"fmt"
 	"net"
 	"sync"
@@ -10,11 +10,34 @@ import (
 	"tflux/internal/core"
 )
 
-// RegionData is the bytes of one shared-buffer region in flight.
+// RegionData is one shared-buffer region on the wire. Either the full
+// bytes are shipped (Data set, Ref false) or — for imports whose cached
+// copy on the receiving worker is current — only a (key, version)
+// reference (Ref true, Size set, no bytes).
 type RegionData struct {
 	Buffer string
 	Offset int64
 	Data   []byte
+	// Ver is the coordinator-tracked version of this region's content;
+	// the worker caches full payloads under it and resolves refs
+	// against it. Zero means "uncached" (cache disabled or an export).
+	Ver uint64
+	// Ref marks a cache reference: no bytes shipped, the worker stages
+	// its cached copy. Size carries the region length.
+	Ref  bool
+	Size int64
+}
+
+// regionKey identifies a cached region: the exact (buffer, offset, size)
+// triple a template's Access model declares.
+type regionKey struct {
+	buffer string
+	offset int64
+	size   int64
+}
+
+func (rd *RegionData) key() regionKey {
+	return regionKey{buffer: rd.Buffer, offset: rd.Offset, size: rd.Size}
 }
 
 // Hello is the worker's handshake: how many Kernels the node hosts.
@@ -22,15 +45,17 @@ type Hello struct {
 	Kernels int
 }
 
-// Exec dispatches one DThread instance to a worker, with the bytes of its
-// import regions.
+// Exec dispatches one DThread instance to a worker, with its import
+// regions (full bytes or cache references). Execs travel coalesced in
+// ExecBatch frames.
 type Exec struct {
 	Inst    core.Instance
 	Kernel  int // node-local kernel index
 	Imports []RegionData
 }
 
-// Done reports a completed instance with the bytes of its export regions.
+// Done reports a completed instance with the bytes of its export
+// regions. Dones travel coalesced in DoneBatch frames.
 type Done struct {
 	Inst    core.Instance
 	Kernel  int // node-local kernel index
@@ -40,73 +65,118 @@ type Done struct {
 	Err string
 }
 
-// Shutdown tells a worker to exit its serve loop.
-type Shutdown struct{}
-
-// Ping is the coordinator's liveness probe; a worker answers each one
-// with a Pong echoing the sequence number.
-type Ping struct{ Seq int64 }
-
-// Pong is the worker's heartbeat reply.
-type Pong struct{ Seq int64 }
-
-// envelope is the gob wire frame: exactly one field is non-nil.
-type envelope struct {
-	Hello    *Hello
-	Exec     *Exec
-	Done     *Done
-	Shutdown *Shutdown
-	Ping     *Ping
-	Pong     *Pong
-}
-
-// link wraps a connection with gob codecs and a write lock so multiple
-// goroutines can send frames. A non-zero wtimeout bounds each frame
-// send, so a stalled peer surfaces as an error instead of blocking the
-// sender forever.
+// link wraps a connection with the binary codec, a buffered reader, and
+// a write lock so multiple goroutines can send frames. A non-zero
+// wtimeout bounds each frame send, so a stalled peer surfaces as an
+// error instead of blocking the sender forever. Each frame goes out in
+// one Write call, so fault injectors (internal/chaos) that count or
+// sever writes operate on whole frames — including mid-batch severs.
 type link struct {
 	conn     net.Conn
-	enc      *gob.Encoder
-	dec      *gob.Decoder
+	br       *bufio.Reader
 	wmu      sync.Mutex
 	wtimeout time.Duration
 }
 
 func newLink(conn net.Conn) *link {
-	return &link{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
+	return &link{conn: conn, br: bufio.NewReaderSize(conn, readChunk)}
 }
 
-func (l *link) send(e envelope) error {
-	l.wmu.Lock()
-	defer l.wmu.Unlock()
-	if l.wtimeout > 0 {
-		l.conn.SetWriteDeadline(time.Now().Add(l.wtimeout)) //nolint:errcheck
+// send encodes one frame into a pooled buffer via appendPayload and
+// writes it out atomically.
+func (l *link) send(ft frameType, appendPayload func([]byte) []byte) error {
+	bp := framePool.Get().(*[]byte)
+	buf := (*bp)[:frameHeader]
+	if appendPayload != nil {
+		buf = appendPayload(buf)
 	}
-	return l.enc.Encode(&e)
+	wire, err := finishFrame(buf, ft)
+	if err == nil {
+		l.wmu.Lock()
+		if l.wtimeout > 0 {
+			l.conn.SetWriteDeadline(time.Now().Add(l.wtimeout)) //nolint:errcheck
+		}
+		_, err = l.conn.Write(wire)
+		l.wmu.Unlock()
+	}
+	if cap(buf) <= pooledFrameCap {
+		*bp = buf[:0]
+		framePool.Put(bp)
+	}
+	return err
 }
 
-func (l *link) recv() (envelope, error) {
-	var e envelope
-	err := l.dec.Decode(&e)
-	return e, err
+func (l *link) sendHello(kernels int) error {
+	return l.send(ftHello, func(b []byte) []byte { return appendUvarint(b, uint64(kernels)) })
 }
+
+func (l *link) sendExecBatch(execs []Exec) error {
+	return l.send(ftExecBatch, func(b []byte) []byte {
+		b = appendUvarint(b, uint64(len(execs)))
+		for i := range execs {
+			b = appendExec(b, &execs[i])
+		}
+		return b
+	})
+}
+
+func (l *link) sendDoneBatch(dones []Done) error {
+	return l.send(ftDoneBatch, func(b []byte) []byte {
+		b = appendUvarint(b, uint64(len(dones)))
+		for i := range dones {
+			b = appendDone(b, &dones[i])
+		}
+		return b
+	})
+}
+
+func (l *link) sendShutdown() error { return l.send(ftShutdown, nil) }
+
+func (l *link) sendPing(seq int64) error {
+	return l.send(ftPing, func(b []byte) []byte { return appendUvarint(b, uint64(seq)) })
+}
+
+func (l *link) sendPong(seq int64) error {
+	return l.send(ftPong, func(b []byte) []byte { return appendUvarint(b, uint64(seq)) })
+}
+
+func (l *link) recv() (frame, error) { return readFrame(l.br) }
 
 func (l *link) close() error { return l.conn.Close() }
 
-// readRegion copies a region's bytes out of a buffer registry.
+// readRegion copies a region's bytes out of a buffer registry. The
+// bounds guard matters: a crafted MemRegion (or RegionData echoed back
+// by a byzantine peer) with a negative Size — or one so large that
+// Offset+Size wraps int64 — must return an error, not panic
+// make([]byte, …). The Size comparison is phrased against the remaining
+// space so it cannot itself overflow.
 func readRegion(buf []byte, r core.MemRegion) (RegionData, error) {
-	if r.Offset < 0 || r.Offset+r.Size > int64(len(buf)) {
-		return RegionData{}, fmt.Errorf("dist: region [%d,%d) outside buffer %q (%d bytes)", r.Offset, r.Offset+r.Size, r.Buffer, len(buf))
+	if r.Size < 0 || r.Offset < 0 || r.Offset > int64(len(buf)) || r.Size > int64(len(buf))-r.Offset {
+		return RegionData{}, fmt.Errorf("dist: region [%d,+%d) outside buffer %q (%d bytes)", r.Offset, r.Size, r.Buffer, len(buf))
 	}
 	out := make([]byte, r.Size)
 	copy(out, buf[r.Offset:r.Offset+r.Size])
-	return RegionData{Buffer: r.Buffer, Offset: r.Offset, Data: out}, nil
+	return RegionData{Buffer: r.Buffer, Offset: r.Offset, Data: out, Size: r.Size}, nil
 }
 
-// writeRegion applies region bytes into a buffer registry.
+// readRegionRef is readRegion without the copy: Data aliases the
+// registry buffer. The coordinator uses it to append import payloads
+// straight into frame buffers; it is only safe where the buffer cannot
+// change before the frame is flushed (an instance's imports are
+// finalized before it becomes ready).
+func readRegionRef(buf []byte, r core.MemRegion) (RegionData, error) {
+	if r.Size < 0 || r.Offset < 0 || r.Offset > int64(len(buf)) || r.Size > int64(len(buf))-r.Offset {
+		return RegionData{}, fmt.Errorf("dist: region [%d,+%d) outside buffer %q (%d bytes)", r.Offset, r.Size, r.Buffer, len(buf))
+	}
+	return RegionData{Buffer: r.Buffer, Offset: r.Offset, Data: buf[r.Offset : r.Offset+r.Size : r.Offset+r.Size], Size: r.Size}, nil
+}
+
+// writeRegion applies region bytes into a buffer registry. Same
+// overflow-safe phrasing as readRegion: a huge Offset must not wrap the
+// bound check.
 func writeRegion(buf []byte, rd RegionData) error {
-	if rd.Offset < 0 || rd.Offset+int64(len(rd.Data)) > int64(len(buf)) {
-		return fmt.Errorf("dist: region [%d,%d) outside buffer %q (%d bytes)", rd.Offset, rd.Offset+int64(len(rd.Data)), rd.Buffer, len(buf))
+	if rd.Offset < 0 || rd.Offset > int64(len(buf)) || int64(len(rd.Data)) > int64(len(buf))-rd.Offset {
+		return fmt.Errorf("dist: region [%d,+%d) outside buffer %q (%d bytes)", rd.Offset, len(rd.Data), rd.Buffer, len(buf))
 	}
 	copy(buf[rd.Offset:], rd.Data)
 	return nil

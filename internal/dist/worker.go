@@ -9,6 +9,18 @@ import (
 	"tflux/internal/core"
 )
 
+// maxDoneBatch caps how many completions the worker coalesces into one
+// DoneBatch frame. The writer drains whatever is ready without waiting,
+// so the cap only bounds frame size, not reply latency.
+const maxDoneBatch = 64
+
+// cacheEntry is one worker-cached import region: the payload bytes at a
+// coordinator-assigned version.
+type cacheEntry struct {
+	ver  uint64
+	data []byte
+}
+
 // Serve runs one worker node: it builds the node's replica of the program
 // (bodies + buffers) with build, announces its kernel count, and executes
 // Exec requests until the coordinator sends Shutdown or the connection
@@ -18,6 +30,11 @@ import (
 // coordinator's (same thread IDs, instances and Access models — typically
 // both sides call the same constructor) plus the registry of this node's
 // replica buffers.
+//
+// Imports are staged into the replica in frame order as ExecBatch frames
+// arrive; full payloads are also retained in the node's region cache so
+// later dispatches of an unchanged region arrive as a (key, version)
+// reference instead of the bytes.
 func Serve(conn net.Conn, kernels int, build func() (*core.Program, *cellsim.SharedVariableBuffer)) error {
 	if kernels < 1 {
 		kernels = 1
@@ -35,31 +52,61 @@ func Serve(conn net.Conn, kernels int, build func() (*core.Program, *cellsim.Sha
 
 	l := newLink(conn)
 	defer l.close() //nolint:errcheck // worker owns its end
-	if err := l.send(envelope{Hello: &Hello{Kernels: kernels}}); err != nil {
+	if err := l.sendHello(kernels); err != nil {
 		return err
 	}
 
+	// Completions funnel through one writer goroutine that coalesces
+	// everything currently ready into a single DoneBatch frame — the
+	// reply-side half of the batching protocol. It exits when dones is
+	// closed, which happens only after every kernel goroutine is gone.
+	dones := make(chan *Done, 4*kernels+16)
+	go func() {
+		batch := make([]Done, 0, maxDoneBatch)
+		for d := range dones {
+			batch = append(batch[:0], *d)
+		drain:
+			for len(batch) < maxDoneBatch {
+				select {
+				case d2, ok := <-dones:
+					if !ok {
+						break drain
+					}
+					batch = append(batch, *d2)
+				default:
+					break drain
+				}
+			}
+			l.sendDoneBatch(batch) //nolint:errcheck // conn errors surface in recv
+		}
+	}()
+
 	// Kernel goroutines: each drains its own queue, overlapping frame
-	// decode, staging and replies. Bodies and staging hold the node's
-	// memory lock: DThreads dispatched concurrently to one node may have
-	// overlapping import regions (e.g. stencil halos), so an unlocked
-	// staging write could overlap another body's read of the shared
-	// replica. Parallel execution is the business of multiple nodes;
-	// within a node the replica behaves like the single memory it is.
-	// The queue depth bounds how many dispatched-but-unstarted Execs a
-	// kernel can absorb before the recv loop blocks; a blocked recv loop
-	// cannot answer Pings, so the buffer is generous to keep heartbeat
-	// replies flowing under dispatch bursts.
+	// decode, staging and replies. Bodies and export collection hold the
+	// node's memory lock: imports are staged (also under the lock) when
+	// the frame arrives, and DThreads dispatched concurrently to one
+	// node may have overlapping regions (e.g. stencil halos), so an
+	// unlocked body could overlap another's staging write. Parallel
+	// execution is the business of multiple nodes; within a node the
+	// replica behaves like the single memory it is. The queue depth
+	// bounds how many dispatched-but-unstarted Execs a kernel can absorb
+	// before the recv loop blocks; a blocked recv loop cannot answer
+	// Pings, so the buffer is generous to keep heartbeat replies flowing
+	// under dispatch bursts.
 	var memMu sync.Mutex
+	cache := make(map[regionKey]cacheEntry)
+	var kernelWG sync.WaitGroup
 	queues := make([]chan Exec, kernels)
 	for k := range queues {
 		queues[k] = make(chan Exec, 256)
+		kernelWG.Add(1)
 		go func(q <-chan Exec) {
+			defer kernelWG.Done()
 			for ex := range q {
 				memMu.Lock()
 				done := execOne(templates, bufs, ex)
 				memMu.Unlock()
-				l.send(envelope{Done: done}) //nolint:errcheck // conn errors surface in recv
+				dones <- done
 			}
 		}(queues[k])
 	}
@@ -67,32 +114,90 @@ func Serve(conn net.Conn, kernels int, build func() (*core.Program, *cellsim.Sha
 		for _, q := range queues {
 			close(q)
 		}
+		// Serve must not block on in-flight bodies (the coordinator may
+		// have abandoned this node mid-execution); the closer goroutine
+		// retires the writer once the last kernel goroutine drains.
+		go func() {
+			kernelWG.Wait()
+			close(dones)
+		}()
 	}()
 
+	// stageImports applies one Exec's import regions to the replica in
+	// frame order, resolving cache references and retaining versioned
+	// full payloads. A staging failure is reported as that instance's
+	// Done and the body is skipped.
+	stageImports := func(ex *Exec) error {
+		for i := range ex.Imports {
+			rd := &ex.Imports[i]
+			b := bufs.Bytes(rd.Buffer)
+			if b == nil {
+				return fmt.Errorf("import references unregistered buffer %q", rd.Buffer)
+			}
+			if rd.Ref {
+				ent, ok := cache[rd.key()]
+				if !ok || ent.ver != rd.Ver {
+					return fmt.Errorf("cache reference %q[%d,+%d) v%d not cached here (coordinator/worker cache out of sync)", rd.Buffer, rd.Offset, rd.Size, rd.Ver)
+				}
+				if err := writeRegion(b, RegionData{Buffer: rd.Buffer, Offset: rd.Offset, Data: ent.data}); err != nil {
+					return err
+				}
+				continue
+			}
+			if err := writeRegion(b, *rd); err != nil {
+				return err
+			}
+			if rd.Ver != 0 {
+				// The decoded payload aliases the frame buffer, which the
+				// worker owns once decoded — safe to retain without a copy.
+				cache[rd.key()] = cacheEntry{ver: rd.Ver, data: rd.Data}
+			}
+		}
+		return nil
+	}
+
 	for {
-		e, err := l.recv()
+		f, err := l.recv()
 		if err != nil {
 			return fmt.Errorf("dist worker: %w", err)
 		}
-		switch {
-		case e.Exec != nil:
-			k := e.Exec.Kernel
-			if k < 0 || k >= kernels {
-				k = 0
+		switch f.typ {
+		case ftExecBatch:
+			memMu.Lock()
+			for i := range f.execs {
+				ex := &f.execs[i]
+				if err := stageImports(ex); err != nil {
+					dones <- &Done{Inst: ex.Inst, Kernel: ex.Kernel, Err: err.Error()}
+					ex.Kernel = -1 // staged nothing; skip the body
+					continue
+				}
+				// Imports are staged; the queued Exec only carries identity.
+				ex.Imports = nil
 			}
-			queues[k] <- *e.Exec
-		case e.Ping != nil:
-			l.send(envelope{Pong: &Pong{Seq: e.Ping.Seq}}) //nolint:errcheck // conn errors surface in recv
-		case e.Shutdown != nil:
+			memMu.Unlock()
+			for i := range f.execs {
+				ex := f.execs[i]
+				if ex.Kernel == -1 {
+					continue
+				}
+				k := ex.Kernel
+				if k < 0 || k >= kernels {
+					k = 0
+				}
+				queues[k] <- ex
+			}
+		case ftPing:
+			l.sendPong(f.seq) //nolint:errcheck // conn errors surface in recv
+		case ftShutdown:
 			return nil
 		default:
-			return fmt.Errorf("dist worker: unexpected frame %+v", e)
+			return fmt.Errorf("dist worker: unexpected frame %v", f.typ)
 		}
 	}
 }
 
-// execOne stages imports into the replica, runs the body, and collects
-// exports.
+// execOne runs the body (imports were staged at receive time) and
+// collects exports from the replica.
 func execOne(templates map[core.ThreadID]*core.Template, bufs *cellsim.SharedVariableBuffer, ex Exec) (done *Done) {
 	done = &Done{Inst: ex.Inst, Kernel: ex.Kernel}
 	defer func() {
@@ -105,20 +210,10 @@ func execOne(templates map[core.ThreadID]*core.Template, bufs *cellsim.SharedVar
 		done.Err = fmt.Sprintf("unknown thread %d (worker program out of sync)", ex.Inst.Thread)
 		return done
 	}
-	// Stage imports into the replica buffers.
-	for _, rd := range ex.Imports {
-		b := bufs.Bytes(rd.Buffer)
-		if b == nil {
-			done.Err = fmt.Sprintf("import references unregistered buffer %q", rd.Buffer)
-			return done
-		}
-		if err := writeRegion(b, rd); err != nil {
-			done.Err = err.Error()
-			return done
-		}
-	}
 	tpl.Body(ex.Inst.Ctx)
-	// Collect exports from the replica.
+	// Collect exports from the replica. readRegion copies: the replica
+	// region may be overwritten by the next instance before the writer
+	// goroutine serializes this Done.
 	if tpl.Access != nil {
 		for _, r := range tpl.Access(ex.Inst.Ctx) {
 			if !r.Write || r.Size <= 0 {

@@ -184,8 +184,10 @@ func Policies(o Options) ([]Row, error) {
 // Dist exercises the distributed runtime (TFluxDist) across node counts,
 // reporting protocol cost rather than speedup: on a single host the
 // workers are goroutines, so the interesting quantities are the messages
-// and bytes the DDM import/export protocol moves, per node count. The
-// Unroll column reports the node count; Seq/Par carry bytes and messages.
+// and bytes the DDM import/export protocol moves, per node count. Each
+// node count runs twice — region cache on and off — so the table shows
+// what the (key, version) references save on the wire. The Unroll column
+// reports the node count; Seq/Par carry bytes and messages.
 func Dist(o Options) ([]Row, error) {
 	nodeCounts := []int{1, 2, 4}
 	if o.Quick {
@@ -199,42 +201,50 @@ func Dist(o Options) ([]Row, error) {
 	param := sizes[workload.Small]
 	var rows []Row
 	for _, nodes := range nodeCounts {
-		var mu sync.Mutex
-		jobs := map[*cellsim.SharedVariableBuffer]workload.Job{}
-		build := func() (*core.Program, *cellsim.SharedVariableBuffer) {
-			job := spec.Make(param)
-			p, err := job.Build(2*nodes, 16)
-			if err != nil {
-				return nil, nil
+		for _, nocache := range []bool{false, true} {
+			var mu sync.Mutex
+			jobs := map[*cellsim.SharedVariableBuffer]workload.Job{}
+			build := func() (*core.Program, *cellsim.SharedVariableBuffer) {
+				job := spec.Make(param)
+				p, err := job.Build(2*nodes, 16)
+				if err != nil {
+					return nil, nil
+				}
+				svb := job.SharedBuffers()
+				mu.Lock()
+				jobs[svb] = job
+				mu.Unlock()
+				return p, svb
 			}
-			svb := job.SharedBuffers()
+			opt := dist.Options{Metrics: o.Metrics, DisableRegionCache: nocache}
+			st, svb, err := dist.RunLocalOpts(build, nodes, 2, opt)
+			if err != nil {
+				return nil, fmt.Errorf("dist nodes=%d: %w", nodes, err)
+			}
 			mu.Lock()
-			jobs[svb] = job
+			job := jobs[svb]
 			mu.Unlock()
-			return p, svb
+			if job == nil {
+				return nil, fmt.Errorf("dist nodes=%d: coordinator job missing", nodes)
+			}
+			if err := job.Verify(); err != nil {
+				return nil, fmt.Errorf("dist nodes=%d: %w", nodes, err)
+			}
+			name := spec.Name + "/cache"
+			if nocache {
+				name = spec.Name + "/nocache"
+			}
+			rows = append(rows, Row{
+				Experiment: "dist", Benchmark: name, Platform: "TFluxDist",
+				Size: spec.SizeLabel(param), Class: workload.Small, Kernels: 2 * nodes,
+				Unroll: nodes,
+				Seq:    float64(st.BytesOut + st.BytesIn), Par: float64(st.Messages),
+				Unit: "bytes/msgs", Mode: "local-tcp",
+				Speedup: 1,
+			})
+			o.progress("dist nodes=%d cache=%t: %d messages in %d batches, %d bytes (%d saved by cache refs)",
+				nodes, !nocache, st.Messages, st.Batches, st.BytesOut+st.BytesIn, st.BytesSaved)
 		}
-		st, svb, err := dist.RunLocalObs(build, nodes, 2, nil, o.Metrics)
-		if err != nil {
-			return nil, fmt.Errorf("dist nodes=%d: %w", nodes, err)
-		}
-		mu.Lock()
-		job := jobs[svb]
-		mu.Unlock()
-		if job == nil {
-			return nil, fmt.Errorf("dist nodes=%d: coordinator job missing", nodes)
-		}
-		if err := job.Verify(); err != nil {
-			return nil, fmt.Errorf("dist nodes=%d: %w", nodes, err)
-		}
-		rows = append(rows, Row{
-			Experiment: "dist", Benchmark: spec.Name, Platform: "TFluxDist",
-			Size: spec.SizeLabel(param), Class: workload.Small, Kernels: 2 * nodes,
-			Unroll: nodes,
-			Seq:    float64(st.BytesOut + st.BytesIn), Par: float64(st.Messages),
-			Unit: "bytes/msgs", Mode: "local-tcp",
-			Speedup: 1,
-		})
-		o.progress("dist nodes=%d: %d messages, %d bytes", nodes, st.Messages, st.BytesOut+st.BytesIn)
 	}
 	return rows, nil
 }

@@ -103,11 +103,22 @@ func TestDistExperimentQuick(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 1 || rows[0].Platform != "TFluxDist" {
+	// Quick mode runs one node count, cache on and off.
+	if len(rows) != 2 {
 		t.Fatalf("rows = %+v", rows)
 	}
-	if rows[0].Par <= 0 || rows[0].Seq <= 0 {
-		t.Fatalf("no protocol traffic recorded: %+v", rows[0])
+	names := map[string]bool{}
+	for _, r := range rows {
+		if r.Platform != "TFluxDist" {
+			t.Fatalf("row %+v", r)
+		}
+		if r.Par <= 0 || r.Seq <= 0 {
+			t.Fatalf("no protocol traffic recorded: %+v", r)
+		}
+		names[r.Benchmark] = true
+	}
+	if !names["TRAPEZ/cache"] || !names["TRAPEZ/nocache"] {
+		t.Fatalf("missing cache/nocache rows (have %v)", names)
 	}
 }
 

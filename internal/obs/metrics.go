@@ -130,6 +130,10 @@ var ByteBuckets = []int64{
 	64, 256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 16 << 20,
 }
 
+// CountBuckets is the default bucket layout for small-count histograms
+// (e.g. batch occupancy, queue depth samples).
+var CountBuckets = []int64{1, 2, 4, 8, 16, 32, 64, 128, 256}
+
 // Registry is a named collection of instruments. Lookup is mutex-guarded
 // and intended for setup and export; hot paths hold the returned
 // instrument pointer. A nil *Registry is a valid "disabled" registry:
