@@ -12,6 +12,7 @@
 //	tfluxbench -exp groups            # §4.1 extension: multiple TSU Groups
 //	tfluxbench -exp policy            # scheduling-policy ablation
 //	tfluxbench -exp dist              # TFluxDist protocol cost across nodes
+//	tfluxbench -exp serve             # tfluxd service-layer throughput
 //	tfluxbench -exp all               # everything
 //
 // Native experiments (fig6, fig7, part of unroll) measure wall clock on
@@ -40,7 +41,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("tfluxbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		which   = fs.String("exp", "all", "experiment: table1|fig5|fig6|fig7|fig5x86|groups|policy|dist|tsulat|unroll|budget|all")
+		which   = fs.String("exp", "all", "experiment: table1|fig5|fig6|fig7|fig5x86|groups|policy|dist|serve|tsulat|unroll|budget|all")
 		quick   = fs.Bool("quick", false, "smallest sizes, fewest configurations (seconds instead of minutes)")
 		reps    = fs.Int("reps", 0, "native repetitions per measurement (0 = default)")
 		maxK    = fs.Int("maxkernels", 0, "cap kernel counts (0 = paper configurations)")
@@ -138,6 +139,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if all || *which == "dist" {
 		runExp("dist (TFluxDist protocol cost across nodes)", exp.Dist)
+		did = true
+	}
+	if all || *which == "serve" {
+		runExp("serve (tfluxd service-layer throughput)", exp.Serve)
 		did = true
 	}
 	if all || *which == "tsulat" {

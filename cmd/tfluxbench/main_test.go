@@ -51,6 +51,18 @@ func TestRunFig5QuickFormats(t *testing.T) {
 	}
 }
 
+func TestRunServeQuick(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-exp", "serve", "-quick"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	for _, want := range []string{"serve", "TRAPEZ", "tfluxd", "service"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("serve output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
 func TestRunVerboseProgress(t *testing.T) {
 	var out, errb bytes.Buffer
 	if code := run([]string{"-exp", "fig5", "-quick", "-v"}, &out, &errb); code != 0 {

@@ -1,0 +1,119 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"tflux/internal/dist"
+	"tflux/internal/serve"
+	"tflux/internal/workload"
+)
+
+// syncBuffer is a Writer the daemon goroutine and the test can share.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// listenAddr extracts the bound address from the daemon's banner.
+func listenAddr(out *syncBuffer) (string, bool) {
+	for _, line := range strings.Split(out.String(), "\n") {
+		if rest, ok := strings.CutPrefix(line, "tfluxd: listening on "); ok {
+			return rest, true
+		}
+	}
+	return "", false
+}
+
+// TestDaemonServesAndDrains boots the daemon on an ephemeral port,
+// submits a suite benchmark as a client would, then signals it and
+// checks the graceful drain and the shutdown dashboard.
+func TestDaemonServesAndDrains(t *testing.T) {
+	var out, errOut syncBuffer
+	sig := make(chan os.Signal, 1)
+	code := make(chan int, 1)
+	go func() {
+		code <- run([]string{"-listen", "127.0.0.1:0", "-nodes", "2", "-kernels-per-node", "2"},
+			&out, &errOut, sig)
+	}()
+
+	var addr string
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if a, ok := listenAddr(&out); ok {
+			addr = a
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if addr == "" {
+		t.Fatalf("daemon never announced its address; stderr: %s", errOut.String())
+	}
+
+	ws, err := workload.ByName("TRAPEZ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes, _ := ws.Sizes(workload.Native)
+	c, err := serve.Dial(addr, "ci")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close() //nolint:errcheck
+	p, err := c.Submit(dist.ProgramSpec{Name: "TRAPEZ", Param: sizes[workload.Small], Unroll: 8}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err != "" {
+		t.Fatalf("benchmark failed on the daemon: %s", res.Err)
+	}
+
+	sig <- os.Interrupt
+	select {
+	case rc := <-code:
+		if rc != 0 {
+			t.Fatalf("exit code %d; stderr: %s", rc, errOut.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("daemon did not drain; stdout: %s", out.String())
+	}
+	got := out.String()
+	for _, want := range []string{"draining", "completed 1", "programs/sec", "tenant ci"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("shutdown output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestWeightsFlag pins the -weights grammar.
+func TestWeightsFlag(t *testing.T) {
+	w, err := parseWeights("team-a=3,team-b=1")
+	if err != nil || w["team-a"] != 3 || w["team-b"] != 1 {
+		t.Fatalf("parseWeights: %v %v", w, err)
+	}
+	for _, bad := range []string{"team-a", "team-a=zero", "=3", "team-a=0"} {
+		if _, err := parseWeights(bad); err == nil {
+			t.Fatalf("parseWeights(%q) accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"tflux/internal/chaos"
+	"tflux/internal/dist"
+	"tflux/internal/serve"
+	"tflux/internal/stats"
+	"tflux/internal/workload"
+)
+
+// connectIncompatible lists the flags that configure a local
+// coordinator and its fleet — meaningless when -connect hands the run
+// to a tfluxd daemon that owns both.
+var connectIncompatible = []string{
+	"platform", "nodes", "dist-batch", "dist-batch-bytes", "dist-window",
+	"dist-no-cache", "trace-out", "trace", "metrics", "gantt", "dot", "vet",
+}
+
+// runConnect executes the benchmark by submitting it to a tfluxd
+// daemon: the spec goes over the wire, the daemon and its workers
+// resolve it, and the Result's buffers are verified locally against a
+// replica job (deterministic inputs make the replica byte-comparable).
+// A -dist-faults plan composes with this mode by wrapping the client's
+// own connection — the chaos the daemon must survive is then between
+// client and service, not inside the fleet.
+func runConnect(addr, tenant string, ws workload.Spec, param, kernels, unroll, reps int, faults string, stdout, stderr io.Writer) int {
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "tfluxrun:", err)
+		return 1
+	}
+	if reps < 1 {
+		reps = 1
+	}
+	// The local replica is built with the same decomposition the daemon
+	// and its workers will use — auxiliary buffers (e.g. per-kernel
+	// partials) are sized at Build time, and verification overlays the
+	// daemon's result bytes onto them.
+	job := ws.Make(param)
+	if _, err := job.Build(kernels, unroll); err != nil {
+		return fail(err)
+	}
+	seqT := stats.Min(stats.Measure(reps, job.RunSequential))
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return fail(fmt.Errorf("connect %s: %w", addr, err))
+	}
+	var chaosLog *chaos.Log
+	if faults != "" {
+		plan, err := chaos.ParseSpec(faults)
+		if err != nil {
+			conn.Close() //nolint:errcheck
+			return fail(err)
+		}
+		chaosLog = chaos.NewLog()
+		conn = plan.Wrap(0, conn, chaosLog)
+	}
+	cl := serve.NewClient(conn, tenant)
+	defer cl.Close() //nolint:errcheck
+	fmt.Fprintf(stdout, "%s %s via %s (tenant %s), unroll %d\n", ws.Name, ws.SizeLabel(param), addr, tenant, unroll)
+
+	spec := dist.ProgramSpec{Name: ws.Name, Param: param, Kernels: kernels, Unroll: unroll}
+	var best time.Duration
+	var last *serve.Outcome
+	for r := 0; r < reps; r++ {
+		p, err := cl.Submit(spec, nil)
+		if err != nil {
+			return fail(err)
+		}
+		out, err := p.Wait()
+		if err != nil {
+			return fail(err)
+		}
+		if out.Err != "" {
+			return fail(fmt.Errorf("daemon ran the program but it failed: %s", out.Err))
+		}
+		if best == 0 || out.Elapsed < best {
+			best = out.Elapsed
+		}
+		last = out
+	}
+	fmt.Fprintf(stdout, "daemon:     program %d, %d failover(s), %d re-dispatch(es)\n",
+		last.Prog, last.Failovers, last.Retries)
+	if chaosLog != nil {
+		fmt.Fprintf(stdout, "chaos:      %d fault(s) fired on the client link\n", chaosLog.Count())
+		for _, ev := range chaosLog.Events() {
+			fmt.Fprintf(stdout, "  frame %d: %s %s\n", ev.Frame, ev.Kind, ev.Detail)
+		}
+	}
+
+	// Overlay the daemon's result bytes onto a local replica job and
+	// verify — same inputs by construction, so outputs must match.
+	svb := job.SharedBuffers()
+	for _, r := range last.Regions {
+		dst := svb.Bytes(r.Buffer)
+		if dst == nil || int64(len(dst)) < r.Offset+int64(len(r.Data)) {
+			return fail(fmt.Errorf("result region %q [%d,+%d) does not fit the local replica", r.Buffer, r.Offset, len(r.Data)))
+		}
+		copy(dst[r.Offset:], r.Data)
+	}
+	if err := job.Verify(); err != nil {
+		return fail(err)
+	}
+	fmt.Fprintf(stdout, "sequential: %s\nparallel:   %s\nspeedup:    %.2f\n",
+		stats.FormatDuration(seqT), stats.FormatDuration(best),
+		stats.Speedup(seqT.Seconds(), best.Seconds()))
+	fmt.Fprintln(stdout, "verify:     ok")
+	return 0
+}

@@ -40,6 +40,14 @@
 // forces several frames per node so the faults land mid-run; with the
 // default window a small benchmark coalesces into one frame per node.)
 // See internal/chaos for the plan grammar.
+//
+// Client mode: -connect ADDR submits the benchmark to a running tfluxd
+// daemon instead of hosting a platform locally, verifying the returned
+// buffers against a local replica; -tenant names the submitting tenant.
+// Coordinator-side flags (-platform, -nodes, -dist-batch, ...) are
+// rejected with -connect — the daemon owns the fleet — while
+// -dist-faults composes with it by injecting faults on the client's own
+// connection to the daemon.
 package main
 
 import (
@@ -91,6 +99,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		distBatchKB = fs.Int64("dist-batch-bytes", 0, "dist platform: flush a node's batch at this many payload bytes (0 = default 256 KiB)")
 		distWindow  = fs.Int("dist-window", 0, "dist platform: per-node in-flight instance window (0 = default 64, negative = 1)")
 		distNoCache = fs.Bool("dist-no-cache", false, "dist platform: disable the worker-side import-region cache (ship full bytes every dispatch)")
+		connect     = fs.String("connect", "", "submit the benchmark to a running tfluxd daemon at this address instead of hosting a platform locally")
+		tenant      = fs.String("tenant", "tfluxrun", "tenant name for -connect submissions")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -106,6 +116,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fail := func(err error) int {
 		fmt.Fprintln(stderr, "tfluxrun:", err)
 		return 1
+	}
+
+	// Client mode hands the fleet to the daemon: flags that configure a
+	// local coordinator contradict it and are rejected rather than
+	// silently ignored. -dist-faults stays legal — it wraps the client's
+	// own connection to the daemon (see runConnect).
+	set := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if *connect != "" {
+		for _, name := range connectIncompatible {
+			if set[name] {
+				return fail(fmt.Errorf("-%s configures a local coordinator and is incompatible with -connect (the daemon owns the fleet; tune it on the tfluxd side)", name))
+			}
+		}
+	} else if set["tenant"] {
+		return fail(fmt.Errorf("-tenant only applies to -connect submissions"))
 	}
 
 	spec, err := workload.ByName(*bench)
@@ -139,6 +165,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return fail(fmt.Errorf("%s is not evaluated on platform %s (the paper's Figure 7 omits it)", spec.Name, *platform))
 	}
 	param := sizes[cls]
+	if *connect != "" {
+		return runConnect(*connect, *tenant, spec, param, *kernels, *unroll, *reps, *distFaults, stdout, stderr)
+	}
 	job := spec.Make(param)
 	fmt.Fprintf(stdout, "%s %s on %s, %d kernels, unroll %d\n", spec.Name, spec.SizeLabel(param), *platform, *kernels, *unroll)
 

@@ -27,7 +27,11 @@ import (
 // buffers into the frame buffer — no intermediate per-region copies —
 // and frame buffers are pooled.
 const (
-	protoVersion = 1
+	// protoVersion 2 added program multiplexing: Exec/Done carry the
+	// owning program id, OpenProg/ProgAck/CloseProg manage per-program
+	// worker replicas, and Submit/Accept/Reject/Result carry the
+	// client↔daemon service protocol.
+	protoVersion = 2
 	// maxFrame caps a frame's declared payload size. The decoder also
 	// reads payloads incrementally, so a lying length prefix cannot
 	// force a large allocation without the peer actually sending the
@@ -53,6 +57,15 @@ const (
 	ftShutdown
 	ftPing
 	ftPong
+	// Coordinator ↔ worker program lifecycle (protocol v2).
+	ftOpenProg
+	ftProgAck
+	ftCloseProg
+	// Client ↔ daemon service protocol (protocol v2).
+	ftSubmit
+	ftAccept
+	ftReject
+	ftResult
 )
 
 func (t frameType) String() string {
@@ -69,6 +82,20 @@ func (t frameType) String() string {
 		return "Ping"
 	case ftPong:
 		return "Pong"
+	case ftOpenProg:
+		return "OpenProg"
+	case ftProgAck:
+		return "ProgAck"
+	case ftCloseProg:
+		return "CloseProg"
+	case ftSubmit:
+		return "Submit"
+	case ftAccept:
+		return "Accept"
+	case ftReject:
+		return "Reject"
+	case ftResult:
+		return "Result"
 	}
 	return fmt.Sprintf("frameType(%d)", byte(t))
 }
@@ -80,6 +107,14 @@ type frame struct {
 	execs []Exec
 	dones []Done
 	seq   int64 // Ping / Pong
+
+	open      OpenProg // OpenProg
+	ack       ProgAck  // ProgAck
+	closeProg uint32   // CloseProg
+	submit    Submit   // Submit
+	accept    Accept   // Accept
+	reject    Reject   // Reject
+	result    Result   // Result
 }
 
 // framePool recycles encode-side buffers; each holds header space plus
@@ -122,6 +157,7 @@ func appendRegion(b []byte, rd *RegionData) []byte {
 }
 
 func appendExec(b []byte, ex *Exec) []byte {
+	b = appendUvarint(b, uint64(ex.Prog))
 	b = appendUvarint(b, uint64(ex.Inst.Thread))
 	b = appendUvarint(b, uint64(ex.Inst.Ctx))
 	b = appendUvarint(b, uint64(ex.Kernel))
@@ -133,6 +169,7 @@ func appendExec(b []byte, ex *Exec) []byte {
 }
 
 func appendDone(b []byte, d *Done) []byte {
+	b = appendUvarint(b, uint64(d.Prog))
 	b = appendUvarint(b, uint64(d.Inst.Thread))
 	b = appendUvarint(b, uint64(d.Inst.Ctx))
 	b = appendUvarint(b, uint64(d.Kernel))
@@ -140,6 +177,23 @@ func appendDone(b []byte, d *Done) []byte {
 	b = appendUvarint(b, uint64(len(d.Exports)))
 	for i := range d.Exports {
 		b = appendRegion(b, &d.Exports[i])
+	}
+	return b
+}
+
+// appendSpec encodes a ProgramSpec. Param is encoded as the two's
+// complement uint64 so negative size parameters survive the round trip.
+func appendSpec(b []byte, sp *ProgramSpec) []byte {
+	b = appendString(b, sp.Name)
+	b = appendUvarint(b, uint64(int64(sp.Param)))
+	b = appendUvarint(b, uint64(sp.Kernels))
+	return appendUvarint(b, uint64(sp.Unroll))
+}
+
+func appendRegions(b []byte, regions []RegionData) []byte {
+	b = appendUvarint(b, uint64(len(regions)))
+	for i := range regions {
+		b = appendRegion(b, &regions[i])
 	}
 	return b
 }
@@ -253,7 +307,27 @@ func (r *wireReader) region(rd *RegionData) {
 	}
 }
 
+func (r *wireReader) spec(sp *ProgramSpec) {
+	sp.Name = r.str()
+	sp.Param = int(int64(r.uvarint()))
+	sp.Kernels = int(r.uvarint())
+	sp.Unroll = int(r.uvarint())
+}
+
+func (r *wireReader) regions(what string) []RegionData {
+	n := r.length(what)
+	if n == 0 {
+		return nil
+	}
+	out := make([]RegionData, n)
+	for i := range out {
+		r.region(&out[i])
+	}
+	return out
+}
+
 func (r *wireReader) exec(ex *Exec) {
+	ex.Prog = uint32(r.uvarint())
 	ex.Inst.Thread = core.ThreadID(r.uvarint())
 	ex.Inst.Ctx = core.Context(r.uvarint())
 	ex.Kernel = int(r.uvarint())
@@ -267,6 +341,7 @@ func (r *wireReader) exec(ex *Exec) {
 }
 
 func (r *wireReader) done(d *Done) {
+	d.Prog = uint32(r.uvarint())
 	d.Inst.Thread = core.ThreadID(r.uvarint())
 	d.Inst.Ctx = core.Context(r.uvarint())
 	d.Kernel = int(r.uvarint())
@@ -308,6 +383,32 @@ func parseFrame(ft frameType, payload []byte) (frame, error) {
 		// no payload
 	case ftPing, ftPong:
 		f.seq = int64(r.uvarint())
+	case ftOpenProg:
+		f.open.Prog = uint32(r.uvarint())
+		r.spec(&f.open.Spec)
+	case ftProgAck:
+		f.ack.Prog = uint32(r.uvarint())
+		f.ack.Err = r.str()
+	case ftCloseProg:
+		f.closeProg = uint32(r.uvarint())
+	case ftSubmit:
+		f.submit.Seq = r.uvarint()
+		f.submit.Tenant = r.str()
+		r.spec(&f.submit.Spec)
+		f.submit.Regions = r.regions("submit region")
+	case ftAccept:
+		f.accept.Seq = r.uvarint()
+		f.accept.Prog = uint32(r.uvarint())
+	case ftReject:
+		f.reject.Seq = r.uvarint()
+		f.reject.Reason = r.str()
+	case ftResult:
+		f.result.Prog = uint32(r.uvarint())
+		f.result.Err = r.str()
+		f.result.ElapsedNS = r.uvarint()
+		f.result.Failovers = r.uvarint()
+		f.result.Retries = r.uvarint()
+		f.result.Regions = r.regions("result region")
 	default:
 		return f, fmt.Errorf("dist: unknown frame type 0x%x", byte(ft))
 	}

@@ -21,6 +21,7 @@ func sampleFrames() []frame {
 		{typ: ftHello, hello: Hello{Kernels: 7}},
 		{typ: ftExecBatch, execs: []Exec{
 			{
+				Prog:   3,
 				Inst:   core.Instance{Thread: 3, Ctx: 41},
 				Kernel: 2,
 				Imports: []RegionData{
@@ -33,6 +34,7 @@ func sampleFrames() []frame {
 		}},
 		{typ: ftDoneBatch, dones: []Done{
 			{
+				Prog:    3,
 				Inst:    core.Instance{Thread: 3, Ctx: 41},
 				Kernel:  2,
 				Exports: []RegionData{{Buffer: "C", Offset: 64, Data: []byte{9, 8, 7}, Size: 3}},
@@ -42,6 +44,31 @@ func sampleFrames() []frame {
 		{typ: ftShutdown},
 		{typ: ftPing, seq: 1234},
 		{typ: ftPong, seq: 1234},
+		{typ: ftOpenProg, open: OpenProg{
+			Prog: 7,
+			Spec: ProgramSpec{Name: "matmul", Param: -64, Kernels: 4, Unroll: 2},
+		}},
+		{typ: ftProgAck, ack: ProgAck{Prog: 7, Err: "unknown workload \"matmul\""}},
+		{typ: ftCloseProg, closeProg: 7},
+		{typ: ftSubmit, submit: Submit{
+			Seq:    42,
+			Tenant: "team-a",
+			Spec:   ProgramSpec{Name: "blackscholes", Param: 1024, Kernels: 8, Unroll: 4},
+			Regions: []RegionData{
+				{Buffer: "in", Offset: 16, Data: []byte{5, 6}, Size: 2},
+				{Buffer: "empty", Offset: 0, Data: []byte{}, Size: 0},
+			},
+		}},
+		{typ: ftAccept, accept: Accept{Seq: 42, Prog: 9}},
+		{typ: ftReject, reject: Reject{Seq: 42, Reason: "tenant quota exceeded"}},
+		{typ: ftResult, result: Result{
+			Prog:      9,
+			Err:       "dist: all 4 nodes lost",
+			ElapsedNS: 123456789,
+			Failovers: 2,
+			Retries:   5,
+			Regions:   []RegionData{{Buffer: "out", Offset: 0, Data: []byte{1, 2, 3}, Size: 3}},
+		}},
 	}
 }
 
@@ -65,8 +92,48 @@ func encodeFrame(f frame) ([]byte, error) {
 	case ftShutdown:
 	case ftPing, ftPong:
 		b = appendUvarint(b, uint64(f.seq))
+	case ftOpenProg:
+		b = appendUvarint(b, uint64(f.open.Prog))
+		b = appendSpec(b, &f.open.Spec)
+	case ftProgAck:
+		b = appendUvarint(b, uint64(f.ack.Prog))
+		b = appendString(b, f.ack.Err)
+	case ftCloseProg:
+		b = appendUvarint(b, uint64(f.closeProg))
+	case ftSubmit:
+		b = appendUvarint(b, f.submit.Seq)
+		b = appendString(b, f.submit.Tenant)
+		b = appendSpec(b, &f.submit.Spec)
+		b = appendRegions(b, f.submit.Regions)
+	case ftAccept:
+		b = appendUvarint(b, f.accept.Seq)
+		b = appendUvarint(b, uint64(f.accept.Prog))
+	case ftReject:
+		b = appendUvarint(b, f.reject.Seq)
+		b = appendString(b, f.reject.Reason)
+	case ftResult:
+		b = appendUvarint(b, uint64(f.result.Prog))
+		b = appendString(b, f.result.Err)
+		b = appendUvarint(b, f.result.ElapsedNS)
+		b = appendUvarint(b, f.result.Failovers)
+		b = appendUvarint(b, f.result.Retries)
+		b = appendRegions(b, f.result.Regions)
 	}
 	return finishFrame(b, f.typ)
+}
+
+// normalizeRegions maps nil and empty region slices (and payloads) to
+// one form for DeepEqual.
+func normalizeRegions(regions []RegionData) []RegionData {
+	if len(regions) == 0 {
+		return nil
+	}
+	for i := range regions {
+		if len(regions[i].Data) == 0 {
+			regions[i].Data = nil
+		}
+	}
+	return regions
 }
 
 // normalizeFrame maps nil and empty slices to one form so DeepEqual
@@ -98,6 +165,8 @@ func normalizeFrame(f *frame) {
 			}
 		}
 	}
+	f.submit.Regions = normalizeRegions(f.submit.Regions)
+	f.result.Regions = normalizeRegions(f.result.Regions)
 }
 
 // TestCodecRoundTrip sends every frame type through a real link pair and
@@ -122,6 +191,20 @@ func TestCodecRoundTrip(t *testing.T) {
 				err = ls.sendPing(want.seq)
 			case ftPong:
 				err = ls.sendPong(want.seq)
+			case ftOpenProg:
+				err = ls.sendOpenProg(want.open.Prog, want.open.Spec)
+			case ftProgAck:
+				err = ls.sendProgAck(want.ack.Prog, want.ack.Err)
+			case ftCloseProg:
+				err = ls.sendCloseProg(want.closeProg)
+			case ftSubmit:
+				err = ls.sendSubmit(&want.submit)
+			case ftAccept:
+				err = ls.sendAccept(want.accept.Seq, want.accept.Prog)
+			case ftReject:
+				err = ls.sendReject(want.reject.Seq, want.reject.Reason)
+			case ftResult:
+				err = ls.sendResult(&want.result)
 			}
 			errc <- err
 		}()
@@ -146,7 +229,7 @@ func TestCodecRoundTrip(t *testing.T) {
 // different protocol version (or the old gob framing) must fail the very
 // first read with a clear message, not desynchronize.
 func TestCodecBadTag(t *testing.T) {
-	for _, tag := range []byte{0x00, 0x02, 0x21, 0xff} {
+	for _, tag := range []byte{0x00, 0x02, 0x11, 0xff} {
 		_, err := readFrame(bufio.NewReader(bytes.NewReader([]byte{tag, 0})))
 		if err == nil || !strings.Contains(err.Error(), "protocol version") {
 			t.Fatalf("tag 0x%02x: want protocol version error, got %v", tag, err)

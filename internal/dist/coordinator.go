@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"net"
-	"sync/atomic"
 	"time"
 
 	"tflux/internal/cellsim"
@@ -23,13 +22,14 @@ type NodeStats struct {
 	LostReason string
 }
 
-// Stats is the outcome of a distributed run.
+// Stats is the outcome of one distributed program run (one session on a
+// Fleet).
 type Stats struct {
 	Elapsed  time.Duration
 	TSU      tsu.Stats
 	BytesOut int64 // import bytes shipped to workers (re-dispatches included)
 	BytesIn  int64 // export bytes received from workers
-	Messages int64 // ExecBatch sends + DoneBatch receipts (heartbeats excluded)
+	Messages int64 // ExecBatch sends + DoneBatch receipts carrying this program (heartbeats excluded)
 	Nodes    []NodeStats
 
 	// Batches counts ExecBatch frames sent; Messages/Batches below the
@@ -43,10 +43,10 @@ type Stats struct {
 	RegionCacheMisses int64
 	BytesSaved        int64
 
-	// Failovers counts nodes declared dead during the run; Retries
-	// counts Execs re-dispatched to surviving nodes; DupeDones counts
-	// late or duplicate Done frames that were discarded instead of
-	// double-applying exports.
+	// Failovers counts nodes declared dead while this program ran;
+	// Retries counts its Execs re-dispatched to surviving nodes;
+	// DupeDones counts late or duplicate Done frames that were discarded
+	// instead of double-applying exports.
 	Failovers int64
 	Retries   int64
 	DupeDones int64
@@ -65,51 +65,17 @@ func Coordinate(prog *core.Program, svb *cellsim.SharedVariableBuffer, conns []n
 // nil) receives one DistRPC event per Exec→Done round trip and one
 // ThreadComplete per remote execution on the owning node's lane, plus
 // TSUCommand events for coordinator-side TSU work on lane len(conns);
-// reg (may be nil) receives the RPC latency histogram and end-of-run
-// traffic and TSU totals. The ThreadComplete span is the round trip as
-// observed from the coordinator — remote body time plus transport.
+// reg (may be nil) receives the RPC latency histogram and traffic and
+// TSU totals. The ThreadComplete span is the round trip as observed
+// from the coordinator — remote body time plus transport.
 func CoordinateObs(prog *core.Program, svb *cellsim.SharedVariableBuffer, conns []net.Conn, sink obs.Sink, reg *obs.Registry) (*Stats, error) {
 	return CoordinateOpts(prog, svb, conns, Options{Sink: sink, Metrics: reg})
 }
 
-// coordEvent is one occurrence the coordinator's main loop reacts to.
-// Exactly one of the cases is populated.
-type coordEvent struct {
-	// A DoneBatch frame (or link/protocol failure when err != nil) from
-	// node.
-	dones []Done
-	node  int
-	err   error
-	// A heartbeat miss on node (no inbound traffic for the window).
-	hbMiss bool
-	// A scheduled re-dispatch of inst; gen guards against stale timers.
-	redispatch bool
-	inst       core.Instance
-	gen        int64
-	// A periodic lease-expiry scan.
-	leaseTick bool
-}
-
-// trackedRegion is the coordinator's version record for one import
-// region key. The version bumps whenever an applied export overlaps the
-// region, invalidating every worker's cached copy at the old version.
-type trackedRegion struct {
-	key regionKey
-	ver uint64
-}
-
-// nodeIO is the coordinator's per-node dispatch state: the accumulating
-// ExecBatch, the in-flight window occupancy, and the ready instances
-// deferred because the window is full.
-type nodeIO struct {
-	batch      []Exec
-	batchBytes int64 // payload bytes in batch (refs count nothing)
-	inflight   int   // leased instances currently on the node (batched included)
-	deferred   []tsu.Ready
-}
-
 // CoordinateOpts is Coordinate with batching, caching, resilience and
-// observability tuned by opt.
+// observability tuned by opt. It is the single-program convenience over
+// Fleet: build the fleet, run one session, close the fleet (which owns
+// and releases the connections on every path).
 //
 // Dispatch is batched and pipelined: ready instances bound for the same
 // node coalesce into one ExecBatch frame (flushed on BatchCount /
@@ -130,695 +96,28 @@ type nodeIO struct {
 // run completes on any non-empty subset of the starting nodes and fails
 // hard only when every node is lost.
 func CoordinateOpts(prog *core.Program, svb *cellsim.SharedVariableBuffer, conns []net.Conn, opt Options) (*Stats, error) {
-	opt = opt.withDefaults()
-	sink, reg := opt.Sink, opt.Metrics
 	if len(conns) == 0 {
 		return nil, errors.New("dist: no worker connections")
 	}
-	if sink != nil {
-		sink.Begin()
-	}
-	rpcHist := reg.Histogram("dist.rpc_ns", obs.LatencyBuckets)
-	foHist := reg.Histogram("dist.failover_ns", obs.LatencyBuckets)
-	batchHist := reg.Histogram("dist.batch_size", obs.CountBuckets)
-	coordLane := len(conns)
-	n := len(conns)
-
-	// Coordinate owns the connections from here on: every early error
-	// must release the workers (they may already be blocked reading).
-	failEarly := func(err error) (*Stats, error) {
-		for _, c := range conns {
-			c.Close() //nolint:errcheck // unblocking teardown
-		}
-		return nil, err
-	}
+	// Pre-handshake buffer check: a coordinator-side setup mistake must
+	// release the workers abruptly (they may already be blocked reading)
+	// rather than hand them a clean Shutdown that masks the failure.
 	for _, b := range prog.Buffers {
 		if got := svb.Bytes(b.Name); int64(len(got)) < b.Size {
-			return failEarly(fmt.Errorf("dist: buffer %q registered with %d bytes, program declares %d", b.Name, len(got), b.Size))
-		}
-	}
-
-	links := make([]*link, n)
-	stats := &Stats{Nodes: make([]NodeStats, n)}
-	totalKernels := 0
-	kernelBase := make([]int, n)  // global id of each node's kernel 0
-	nodeKernels := make([]int, n) // kernels hosted per node
-	for i, c := range conns {
-		links[i] = newLink(c)
-		if opt.WriteTimeout > 0 {
-			links[i].wtimeout = opt.WriteTimeout
-		}
-		// A connected-but-silent worker must fail the handshake with a
-		// clear error, not hang Coordinate forever. The tag check inside
-		// recv also rejects peers speaking a different protocol version
-		// (e.g. an old gob build) before any state is built.
-		c.SetReadDeadline(time.Now().Add(opt.HandshakeTimeout)) //nolint:errcheck
-		f, err := links[i].recv()
-		if err != nil || f.typ != ftHello {
-			return failEarly(fmt.Errorf("dist: handshake with node %d failed (no Hello within %v): %v", i, opt.HandshakeTimeout, err))
-		}
-		c.SetReadDeadline(time.Time{}) //nolint:errcheck
-		kernelBase[i] = totalKernels
-		nodeKernels[i] = f.hello.Kernels
-		stats.Nodes[i].Kernels = f.hello.Kernels
-		totalKernels += f.hello.Kernels
-	}
-	nodeOf := func(global tsu.KernelID) (node, local int) {
-		for i := len(kernelBase) - 1; i >= 0; i-- {
-			if int(global) >= kernelBase[i] {
-				return i, int(global) - kernelBase[i]
+			for _, c := range conns {
+				c.Close() //nolint:errcheck // unblocking teardown
 			}
+			return nil, fmt.Errorf("dist: buffer %q registered with %d bytes, program declares %d", b.Name, len(got), b.Size)
 		}
-		return 0, 0
 	}
-
-	state, err := tsu.NewState(prog, totalKernels)
+	if opt.Sink != nil {
+		opt.Sink.Begin()
+	}
+	f, err := NewFleet(conns, opt)
 	if err != nil {
-		return failEarly(err)
+		return nil, err // NewFleet closed the connections
 	}
-
-	// Per-node liveness and in-flight-window gauges.
-	aliveGauge := make([]*obs.Gauge, n)
-	inflightGauge := make([]*obs.Gauge, n)
-	for i := range aliveGauge {
-		aliveGauge[i] = reg.Gauge(fmt.Sprintf("dist.node%d.alive", i))
-		if aliveGauge[i] != nil {
-			aliveGauge[i].Set(1)
-		}
-		inflightGauge[i] = reg.Gauge(fmt.Sprintf("dist.node%d.inflight", i))
-	}
-
-	// Everything below the main loop communicates through one channel;
-	// stopCh unblocks producers once the loop has exited.
-	events := make(chan coordEvent, totalKernels*4+16)
-	stopCh := make(chan struct{})
-	push := func(ev coordEvent) {
-		select {
-		case events <- ev:
-		case <-stopCh:
-		}
-	}
-
-	// lastSeen is the unixnano of the most recent inbound frame per
-	// node; any frame (DoneBatch or Pong) counts as liveness.
-	lastSeen := make([]atomic.Int64, n)
-	now := time.Now().UnixNano()
-	for i := range lastSeen {
-		lastSeen[i].Store(now)
-	}
-	for i, l := range links {
-		go func(i int, l *link) {
-			for {
-				f, err := l.recv()
-				if err != nil {
-					push(coordEvent{node: i, err: err})
-					return
-				}
-				lastSeen[i].Store(time.Now().UnixNano())
-				switch f.typ {
-				case ftDoneBatch:
-					push(coordEvent{dones: f.dones, node: i})
-				case ftPong:
-					// Liveness already recorded.
-				default:
-					push(coordEvent{node: i, err: fmt.Errorf("dist: unexpected frame %v from node %d", f.typ, i)})
-					return
-				}
-			}
-		}(i, l)
-	}
-	if opt.Heartbeat > 0 {
-		window := time.Duration(opt.HeartbeatMisses) * opt.Heartbeat
-		for i, l := range links {
-			go func(i int, l *link) {
-				ticker := time.NewTicker(opt.Heartbeat)
-				defer ticker.Stop()
-				var seq int64
-				for {
-					select {
-					case <-stopCh:
-						return
-					case <-ticker.C:
-						if time.Since(time.Unix(0, lastSeen[i].Load())) > window {
-							push(coordEvent{node: i, hbMiss: true})
-							return
-						}
-						seq++
-						if err := l.sendPing(seq); err != nil {
-							push(coordEvent{node: i, err: fmt.Errorf("dist: ping node %d: %w", i, err)})
-							return
-						}
-					}
-				}
-			}(i, l)
-		}
-	}
-	if opt.LeaseTimeout > 0 {
-		scan := opt.LeaseTimeout / 4
-		if scan < time.Millisecond {
-			scan = time.Millisecond
-		}
-		go func() {
-			ticker := time.NewTicker(scan)
-			defer ticker.Stop()
-			for {
-				select {
-				case <-stopCh:
-					return
-				case <-ticker.C:
-					push(coordEvent{leaseTick: true})
-				}
-			}
-		}()
-	}
-
-	// shutdownAll asks workers to exit; they close their end, which also
-	// unwinds the reader goroutines. Connections are force-closed only on
-	// the error path (clean workers must get a chance to read Shutdown).
-	shutdownAll := func(force bool) {
-		for i, l := range links {
-			if stats.Nodes[i].Lost {
-				continue // already closed at failover time
-			}
-			l.sendShutdown() //nolint:errcheck // best effort
-			if force {
-				l.close() //nolint:errcheck
-			}
-		}
-	}
-
-	// complete applies one completion to the TSU state, exporting the
-	// coordinator-side work as a TSUCommand event on the coordinator lane.
-	complete := func(inst core.Instance, k tsu.KernelID) tsu.Result {
-		if sink == nil {
-			return state.Complete(inst, k)
-		}
-		t0 := sink.Now()
-		res := state.Complete(inst, k)
-		sink.Record(obs.Event{
-			Kind:  obs.TSUCommand,
-			Lane:  coordLane,
-			Inst:  inst,
-			Start: t0,
-			Dur:   sink.Now() - t0,
-		})
-		return res
-	}
-
-	// ----- dispatch, caching and failure handling state (owned by the
-	// main loop) -----
-	leases := make(map[core.Instance]*lease)
-	nodes := make([]nodeIO, n)
-	alive := make([]bool, n)
-	for i := range alive {
-		alive[i] = true
-	}
-	aliveN := n
-	var lastLoss error
-	var genCtr int64
-	var timers []*time.Timer
-
-	// Region version tracking: regions[key] is the current version of a
-	// tracked import region, byBuf indexes them per buffer for the
-	// overlap scan on export application. nodeCache[i] is what node i
-	// holds: key → the version it was last shipped in full.
-	cacheOn := !opt.DisableRegionCache
-	regions := make(map[regionKey]*trackedRegion)
-	byBuf := make(map[string][]*trackedRegion)
-	nodeCache := make([]map[regionKey]uint64, n)
-	for i := range nodeCache {
-		nodeCache[i] = make(map[regionKey]uint64)
-	}
-	trackRegion := func(key regionKey) *trackedRegion {
-		tr := regions[key]
-		if tr == nil {
-			tr = &trackedRegion{key: key, ver: 1}
-			regions[key] = tr
-			byBuf[key.buffer] = append(byBuf[key.buffer], tr)
-		}
-		return tr
-	}
-	bumpOverlapping := func(buffer string, off, length int64) {
-		for _, tr := range byBuf[buffer] {
-			if tr.key.offset < off+length && off < tr.key.offset+tr.key.size {
-				tr.ver++
-			}
-		}
-	}
-	setInflight := func(i int) {
-		if inflightGauge[i] != nil {
-			inflightGauge[i].Set(int64(nodes[i].inflight))
-		}
-	}
-
-	nextAlive := func(from int) int {
-		for i := 1; i <= n; i++ {
-			if k := (from + i) % n; alive[k] {
-				return k
-			}
-		}
-		return -1
-	}
-	// buildExec assembles the Exec for an instance bound for target,
-	// re-reading import regions from the canonical buffers; safe to
-	// repeat because exports apply only here and an instance's imports
-	// were finalized before it became ready (the same invariant lets
-	// Data alias the canonical buffer until the batch flushes). Regions
-	// whose version matches what target already caches become refs.
-	// Returns the payload bytes actually shipped. Errors are fatal
-	// program errors.
-	buildExec := func(inst core.Instance, target int) (Exec, int64, error) {
-		ex := Exec{Inst: inst}
-		var shipped int64
-		tpl := state.Template(inst.Thread)
-		if tpl != nil && tpl.Access != nil {
-			for _, r := range tpl.Access(inst.Ctx) {
-				if r.Write || r.Size <= 0 {
-					continue
-				}
-				b := svb.Bytes(r.Buffer)
-				if b == nil {
-					return ex, 0, fmt.Errorf("dist: import references unregistered buffer %q", r.Buffer)
-				}
-				rdata, err := readRegionRef(b, r)
-				if err != nil {
-					return ex, 0, err
-				}
-				if cacheOn {
-					key := rdata.key()
-					tr := trackRegion(key)
-					rdata.Ver = tr.ver
-					if nodeCache[target][key] == tr.ver {
-						// Current on the worker: ship the reference only.
-						rdata.Ref = true
-						rdata.Data = nil
-						stats.RegionCacheHits++
-						stats.BytesSaved += rdata.Size
-					} else {
-						stats.RegionCacheMisses++
-						nodeCache[target][key] = tr.ver
-						shipped += rdata.Size
-					}
-				} else {
-					shipped += rdata.Size
-				}
-				ex.Imports = append(ex.Imports, rdata)
-			}
-		}
-		return ex, shipped, nil
-	}
-	localFor := func(k tsu.KernelID, target int) int {
-		if node, local := nodeOf(k); node == target {
-			return local
-		}
-		if nodeKernels[target] <= 0 {
-			return 0
-		}
-		return int(k) % nodeKernels[target]
-	}
-
-	// flushNode sends node i's accumulated ExecBatch as one frame; a
-	// transport error fails the node over (the leases it carries are
-	// re-scheduled by markDead).
-	var markDead func(node int, reason error) error
-	flushNode := func(i int) error {
-		nio := &nodes[i]
-		if len(nio.batch) == 0 {
-			return nil
-		}
-		if !alive[i] {
-			nio.batch, nio.batchBytes = nio.batch[:0], 0
-			return nil
-		}
-		stats.BytesOut += nio.batchBytes
-		stats.Messages++
-		stats.Batches++
-		if batchHist != nil {
-			batchHist.Observe(int64(len(nio.batch)))
-		}
-		err := links[i].sendExecBatch(nio.batch)
-		nio.batch, nio.batchBytes = nio.batch[:0], 0
-		if err != nil {
-			return markDead(i, fmt.Errorf("send: %w", err))
-		}
-		return nil
-	}
-	flushAll := func() error {
-		for i := range nodes {
-			if err := flushNode(i); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-
-	// appendExecTo stages one built Exec into target's batch, flushing on
-	// the size/count thresholds.
-	appendExecTo := func(target int, ex Exec, shipped int64) error {
-		nio := &nodes[target]
-		nio.batch = append(nio.batch, ex)
-		nio.batchBytes += shipped
-		if len(nio.batch) >= opt.BatchCount || nio.batchBytes >= opt.BatchBytes {
-			return flushNode(target)
-		}
-		return nil
-	}
-
-	// enqueueExec leases an instance onto target and stages its Exec.
-	enqueueExec := func(inst core.Instance, kern tsu.KernelID, target int) error {
-		ex, shipped, err := buildExec(inst, target)
-		if err != nil {
-			return err
-		}
-		ex.Kernel = localFor(kern, target)
-		ls := &lease{inst: inst, kern: kern, node: target, attempts: 1, wall: time.Now(), bytes: shipped}
-		if sink != nil {
-			ls.at = sink.Now()
-		}
-		leases[inst] = ls
-		nodes[target].inflight++
-		setInflight(target)
-		return appendExecTo(target, ex, shipped)
-	}
-
-	// scheduleRedispatch arms a backoff timer that re-queues the lease's
-	// instance through the main loop. The lease generation guards the
-	// timer: if the lease was completed or re-scheduled meanwhile, the
-	// firing is stale and ignored.
-	scheduleRedispatch := func(ls *lease) error {
-		ls.attempts++
-		if ls.attempts > opt.MaxAttempts {
-			return fmt.Errorf("dist: instance %v exhausted %d dispatch attempts; last node loss: %v", ls.inst, opt.MaxAttempts, lastLoss)
-		}
-		genCtr++
-		ls.gen = genCtr
-		inst, gen := ls.inst, ls.gen
-		delay := backoffDelay(ls.attempts-1, opt.RetryBase, opt.RetryCap)
-		timers = append(timers, time.AfterFunc(delay, func() {
-			push(coordEvent{redispatch: true, inst: inst, gen: gen})
-		}))
-		return nil
-	}
-
-	// dispatch sends one application instance to its owner node (or a
-	// surviving fallback) — deferring it when the node's in-flight
-	// window is full — or processes a service instance (Inlet / Outlet)
-	// locally at the TSU. Only fatal program errors are returned;
-	// transport failures fail over internally.
-	var dispatch func(rd tsu.Ready) error
-	dispatch = func(rd tsu.Ready) error {
-		if state.IsService(rd.Inst) {
-			res := complete(rd.Inst, rd.Kernel)
-			if res.ProgramDone {
-				return errProgramDone
-			}
-			for _, next := range res.NewReady {
-				if err := dispatch(next); err != nil {
-					return err
-				}
-			}
-			return nil
-		}
-		owner, _ := nodeOf(rd.Kernel)
-		target := owner
-		if !alive[target] {
-			target = nextAlive(owner)
-			if target < 0 {
-				return fmt.Errorf("dist: all %d nodes lost; cannot dispatch %v; last failure: %w", n, rd.Inst, lastLoss)
-			}
-		}
-		if nodes[target].inflight >= opt.Window {
-			nodes[target].deferred = append(nodes[target].deferred, rd)
-			return nil
-		}
-		return enqueueExec(rd.Inst, rd.Kernel, target)
-	}
-
-	// drainDeferred refills node i's window from its deferred queue.
-	drainDeferred := func(i int) error {
-		nio := &nodes[i]
-		for alive[i] && nio.inflight < opt.Window && len(nio.deferred) > 0 {
-			rd := nio.deferred[0]
-			nio.deferred = nio.deferred[1:]
-			if err := enqueueExec(rd.Inst, rd.Kernel, i); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-
-	// markDead declares a node lost: close its link (unblocking its
-	// reader), drop its pending batch and cache view, drain its leases
-	// into re-dispatch timers, re-route its deferred instances, and
-	// hard-fail if no node survives.
-	markDead = func(node int, reason error) error {
-		if node < 0 || node >= n || !alive[node] {
-			return nil
-		}
-		alive[node] = false
-		aliveN--
-		lastLoss = fmt.Errorf("node %d: %w", node, reason)
-		stats.Nodes[node].Lost = true
-		stats.Nodes[node].LostReason = reason.Error()
-		stats.Failovers++
-		if aliveGauge[node] != nil {
-			aliveGauge[node].Set(0)
-		}
-		links[node].close() //nolint:errcheck
-		if sink != nil {
-			sink.Record(obs.Event{Kind: obs.DistFailover, Lane: node, Start: sink.Now(), Note: reason.Error()})
-		}
-		nio := &nodes[node]
-		nio.batch, nio.batchBytes, nio.inflight = nio.batch[:0], 0, 0
-		setInflight(node)
-		nodeCache[node] = nil
-		deferred := nio.deferred
-		nio.deferred = nil
-		failedAt := time.Now()
-		for _, ls := range leases {
-			if ls.node != node {
-				continue
-			}
-			ls.failedAt = failedAt
-			if err := scheduleRedispatch(ls); err != nil {
-				return err
-			}
-		}
-		if aliveN == 0 {
-			return fmt.Errorf("dist: all %d nodes lost; last failure: %w", n, lastLoss)
-		}
-		for _, rd := range deferred {
-			if err := dispatch(rd); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-
-	// redispatch moves a drained lease to the next surviving node. It
-	// bypasses the window (failover work must not starve behind new
-	// dispatches) but rides the same batch path.
-	redispatch := func(inst core.Instance, gen int64) error {
-		ls := leases[inst]
-		if ls == nil || ls.gen != gen {
-			return nil // completed or re-scheduled meanwhile
-		}
-		target := nextAlive(ls.node)
-		if target < 0 {
-			return fmt.Errorf("dist: all %d nodes lost; cannot re-dispatch %v; last failure: %w", n, inst, lastLoss)
-		}
-		ex, shipped, err := buildExec(inst, target)
-		if err != nil {
-			return err
-		}
-		ex.Kernel = localFor(ls.kern, target)
-		ls.node = target
-		ls.bytes = shipped
-		ls.wall = time.Now()
-		if sink != nil {
-			ls.at = sink.Now()
-		}
-		stats.Retries++
-		if foHist != nil && !ls.failedAt.IsZero() {
-			foHist.ObserveDuration(time.Since(ls.failedAt))
-		}
-		nodes[target].inflight++
-		setInflight(target)
-		return appendExecTo(target, ex, shipped)
-	}
-
-	// handleDone validates one Done entry and applies it. Validation
-	// comes first: a buggy or byzantine worker must not panic the
-	// coordinator or double-apply exports. A Done without a matching
-	// (instance, node) lease is a late duplicate — counted and dropped.
-	handleDone := func(d *Done, node int) error {
-		ls := leases[d.Inst]
-		if ls == nil || ls.node != node {
-			// No live lease binds this (instance, node) pair: a late
-			// Done from a failed-over node, or an unsolicited one.
-			// Either way its exports must not re-apply.
-			stats.DupeDones++
-			return nil
-		}
-		if d.Err != "" {
-			return errors.New("dist: " + d.Err)
-		}
-		if d.Kernel < 0 || d.Kernel >= nodeKernels[node] {
-			return markDead(node, fmt.Errorf("dist: node %d reported out-of-range kernel %d (hosts %d)", node, d.Kernel, nodeKernels[node]))
-		}
-		var exportBytes int64
-		for _, rdata := range d.Exports {
-			b := svb.Bytes(rdata.Buffer)
-			if b == nil {
-				return markDead(node, fmt.Errorf("dist: node %d export references unregistered buffer %q", node, rdata.Buffer))
-			}
-			if rdata.Ref {
-				return markDead(node, fmt.Errorf("dist: node %d shipped a cache reference as an export", node))
-			}
-			if rdata.Offset < 0 || rdata.Offset+int64(len(rdata.Data)) > int64(len(b)) {
-				return markDead(node, fmt.Errorf("dist: node %d export [%d,%d) outside buffer %q (%d bytes)", node, rdata.Offset, rdata.Offset+int64(len(rdata.Data)), rdata.Buffer, len(b)))
-			}
-		}
-		delete(leases, d.Inst)
-		for _, rdata := range d.Exports {
-			writeRegion(svb.Bytes(rdata.Buffer), rdata) //nolint:errcheck // validated above
-			// The canonical bytes changed: invalidate every cached copy
-			// of any overlapping import region.
-			bumpOverlapping(rdata.Buffer, rdata.Offset, int64(len(rdata.Data)))
-			exportBytes += int64(len(rdata.Data))
-		}
-		stats.BytesIn += exportBytes
-		stats.Nodes[node].Executed++
-		nodes[node].inflight--
-		setInflight(node)
-		dur := time.Since(ls.wall)
-		if sink != nil {
-			sink.Record(obs.Event{
-				Kind:  obs.DistRPC,
-				Lane:  node,
-				Inst:  d.Inst,
-				Start: ls.at,
-				Dur:   dur,
-				Bytes: ls.bytes + exportBytes,
-			})
-			// The same span doubles as the node lane's occupancy:
-			// remote body time plus transport, as observed here.
-			sink.Record(obs.Event{
-				Kind:  obs.ThreadComplete,
-				Lane:  node,
-				Inst:  d.Inst,
-				Start: ls.at,
-				Dur:   dur,
-			})
-		}
-		if rpcHist != nil {
-			rpcHist.ObserveDuration(dur)
-		}
-		global := tsu.KernelID(kernelBase[node] + d.Kernel)
-		res := complete(d.Inst, global)
-		if res.ProgramDone {
-			return errProgramDone
-		}
-		for _, next := range res.NewReady {
-			if err := dispatch(next); err != nil {
-				return err
-			}
-		}
-		return drainDeferred(node)
-	}
-
-	// handleDoneBatch applies a DoneBatch frame entry by entry. If an
-	// entry gets the node declared dead (byzantine validation failure),
-	// the rest of its batch is untrusted and dropped — the dead node's
-	// leases are already re-scheduled.
-	handleDoneBatch := func(dones []Done, node int) error {
-		stats.Messages++
-		for i := range dones {
-			if !alive[node] {
-				return nil
-			}
-			if err := handleDone(&dones[i], node); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-
-	start := time.Now()
-	runErr := func() error {
-		if err := dispatch(state.Start()); err != nil {
-			return err
-		}
-		for {
-			// Batches flush when the size/count thresholds trip or when
-			// the loop is about to go idle — everything a burst of
-			// completions made ready leaves in coalesced frames, and
-			// nothing waits on a timer.
-			var ev coordEvent
-			select {
-			case ev = <-events:
-			default:
-				if err := flushAll(); err != nil {
-					return err
-				}
-				ev = <-events
-			}
-			var err error
-			switch {
-			case ev.err != nil:
-				err = markDead(ev.node, ev.err)
-			case ev.hbMiss:
-				err = markDead(ev.node, fmt.Errorf("heartbeat: no traffic for %v", time.Duration(opt.HeartbeatMisses)*opt.Heartbeat))
-			case ev.redispatch:
-				err = redispatch(ev.inst, ev.gen)
-			case ev.leaseTick:
-				nowT := time.Now()
-				for _, ls := range leases {
-					if alive[ls.node] && nowT.Sub(ls.wall) > opt.LeaseTimeout {
-						if err = markDead(ls.node, fmt.Errorf("lease on %v expired after %v", ls.inst, opt.LeaseTimeout)); err != nil {
-							break
-						}
-					}
-				}
-			case ev.dones != nil:
-				err = handleDoneBatch(ev.dones, ev.node)
-			}
-			if err != nil {
-				return err
-			}
-			if len(leases) == 0 && state.Finished() {
-				return errProgramDone
-			}
-		}
-	}()
-	close(stopCh)
-	for _, t := range timers {
-		t.Stop()
-	}
-	stats.Elapsed = time.Since(start)
-	stats.TSU = state.Stats()
-	if reg != nil {
-		reg.Counter("dist.bytes_out").Set(stats.BytesOut)
-		reg.Counter("dist.bytes_in").Set(stats.BytesIn)
-		reg.Counter("dist.bytes_saved").Set(stats.BytesSaved)
-		reg.Counter("dist.messages").Set(stats.Messages)
-		reg.Counter("dist.batches").Set(stats.Batches)
-		reg.Counter("dist.region_cache_hits").Set(stats.RegionCacheHits)
-		reg.Counter("dist.region_cache_misses").Set(stats.RegionCacheMisses)
-		reg.Counter("dist.nodes").Set(int64(len(conns)))
-		reg.Counter("dist.failovers").Set(stats.Failovers)
-		reg.Counter("dist.retries").Set(stats.Retries)
-		reg.Counter("dist.dupe_done").Set(stats.DupeDones)
-		reg.Counter("tsu.decrements").Set(stats.TSU.Decrements)
-		reg.Counter("tsu.fired").Set(stats.TSU.Fired)
-	}
-	if errors.Is(runErr, errProgramDone) {
-		shutdownAll(false)
-		return stats, nil
-	}
-	shutdownAll(true)
-	return stats, runErr
+	st, runErr := f.Run(prog, svb)
+	f.Close() //nolint:errcheck // Close is best-effort teardown
+	return st, runErr
 }
-
-// errProgramDone is the internal sentinel for normal termination.
-var errProgramDone = errors.New("dist: program done")

@@ -1,0 +1,1256 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tflux/internal/cellsim"
+	"tflux/internal/core"
+	"tflux/internal/obs"
+	"tflux/internal/tsu"
+)
+
+// A Fleet owns a set of worker connections — handshake, liveness,
+// heartbeats, per-node batching windows — independently of any single
+// program run, so the same workers can execute many DDM programs, one
+// after another (Run) or concurrently multiplexed (Start/Open, the
+// tfluxd path). Coordinate is a thin wrapper that builds a Fleet for
+// one program and closes it; tfluxd keeps one Fleet alive for the
+// daemon's lifetime.
+//
+// Each admitted program runs as a session: its own TSU state, canonical
+// buffers, leases, region-cache version space and Stats. Sessions share
+// the per-node ExecBatch accumulators and in-flight windows; when a
+// node's window is full, ready instances are deferred into per-session
+// queues drained by weighted round-robin, so one enormous program
+// cannot starve a small one. Failover (PR-3 leases, heartbeats,
+// backoff) is scoped per (program, instance): a node loss re-dispatches
+// every open session's leases on that node and charges each session's
+// own failover counters.
+//
+// Concurrency model: all session and dispatch state is owned by a
+// single event loop (run inline by Run, or on a background goroutine by
+// Start). Open and Close communicate with the loop through a
+// mutex-guarded control queue, never by touching loop state.
+type Fleet struct {
+	opt  Options
+	sink obs.Sink
+	n    int
+
+	links        []*link
+	kernelBase   []int // global id of each node's kernel 0
+	nodeKernels  []int // kernels hosted per node
+	totalKernels int
+
+	events   chan fleetEvent
+	stopCh   chan struct{}
+	lastSeen []atomic.Int64
+
+	ctrlMu  sync.Mutex
+	ctrl    []fleetCtrl
+	ctrlSig chan struct{}
+
+	started   atomic.Bool // background loop (Start) is running
+	closed    atomic.Bool
+	aliveAtom atomic.Int64 // published copy of aliveN for dashboards
+	loopWG    sync.WaitGroup
+	closeOnce sync.Once
+
+	// ----- loop-owned state: only the event loop may touch these -----
+	sessions map[uint32]*session
+	nodes    []nodeIO
+	alive    []bool
+	aliveN   int
+	lastLoss error
+	genCtr   int64
+	runSeq   uint32 // next session id handed out by Run
+	stopped  bool   // set by the stop control message
+	cacheOn  bool
+
+	aliveGauge    []*obs.Gauge
+	inflightGauge []*obs.Gauge
+	rpcHist       *obs.Histogram
+	foHist        *obs.Histogram
+	batchHist     *obs.Histogram
+	cBytesOut     *obs.Counter
+	cBytesIn      *obs.Counter
+	cBytesSaved   *obs.Counter
+	cMessages     *obs.Counter
+	cBatches      *obs.Counter
+	cCacheHits    *obs.Counter
+	cCacheMisses  *obs.Counter
+	cFailovers    *obs.Counter
+	cRetries      *obs.Counter
+	cDupeDones    *obs.Counter
+	cUnknownDones *obs.Counter
+	cTSUDec       *obs.Counter
+	cTSUFired     *obs.Counter
+}
+
+// session is one program admitted onto the fleet: its TSU state, its
+// canonical buffers, and every piece of bookkeeping that was per-run in
+// the single-program coordinator — leases, region versions, per-node
+// cache views, stats. Buffer names are only meaningful within a
+// session, so the region version space is private too.
+type session struct {
+	id     uint32
+	svb    *cellsim.SharedVariableBuffer
+	state  *tsu.State
+	stats  *Stats
+	weight int
+	onDone func(st *Stats, err error)
+
+	leases    map[core.Instance]*lease
+	regions   map[regionKey]*trackedRegion
+	byBuf     map[string][]*trackedRegion
+	nodeCache []map[regionKey]uint64
+	timers    []*time.Timer
+	start     time.Time
+	closed    bool
+}
+
+// OpenReq asks the fleet to run one program as a new session.
+type OpenReq struct {
+	Prog *core.Program
+	SVB  *cellsim.SharedVariableBuffer
+	// Spec is shipped to workers in OpenProg so they can resolve and
+	// build their replica. Coordinate leaves it zero (workers built
+	// their replica from a closure at Serve time).
+	Spec ProgramSpec
+	// Weight is the session's share in the per-node weighted round-robin
+	// over deferred ready instances; values < 1 mean 1.
+	Weight int
+	// OnDone is called from the fleet's event loop exactly once when the
+	// session finishes. It must not block and must not call Run/Close
+	// (Open is fine).
+	OnDone func(st *Stats, err error)
+}
+
+// fleetCtrl is one control message from Open/Run/Close into the loop.
+type fleetCtrl struct {
+	id   uint32
+	open *OpenReq
+	stop bool
+}
+
+// fleetEvent is one occurrence the fleet's event loop reacts to.
+// Exactly one of the cases is populated.
+type fleetEvent struct {
+	// A DoneBatch frame (or link/protocol failure when err != nil) from
+	// node.
+	dones []Done
+	node  int
+	err   error
+	// A heartbeat miss on node (no inbound traffic for the window).
+	hbMiss bool
+	// A ProgAck reporting a replica build failure for prog on node.
+	ack    bool
+	prog   uint32
+	ackErr string
+	// A scheduled re-dispatch of (prog, inst); gen guards stale timers.
+	redispatch bool
+	inst       core.Instance
+	gen        int64
+	// A periodic lease-expiry scan.
+	leaseTick bool
+}
+
+// trackedRegion is a session's version record for one import region
+// key. The version bumps whenever an applied export overlaps the
+// region, invalidating every worker's cached copy at the old version.
+type trackedRegion struct {
+	key regionKey
+	ver uint64
+}
+
+// nodeIO is the per-node dispatch state shared by every session: the
+// accumulating ExecBatch, the in-flight window occupancy, and the ready
+// instances deferred because the window is full — queued per session
+// and drained by weighted round-robin.
+type nodeIO struct {
+	batch      []Exec
+	batchBytes int64 // payload bytes in batch (refs count nothing)
+	inflight   int   // leased instances currently on the node (batched included)
+	deferred   map[uint32][]tsu.Ready
+	rr         []uint32       // sessions with deferred work, in rotation order
+	credit     map[uint32]int // remaining WRR credit per session
+}
+
+// NewFleet performs the handshake with every worker connection and
+// starts the fleet's reader, heartbeat and lease-scan goroutines. On
+// error every connection is closed. The fleet owns the connections
+// until Close.
+func NewFleet(conns []net.Conn, opt Options) (*Fleet, error) {
+	opt = opt.withDefaults()
+	if len(conns) == 0 {
+		return nil, errors.New("dist: no worker connections")
+	}
+	n := len(conns)
+	reg := opt.Metrics
+	f := &Fleet{
+		opt:         opt,
+		sink:        opt.Sink,
+		n:           n,
+		links:       make([]*link, n),
+		kernelBase:  make([]int, n),
+		nodeKernels: make([]int, n),
+		lastSeen:    make([]atomic.Int64, n),
+		ctrlSig:     make(chan struct{}, 1),
+		stopCh:      make(chan struct{}),
+		sessions:    make(map[uint32]*session),
+		nodes:       make([]nodeIO, n),
+		alive:       make([]bool, n),
+		aliveN:      n,
+		cacheOn:     !opt.DisableRegionCache,
+
+		rpcHist:       reg.Histogram("dist.rpc_ns", obs.LatencyBuckets),
+		foHist:        reg.Histogram("dist.failover_ns", obs.LatencyBuckets),
+		batchHist:     reg.Histogram("dist.batch_size", obs.CountBuckets),
+		cBytesOut:     reg.Counter("dist.bytes_out"),
+		cBytesIn:      reg.Counter("dist.bytes_in"),
+		cBytesSaved:   reg.Counter("dist.bytes_saved"),
+		cMessages:     reg.Counter("dist.messages"),
+		cBatches:      reg.Counter("dist.batches"),
+		cCacheHits:    reg.Counter("dist.region_cache_hits"),
+		cCacheMisses:  reg.Counter("dist.region_cache_misses"),
+		cFailovers:    reg.Counter("dist.failovers"),
+		cRetries:      reg.Counter("dist.retries"),
+		cDupeDones:    reg.Counter("dist.dupe_done"),
+		cUnknownDones: reg.Counter("dist.unknown_done"),
+		cTSUDec:       reg.Counter("tsu.decrements"),
+		cTSUFired:     reg.Counter("tsu.fired"),
+	}
+	reg.Counter("dist.nodes").Set(int64(n))
+	f.aliveAtom.Store(int64(n))
+
+	for i, c := range conns {
+		f.links[i] = newLink(c)
+		if opt.WriteTimeout > 0 {
+			f.links[i].wtimeout = opt.WriteTimeout
+		}
+		// A connected-but-silent worker must fail the handshake with a
+		// clear error, not hang forever. The tag check inside recv also
+		// rejects peers speaking a different protocol version before
+		// any state is built.
+		c.SetReadDeadline(time.Now().Add(opt.HandshakeTimeout)) //nolint:errcheck
+		fr, err := f.links[i].recv()
+		if err != nil || fr.typ != ftHello {
+			for _, cc := range conns {
+				cc.Close() //nolint:errcheck // unblocking teardown
+			}
+			return nil, fmt.Errorf("dist: handshake with node %d failed (no Hello within %v): %v", i, opt.HandshakeTimeout, err)
+		}
+		c.SetReadDeadline(time.Time{}) //nolint:errcheck
+		f.kernelBase[i] = f.totalKernels
+		f.nodeKernels[i] = fr.hello.Kernels
+		f.totalKernels += fr.hello.Kernels
+	}
+	f.events = make(chan fleetEvent, max(256, f.totalKernels*4+16))
+	f.aliveGauge = make([]*obs.Gauge, n)
+	f.inflightGauge = make([]*obs.Gauge, n)
+	for i := range f.alive {
+		f.alive[i] = true
+		f.aliveGauge[i] = reg.Gauge(fmt.Sprintf("dist.node%d.alive", i))
+		f.aliveGauge[i].Set(1)
+		f.inflightGauge[i] = reg.Gauge(fmt.Sprintf("dist.node%d.inflight", i))
+	}
+
+	now := time.Now().UnixNano()
+	for i := range f.lastSeen {
+		f.lastSeen[i].Store(now)
+	}
+	for i, l := range f.links {
+		go f.readLoop(i, l)
+	}
+	if opt.Heartbeat > 0 {
+		for i, l := range f.links {
+			go f.heartbeatLoop(i, l)
+		}
+	}
+	if opt.LeaseTimeout > 0 {
+		scan := opt.LeaseTimeout / 4
+		if scan < time.Millisecond {
+			scan = time.Millisecond
+		}
+		go func() {
+			ticker := time.NewTicker(scan)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-f.stopCh:
+					return
+				case <-ticker.C:
+					f.push(fleetEvent{leaseTick: true})
+				}
+			}
+		}()
+	}
+	return f, nil
+}
+
+// Nodes returns the fleet size.
+func (f *Fleet) Nodes() int { return f.n }
+
+// Kernels returns the total kernel count across the fleet.
+func (f *Fleet) Kernels() int { return f.totalKernels }
+
+// AliveNodes returns how many nodes the fleet currently considers live.
+func (f *Fleet) AliveNodes() int { return int(f.aliveAtom.Load()) }
+
+func (f *Fleet) push(ev fleetEvent) {
+	select {
+	case f.events <- ev:
+	case <-f.stopCh:
+	}
+}
+
+func (f *Fleet) readLoop(i int, l *link) {
+	for {
+		fr, err := l.recv()
+		if err != nil {
+			f.push(fleetEvent{node: i, err: err})
+			return
+		}
+		f.lastSeen[i].Store(time.Now().UnixNano())
+		switch fr.typ {
+		case ftDoneBatch:
+			f.push(fleetEvent{dones: fr.dones, node: i})
+		case ftPong:
+			// Liveness already recorded.
+		case ftProgAck:
+			if fr.ack.Err != "" {
+				f.push(fleetEvent{ack: true, node: i, prog: fr.ack.Prog, ackErr: fr.ack.Err})
+			}
+		default:
+			f.push(fleetEvent{node: i, err: fmt.Errorf("dist: unexpected frame %v from node %d", fr.typ, i)})
+			return
+		}
+	}
+}
+
+func (f *Fleet) heartbeatLoop(i int, l *link) {
+	window := time.Duration(f.opt.HeartbeatMisses) * f.opt.Heartbeat
+	ticker := time.NewTicker(f.opt.Heartbeat)
+	defer ticker.Stop()
+	var seq int64
+	for {
+		select {
+		case <-f.stopCh:
+			return
+		case <-ticker.C:
+			if time.Since(time.Unix(0, f.lastSeen[i].Load())) > window {
+				f.push(fleetEvent{node: i, hbMiss: true})
+				return
+			}
+			seq++
+			if err := l.sendPing(seq); err != nil {
+				f.push(fleetEvent{node: i, err: fmt.Errorf("dist: ping node %d: %w", i, err)})
+				return
+			}
+		}
+	}
+}
+
+func (f *Fleet) enqueueCtrl(m fleetCtrl) {
+	f.ctrlMu.Lock()
+	f.ctrl = append(f.ctrl, m)
+	f.ctrlMu.Unlock()
+	select {
+	case f.ctrlSig <- struct{}{}:
+	default:
+	}
+}
+
+func (f *Fleet) takeCtrl() []fleetCtrl {
+	f.ctrlMu.Lock()
+	defer f.ctrlMu.Unlock()
+	msgs := f.ctrl
+	f.ctrl = nil
+	return msgs
+}
+
+// Run executes one program synchronously on the fleet, running the
+// event loop inline. It may be called repeatedly — the whole point of a
+// Fleet is that the worker connections survive between runs — but not
+// concurrently, and not on a fleet whose loop was started with Start.
+func (f *Fleet) Run(prog *core.Program, svb *cellsim.SharedVariableBuffer) (*Stats, error) {
+	if f.started.Load() {
+		return nil, errors.New("dist: Fleet.Run on a started fleet (use Open)")
+	}
+	if f.closed.Load() {
+		return nil, errors.New("dist: fleet closed")
+	}
+	var (
+		st   *Stats
+		rerr error
+		done bool
+	)
+	id := f.runSeq
+	f.runSeq++
+	f.enqueueCtrl(fleetCtrl{id: id, open: &OpenReq{
+		Prog: prog,
+		SVB:  svb,
+		OnDone: func(s *Stats, err error) {
+			st, rerr, done = s, err, true
+		},
+	}})
+	f.loop(func() bool { return done })
+	return st, rerr
+}
+
+// Start runs the fleet's event loop on a background goroutine so
+// multiple sessions can be multiplexed with Open. Idempotent.
+func (f *Fleet) Start() {
+	if !f.started.CompareAndSwap(false, true) {
+		return
+	}
+	f.loopWG.Add(1)
+	go func() {
+		defer f.loopWG.Done()
+		f.loop(nil)
+	}()
+}
+
+// Open admits a program as a new session with the given id; the outcome
+// arrives via req.OnDone. Ids must be unique among open sessions. Only
+// valid after Start.
+func (f *Fleet) Open(id uint32, req OpenReq) error {
+	if f.closed.Load() {
+		return errors.New("dist: fleet closed")
+	}
+	if !f.started.Load() {
+		return errors.New("dist: Fleet.Open before Start")
+	}
+	r := req
+	f.enqueueCtrl(fleetCtrl{id: id, open: &r})
+	return nil
+}
+
+// Close stops the event loop, fails any still-open sessions, asks the
+// surviving workers to shut down and closes every connection.
+func (f *Fleet) Close() error {
+	f.closeOnce.Do(func() {
+		f.closed.Store(true)
+		if f.started.Load() {
+			f.enqueueCtrl(fleetCtrl{stop: true})
+			f.loopWG.Wait()
+		}
+		// The loop is not running past this point (Run callers only
+		// Close after Run returns), so loop-owned state is safe to
+		// touch. Unblock readers/heartbeats first so nothing waits on
+		// the drained events channel.
+		close(f.stopCh)
+		err := errors.New("dist: fleet closed")
+		for _, s := range f.snapshotSessions() {
+			f.closeSession(s, err)
+		}
+		for i, l := range f.links {
+			if f.alive[i] {
+				l.sendShutdown() //nolint:errcheck // best effort
+			}
+			l.close() //nolint:errcheck
+		}
+	})
+	return nil
+}
+
+// loop is the fleet's event loop. It drains control messages, then
+// events; batches flush when their thresholds trip or when the loop is
+// about to go idle, so bursts leave in coalesced frames and nothing
+// waits on a timer. stop (may be nil) is polled between events — Run
+// uses it to return once its session completes.
+func (f *Fleet) loop(stop func() bool) {
+	for {
+		for _, m := range f.takeCtrl() {
+			f.handleCtrl(m)
+		}
+		if f.stopped || (stop != nil && stop()) {
+			return
+		}
+		var ev fleetEvent
+		select {
+		case ev = <-f.events:
+		case <-f.ctrlSig:
+			continue
+		default:
+			f.flushAll()
+			select {
+			case ev = <-f.events:
+			case <-f.ctrlSig:
+				continue
+			}
+		}
+		f.handleEvent(ev)
+	}
+}
+
+func (f *Fleet) handleCtrl(m fleetCtrl) {
+	switch {
+	case m.stop:
+		f.stopped = true
+	case m.open != nil:
+		f.openSession(m.id, m.open)
+	}
+}
+
+func (f *Fleet) handleEvent(ev fleetEvent) {
+	switch {
+	case ev.err != nil:
+		f.markDead(ev.node, ev.err)
+	case ev.hbMiss:
+		f.markDead(ev.node, fmt.Errorf("heartbeat: no traffic for %v", time.Duration(f.opt.HeartbeatMisses)*f.opt.Heartbeat))
+	case ev.ack:
+		if s := f.sessions[ev.prog]; s != nil {
+			f.closeSession(s, fmt.Errorf("dist: node %d failed to open program %d: %s", ev.node, ev.prog, ev.ackErr))
+		}
+	case ev.redispatch:
+		f.redispatch(ev.prog, ev.inst, ev.gen)
+	case ev.leaseTick:
+		nowT := time.Now()
+		for _, s := range f.snapshotSessions() {
+			if s.closed {
+				continue
+			}
+			for _, ls := range s.leases {
+				if f.alive[ls.node] && nowT.Sub(ls.wall) > f.opt.LeaseTimeout {
+					f.markDead(ls.node, fmt.Errorf("lease on %v expired after %v", ls.inst, f.opt.LeaseTimeout))
+				}
+			}
+		}
+	case ev.dones != nil:
+		f.handleDoneBatch(ev.dones, ev.node)
+	}
+	// Safety net mirroring the single-program loop's end condition: a
+	// session with no leases left and a finished TSU is done even if no
+	// ProgramDone result surfaced through this event.
+	for _, s := range f.snapshotSessions() {
+		if !s.closed && len(s.leases) == 0 && s.state.Finished() {
+			f.closeSession(s, nil)
+		}
+	}
+}
+
+// snapshotSessions copies the open-session set so handlers can iterate
+// while closeSession mutates the map.
+func (f *Fleet) snapshotSessions() []*session {
+	out := make([]*session, 0, len(f.sessions))
+	for _, s := range f.sessions {
+		out = append(out, s)
+	}
+	return out
+}
+
+// openSession admits one program: builds its TSU state, validates its
+// buffers, announces it to the workers and dispatches its Inlet.
+func (f *Fleet) openSession(id uint32, req *OpenReq) {
+	fail := func(err error) {
+		if req.OnDone != nil {
+			req.OnDone(nil, err)
+		}
+	}
+	if _, dup := f.sessions[id]; dup {
+		fail(fmt.Errorf("dist: program id %d already open", id))
+		return
+	}
+	for _, b := range req.Prog.Buffers {
+		if got := req.SVB.Bytes(b.Name); int64(len(got)) < b.Size {
+			fail(fmt.Errorf("dist: buffer %q registered with %d bytes, program declares %d", b.Name, len(got), b.Size))
+			return
+		}
+	}
+	state, err := tsu.NewState(req.Prog, f.totalKernels)
+	if err != nil {
+		fail(err)
+		return
+	}
+	if f.aliveN == 0 {
+		fail(fmt.Errorf("dist: all %d nodes lost; last failure: %w", f.n, f.lastLoss))
+		return
+	}
+	weight := req.Weight
+	if weight < 1 {
+		weight = 1
+	}
+	s := &session{
+		id:        id,
+		svb:       req.SVB,
+		state:     state,
+		stats:     &Stats{Nodes: make([]NodeStats, f.n)},
+		weight:    weight,
+		onDone:    req.OnDone,
+		leases:    make(map[core.Instance]*lease),
+		regions:   make(map[regionKey]*trackedRegion),
+		byBuf:     make(map[string][]*trackedRegion),
+		nodeCache: make([]map[regionKey]uint64, f.n),
+		start:     time.Now(),
+	}
+	for i := range s.nodeCache {
+		s.stats.Nodes[i].Kernels = f.nodeKernels[i]
+		if f.alive[i] {
+			s.nodeCache[i] = make(map[regionKey]uint64)
+		} else {
+			s.stats.Nodes[i].Lost = true
+			s.stats.Nodes[i].LostReason = "lost before program opened"
+		}
+	}
+	f.sessions[id] = s
+	// Announce the program before any of its Execs can be flushed; frame
+	// ordering on each link guarantees the worker builds the replica
+	// first, so no ack round trip gates dispatch.
+	for i, l := range f.links {
+		if !f.alive[i] {
+			continue
+		}
+		if err := l.sendOpenProg(id, req.Spec); err != nil {
+			f.markDead(i, fmt.Errorf("open program %d: %w", id, err))
+			if s.closed {
+				return // markDead lost the last node and failed the session
+			}
+		}
+	}
+	if err := f.dispatch(s, s.state.Start()); err != nil {
+		f.closeSession(s, err)
+	}
+}
+
+// closeSession finishes a session (err == nil: success), scrubs its
+// queued work from the shared per-node state, tells workers to drop the
+// replica, finalizes stats and fires the callback.
+func (f *Fleet) closeSession(s *session, err error) {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	delete(f.sessions, s.id)
+	for _, t := range s.timers {
+		t.Stop()
+	}
+	// Release the window slots its in-flight leases still occupy (dead
+	// nodes already zeroed theirs) and scrub its deferred and staged
+	// work so no further frames carry this program.
+	for _, ls := range s.leases {
+		if f.alive[ls.node] {
+			f.nodes[ls.node].inflight--
+			f.setInflight(ls.node)
+		}
+	}
+	for i := range f.nodes {
+		nio := &f.nodes[i]
+		if nio.deferred != nil {
+			delete(nio.deferred, s.id)
+			delete(nio.credit, s.id) // rr entry is dropped lazily by drainDeferred
+		}
+		if len(nio.batch) > 0 {
+			kept := nio.batch[:0]
+			for _, ex := range nio.batch {
+				if ex.Prog != s.id {
+					kept = append(kept, ex)
+				}
+			}
+			nio.batch = kept
+		}
+	}
+	for i, l := range f.links {
+		if !f.alive[i] {
+			continue
+		}
+		if cerr := l.sendCloseProg(s.id); cerr != nil {
+			f.markDead(i, fmt.Errorf("close program %d: %w", s.id, cerr))
+		}
+	}
+	s.stats.Elapsed = time.Since(s.start)
+	s.stats.TSU = s.state.Stats()
+	f.cTSUDec.Add(s.stats.TSU.Decrements)
+	f.cTSUFired.Add(s.stats.TSU.Fired)
+	if s.onDone != nil {
+		s.onDone(s.stats, err)
+	}
+	// Window slots freed above may unblock other sessions' deferred work.
+	for i := range f.nodes {
+		if f.alive[i] {
+			f.drainDeferred(i)
+		}
+	}
+}
+
+func (f *Fleet) setInflight(i int) {
+	f.inflightGauge[i].Set(int64(f.nodes[i].inflight))
+}
+
+func (f *Fleet) nodeOf(global tsu.KernelID) (node, local int) {
+	for i := len(f.kernelBase) - 1; i >= 0; i-- {
+		if int(global) >= f.kernelBase[i] {
+			return i, int(global) - f.kernelBase[i]
+		}
+	}
+	return 0, 0
+}
+
+func (f *Fleet) localFor(k tsu.KernelID, target int) int {
+	if node, local := f.nodeOf(k); node == target {
+		return local
+	}
+	if f.nodeKernels[target] <= 0 {
+		return 0
+	}
+	return int(k) % f.nodeKernels[target]
+}
+
+func (f *Fleet) nextAlive(from int) int {
+	for i := 1; i <= f.n; i++ {
+		if k := (from + i) % f.n; f.alive[k] {
+			return k
+		}
+	}
+	return -1
+}
+
+// complete applies one completion to a session's TSU state, exporting
+// the coordinator-side work as a TSUCommand event on the fleet's
+// coordinator lane (one past the last node).
+func (f *Fleet) complete(s *session, inst core.Instance, k tsu.KernelID) tsu.Result {
+	if f.sink == nil {
+		return s.state.Complete(inst, k)
+	}
+	t0 := f.sink.Now()
+	res := s.state.Complete(inst, k)
+	f.sink.Record(obs.Event{
+		Kind:  obs.TSUCommand,
+		Lane:  f.n,
+		Inst:  inst,
+		Start: t0,
+		Dur:   f.sink.Now() - t0,
+	})
+	return res
+}
+
+// buildExec assembles the Exec for an instance bound for target,
+// re-reading import regions from the session's canonical buffers; safe
+// to repeat because exports apply only at the coordinator and an
+// instance's imports were finalized before it became ready (the same
+// invariant lets Data alias the canonical buffer until the batch
+// flushes). Regions whose version matches what target already caches
+// for this session become refs. Returns the payload bytes actually
+// shipped. Errors are fatal program errors.
+func (f *Fleet) buildExec(s *session, inst core.Instance, target int) (Exec, int64, error) {
+	ex := Exec{Prog: s.id, Inst: inst}
+	var shipped int64
+	tpl := s.state.Template(inst.Thread)
+	if tpl != nil && tpl.Access != nil {
+		for _, r := range tpl.Access(inst.Ctx) {
+			if r.Write || r.Size <= 0 {
+				continue
+			}
+			b := s.svb.Bytes(r.Buffer)
+			if b == nil {
+				return ex, 0, fmt.Errorf("dist: import references unregistered buffer %q", r.Buffer)
+			}
+			rdata, err := readRegionRef(b, r)
+			if err != nil {
+				return ex, 0, err
+			}
+			if f.cacheOn && s.nodeCache[target] != nil {
+				key := rdata.key()
+				tr := s.regions[key]
+				if tr == nil {
+					tr = &trackedRegion{key: key, ver: 1}
+					s.regions[key] = tr
+					s.byBuf[key.buffer] = append(s.byBuf[key.buffer], tr)
+				}
+				rdata.Ver = tr.ver
+				if s.nodeCache[target][key] == tr.ver {
+					// Current on the worker: ship the reference only.
+					rdata.Ref = true
+					rdata.Data = nil
+					s.stats.RegionCacheHits++
+					s.stats.BytesSaved += rdata.Size
+					f.cCacheHits.Add(1)
+					f.cBytesSaved.Add(rdata.Size)
+				} else {
+					s.stats.RegionCacheMisses++
+					f.cCacheMisses.Add(1)
+					s.nodeCache[target][key] = tr.ver
+					shipped += rdata.Size
+				}
+			} else {
+				shipped += rdata.Size
+			}
+			ex.Imports = append(ex.Imports, rdata)
+		}
+	}
+	return ex, shipped, nil
+}
+
+// flushNode sends node i's accumulated ExecBatch as one frame; a
+// transport error fails the node over (the leases it carries are
+// re-scheduled by markDead). The frame is charged to the fleet's
+// traffic counters and to every session with an Exec aboard.
+func (f *Fleet) flushNode(i int) {
+	nio := &f.nodes[i]
+	if len(nio.batch) == 0 {
+		return
+	}
+	if !f.alive[i] {
+		nio.batch, nio.batchBytes = nio.batch[:0], 0
+		return
+	}
+	f.cBytesOut.Add(nio.batchBytes)
+	f.cMessages.Add(1)
+	f.cBatches.Add(1)
+	f.batchHist.Observe(int64(len(nio.batch)))
+	for j := range nio.batch {
+		p := nio.batch[j].Prog
+		first := true
+		for k := 0; k < j; k++ {
+			if nio.batch[k].Prog == p {
+				first = false
+				break
+			}
+		}
+		if !first {
+			continue
+		}
+		if s := f.sessions[p]; s != nil {
+			s.stats.Messages++
+			s.stats.Batches++
+		}
+	}
+	err := f.links[i].sendExecBatch(nio.batch)
+	nio.batch, nio.batchBytes = nio.batch[:0], 0
+	if err != nil {
+		f.markDead(i, fmt.Errorf("send: %w", err))
+	}
+}
+
+func (f *Fleet) flushAll() {
+	for i := range f.nodes {
+		f.flushNode(i)
+	}
+}
+
+// appendExecTo stages one built Exec into target's batch, flushing on
+// the size/count thresholds.
+func (f *Fleet) appendExecTo(target int, ex Exec, shipped int64) {
+	nio := &f.nodes[target]
+	nio.batch = append(nio.batch, ex)
+	nio.batchBytes += shipped
+	if len(nio.batch) >= f.opt.BatchCount || nio.batchBytes >= f.opt.BatchBytes {
+		f.flushNode(target)
+	}
+}
+
+// enqueueExec leases an instance onto target and stages its Exec.
+// Returns only fatal program errors; transport failures fail over
+// internally (callers must check s.closed afterwards).
+func (f *Fleet) enqueueExec(s *session, inst core.Instance, kern tsu.KernelID, target int) error {
+	ex, shipped, err := f.buildExec(s, inst, target)
+	if err != nil {
+		return err
+	}
+	ex.Kernel = f.localFor(kern, target)
+	ls := &lease{inst: inst, kern: kern, node: target, attempts: 1, wall: time.Now(), bytes: shipped}
+	if f.sink != nil {
+		ls.at = f.sink.Now()
+	}
+	s.leases[inst] = ls
+	s.stats.BytesOut += shipped
+	f.nodes[target].inflight++
+	f.setInflight(target)
+	f.appendExecTo(target, ex, shipped)
+	return nil
+}
+
+// deferReady parks a ready instance on target's per-session deferred
+// queue, entering the session into the node's WRR rotation.
+func (f *Fleet) deferReady(s *session, target int, rd tsu.Ready) {
+	nio := &f.nodes[target]
+	if nio.deferred == nil {
+		nio.deferred = make(map[uint32][]tsu.Ready)
+		nio.credit = make(map[uint32]int)
+	}
+	q := nio.deferred[s.id]
+	if len(q) == 0 {
+		nio.rr = append(nio.rr, s.id)
+		nio.credit[s.id] = s.weight
+	}
+	nio.deferred[s.id] = append(q, rd)
+}
+
+// drainDeferred refills node i's window from its deferred queues in
+// weighted round-robin over sessions: each session spends its weight in
+// credits, then rotates to the back, so a 10k-instance program and a
+// 10-instance program interleave on the same node instead of FIFO
+// head-of-line blocking.
+func (f *Fleet) drainDeferred(i int) {
+	nio := &f.nodes[i]
+	for f.alive[i] && nio.inflight < f.opt.Window && len(nio.rr) > 0 {
+		sid := nio.rr[0]
+		s := f.sessions[sid]
+		q := nio.deferred[sid]
+		if s == nil || s.closed || len(q) == 0 {
+			delete(nio.deferred, sid)
+			delete(nio.credit, sid)
+			nio.rr = nio.rr[1:]
+			continue
+		}
+		rd := q[0]
+		if len(q) == 1 {
+			delete(nio.deferred, sid)
+		} else {
+			nio.deferred[sid] = q[1:]
+		}
+		if err := f.enqueueExec(s, rd.Inst, rd.Kernel, i); err != nil {
+			f.closeSession(s, err)
+			continue
+		}
+		if s.closed {
+			continue
+		}
+		if _, still := nio.deferred[sid]; !still {
+			delete(nio.credit, sid)
+			nio.rr = nio.rr[1:]
+		} else if nio.credit[sid]--; nio.credit[sid] <= 0 {
+			nio.credit[sid] = s.weight
+			nio.rr = append(nio.rr[1:], sid)
+		}
+	}
+}
+
+// dispatch sends one application instance of s to its owner node (or a
+// surviving fallback) — deferring it when the node's in-flight window
+// is full — or processes a service instance (Inlet / Outlet) locally at
+// the TSU. Only fatal program errors are returned; transport failures
+// fail over internally. Callers must check s.closed afterwards
+// (ProgramDone closes the session from inside).
+func (f *Fleet) dispatch(s *session, rd tsu.Ready) error {
+	if s.closed {
+		return nil
+	}
+	if s.state.IsService(rd.Inst) {
+		res := f.complete(s, rd.Inst, rd.Kernel)
+		if res.ProgramDone {
+			f.closeSession(s, nil)
+			return nil
+		}
+		for _, next := range res.NewReady {
+			if err := f.dispatch(s, next); err != nil {
+				return err
+			}
+			if s.closed {
+				return nil
+			}
+		}
+		return nil
+	}
+	owner, _ := f.nodeOf(rd.Kernel)
+	target := owner
+	if !f.alive[target] {
+		target = f.nextAlive(owner)
+		if target < 0 {
+			return fmt.Errorf("dist: all %d nodes lost; cannot dispatch %v; last failure: %w", f.n, rd.Inst, f.lastLoss)
+		}
+	}
+	if f.nodes[target].inflight >= f.opt.Window {
+		f.deferReady(s, target, rd)
+		return nil
+	}
+	return f.enqueueExec(s, rd.Inst, rd.Kernel, target)
+}
+
+// scheduleRedispatch arms a backoff timer that re-queues the lease's
+// instance through the event loop. The lease generation guards the
+// timer: if the lease was completed or re-scheduled meanwhile, the
+// firing is stale and ignored.
+func (f *Fleet) scheduleRedispatch(s *session, ls *lease) error {
+	ls.attempts++
+	if ls.attempts > f.opt.MaxAttempts {
+		return fmt.Errorf("dist: instance %v exhausted %d dispatch attempts; last node loss: %v", ls.inst, f.opt.MaxAttempts, f.lastLoss)
+	}
+	f.genCtr++
+	ls.gen = f.genCtr
+	prog, inst, gen := s.id, ls.inst, ls.gen
+	delay := backoffDelay(ls.attempts-1, f.opt.RetryBase, f.opt.RetryCap)
+	s.timers = append(s.timers, time.AfterFunc(delay, func() {
+		f.push(fleetEvent{redispatch: true, prog: prog, inst: inst, gen: gen})
+	}))
+	return nil
+}
+
+// redispatch moves a drained lease to the next surviving node. It
+// bypasses the window (failover work must not starve behind new
+// dispatches) but rides the same batch path.
+func (f *Fleet) redispatch(prog uint32, inst core.Instance, gen int64) {
+	s := f.sessions[prog]
+	if s == nil {
+		return // session finished or failed meanwhile
+	}
+	ls := s.leases[inst]
+	if ls == nil || ls.gen != gen {
+		return // completed or re-scheduled meanwhile
+	}
+	target := f.nextAlive(ls.node)
+	if target < 0 {
+		f.closeSession(s, fmt.Errorf("dist: all %d nodes lost; cannot re-dispatch %v; last failure: %w", f.n, inst, f.lastLoss))
+		return
+	}
+	ex, shipped, err := f.buildExec(s, inst, target)
+	if err != nil {
+		f.closeSession(s, err)
+		return
+	}
+	ex.Kernel = f.localFor(ls.kern, target)
+	ls.node = target
+	ls.bytes = shipped
+	ls.wall = time.Now()
+	if f.sink != nil {
+		ls.at = f.sink.Now()
+	}
+	s.stats.Retries++
+	s.stats.BytesOut += shipped
+	f.cRetries.Add(1)
+	if !ls.failedAt.IsZero() {
+		f.foHist.ObserveDuration(time.Since(ls.failedAt))
+	}
+	f.nodes[target].inflight++
+	f.setInflight(target)
+	f.appendExecTo(target, ex, shipped)
+}
+
+// markDead declares a node lost: close its link (unblocking its
+// reader), drop its pending batch, drain every session's leases on it
+// into re-dispatch timers, re-route its deferred instances, and fail
+// every open session if no node survives.
+func (f *Fleet) markDead(node int, reason error) {
+	if node < 0 || node >= f.n || !f.alive[node] {
+		return
+	}
+	f.alive[node] = false
+	f.aliveN--
+	f.aliveAtom.Store(int64(f.aliveN))
+	f.lastLoss = fmt.Errorf("node %d: %w", node, reason)
+	f.cFailovers.Add(1)
+	f.aliveGauge[node].Set(0)
+	f.links[node].close() //nolint:errcheck
+	if f.sink != nil {
+		f.sink.Record(obs.Event{Kind: obs.DistFailover, Lane: node, Start: f.sink.Now(), Note: reason.Error()})
+	}
+	nio := &f.nodes[node]
+	nio.batch, nio.batchBytes, nio.inflight = nio.batch[:0], 0, 0
+	f.setInflight(node)
+	deferred := nio.deferred
+	nio.deferred, nio.rr, nio.credit = nil, nil, nil
+
+	failedAt := time.Now()
+	sess := f.snapshotSessions()
+	for _, s := range sess {
+		if s.closed {
+			continue
+		}
+		s.stats.Failovers++
+		s.stats.Nodes[node].Lost = true
+		s.stats.Nodes[node].LostReason = reason.Error()
+		s.nodeCache[node] = nil
+		for _, ls := range s.leases {
+			if ls.node != node {
+				continue
+			}
+			ls.failedAt = failedAt
+			if err := f.scheduleRedispatch(s, ls); err != nil {
+				f.closeSession(s, err)
+				break
+			}
+		}
+	}
+	if f.aliveN == 0 {
+		err := fmt.Errorf("dist: all %d nodes lost; last failure: %w", f.n, f.lastLoss)
+		for _, s := range sess {
+			if !s.closed {
+				f.closeSession(s, err)
+			}
+		}
+		return
+	}
+	for sid, q := range deferred {
+		s := f.sessions[sid]
+		if s == nil || s.closed {
+			continue
+		}
+		for _, rd := range q {
+			if err := f.dispatch(s, rd); err != nil {
+				f.closeSession(s, err)
+				break
+			}
+			if s.closed {
+				break
+			}
+		}
+	}
+}
+
+// handleDone validates one Done entry and applies it to its session.
+// Validation comes first: a buggy or byzantine worker must not panic
+// the coordinator or double-apply exports. A Done without a matching
+// (instance, node) lease is a late duplicate — counted and dropped; a
+// Done for an unknown program raced a session close — dropped too.
+func (f *Fleet) handleDone(d *Done, node int) {
+	s := f.sessions[d.Prog]
+	if s == nil {
+		f.cUnknownDones.Add(1)
+		return
+	}
+	ls := s.leases[d.Inst]
+	if ls == nil || ls.node != node {
+		// No live lease binds this (instance, node) pair: a late Done
+		// from a failed-over node, or an unsolicited one. Either way
+		// its exports must not re-apply.
+		s.stats.DupeDones++
+		f.cDupeDones.Add(1)
+		return
+	}
+	if d.Err != "" {
+		f.closeSession(s, errors.New("dist: "+d.Err))
+		return
+	}
+	if d.Kernel < 0 || d.Kernel >= f.nodeKernels[node] {
+		f.markDead(node, fmt.Errorf("dist: node %d reported out-of-range kernel %d (hosts %d)", node, d.Kernel, f.nodeKernels[node]))
+		return
+	}
+	var exportBytes int64
+	for i := range d.Exports {
+		rdata := &d.Exports[i]
+		// Fault attribution: an honest worker exports exactly the write
+		// regions the program's own Access model declares, so a bad
+		// export that matches the declaration is the *program* reaching
+		// outside its registered buffers (fail its session only — on a
+		// shared fleet one tenant's bad program must not cost a node),
+		// while one that doesn't match is a byzantine *node*.
+		b := s.svb.Bytes(rdata.Buffer)
+		if b == nil {
+			if s.declaresExport(d.Inst, rdata) {
+				f.closeSession(s, fmt.Errorf("dist: program %d export references buffer %q outside its namespace", d.Prog, rdata.Buffer))
+			} else {
+				f.markDead(node, fmt.Errorf("dist: node %d export references unregistered buffer %q", node, rdata.Buffer))
+			}
+			return
+		}
+		if rdata.Ref {
+			f.markDead(node, fmt.Errorf("dist: node %d shipped a cache reference as an export", node))
+			return
+		}
+		if rdata.Offset < 0 || rdata.Offset+int64(len(rdata.Data)) > int64(len(b)) {
+			if s.declaresExport(d.Inst, rdata) {
+				f.closeSession(s, fmt.Errorf("dist: program %d export [%d,%d) outside buffer %q (%d bytes)", d.Prog, rdata.Offset, rdata.Offset+int64(len(rdata.Data)), rdata.Buffer, len(b)))
+			} else {
+				f.markDead(node, fmt.Errorf("dist: node %d export [%d,%d) outside buffer %q (%d bytes)", node, rdata.Offset, rdata.Offset+int64(len(rdata.Data)), rdata.Buffer, len(b)))
+			}
+			return
+		}
+	}
+	delete(s.leases, d.Inst)
+	for _, rdata := range d.Exports {
+		writeRegion(s.svb.Bytes(rdata.Buffer), rdata) //nolint:errcheck // validated above
+		// The canonical bytes changed: invalidate every cached copy of
+		// any overlapping import region of this session.
+		for _, tr := range s.byBuf[rdata.Buffer] {
+			if tr.key.offset < rdata.Offset+int64(len(rdata.Data)) && rdata.Offset < tr.key.offset+tr.key.size {
+				tr.ver++
+			}
+		}
+		exportBytes += int64(len(rdata.Data))
+	}
+	s.stats.BytesIn += exportBytes
+	s.stats.Nodes[node].Executed++
+	f.cBytesIn.Add(exportBytes)
+	f.nodes[node].inflight--
+	f.setInflight(node)
+	dur := time.Since(ls.wall)
+	if f.sink != nil {
+		f.sink.Record(obs.Event{
+			Kind:  obs.DistRPC,
+			Lane:  node,
+			Inst:  d.Inst,
+			Start: ls.at,
+			Dur:   dur,
+			Bytes: ls.bytes + exportBytes,
+		})
+		// The same span doubles as the node lane's occupancy: remote
+		// body time plus transport, as observed here.
+		f.sink.Record(obs.Event{
+			Kind:  obs.ThreadComplete,
+			Lane:  node,
+			Inst:  d.Inst,
+			Start: ls.at,
+			Dur:   dur,
+		})
+	}
+	f.rpcHist.ObserveDuration(dur)
+	global := tsu.KernelID(f.kernelBase[node] + d.Kernel)
+	res := f.complete(s, d.Inst, global)
+	if res.ProgramDone {
+		f.closeSession(s, nil)
+	} else {
+		for _, next := range res.NewReady {
+			if err := f.dispatch(s, next); err != nil {
+				f.closeSession(s, err)
+				break
+			}
+			if s.closed {
+				break
+			}
+		}
+	}
+	f.drainDeferred(node)
+}
+
+// declaresExport reports whether the session's program itself declares
+// the export: a write region of inst's Access model with this exact
+// buffer, offset and length. Honest workers derive their exports from
+// the same (replica) Access model, so a declared-but-invalid export
+// convicts the program, not the node.
+func (s *session) declaresExport(inst core.Instance, rd *RegionData) bool {
+	tpl := s.state.Template(inst.Thread)
+	if tpl == nil || tpl.Access == nil {
+		return false
+	}
+	for _, r := range tpl.Access(inst.Ctx) {
+		if r.Write && r.Buffer == rd.Buffer && r.Offset == rd.Offset && r.Size == int64(len(rd.Data)) {
+			return true
+		}
+	}
+	return false
+}
+
+// handleDoneBatch applies a DoneBatch frame entry by entry. If an entry
+// gets the node declared dead (byzantine validation failure), the rest
+// of its batch is untrusted and dropped — the dead node's leases are
+// already re-scheduled. The frame is charged to every session it
+// carries completions for.
+func (f *Fleet) handleDoneBatch(dones []Done, node int) {
+	f.cMessages.Add(1)
+	for i := range dones {
+		p := dones[i].Prog
+		first := true
+		for k := 0; k < i; k++ {
+			if dones[k].Prog == p {
+				first = false
+				break
+			}
+		}
+		if !first {
+			continue
+		}
+		if s := f.sessions[p]; s != nil {
+			s.stats.Messages++
+		}
+	}
+	for i := range dones {
+		if !f.alive[node] {
+			return
+		}
+		f.handleDone(&dones[i], node)
+	}
+}

@@ -110,3 +110,76 @@ func RunLocalOpts(build func() (*core.Program, *cellsim.SharedVariableBuffer), n
 	}
 	return stats, svb, nil
 }
+
+// NewLocalFleet builds a loopback worker fleet inside this process:
+// `nodes` ServeFleet goroutines, each with `kernelsPerNode` Kernels,
+// resolving program specs through resolve, connected to a Fleet over
+// loopback TCP (opt.WrapConn wraps each coordinator-side connection —
+// the fault-injection hook). This is the self-hosted harness tfluxd and
+// the serve tests run on; production deployments run ServeFleet in
+// worker processes and NewFleet over real connections.
+//
+// The returned wait function blocks until every worker goroutine has
+// exited — call it after Fleet.Close — and returns the per-node worker
+// errors (nil entries for clean shutdowns).
+func NewLocalFleet(nodes, kernelsPerNode int, resolve Resolver, opt Options) (*Fleet, func() []error, error) {
+	if nodes < 1 {
+		nodes = 1
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, nil, err
+	}
+	defer ln.Close()
+
+	var wg sync.WaitGroup
+	workerErrs := make([]error, nodes)
+	conns := make([]net.Conn, 0, nodes)
+	// Pairwise dial/accept so worker i IS fleet node i (see RunLocalOpts).
+	for i := 0; i < nodes; i++ {
+		failSetup := func(err error) (*Fleet, func() []error, error) {
+			for _, c := range conns {
+				c.Close() //nolint:errcheck
+			}
+			ln.Close() //nolint:errcheck
+			wg.Wait()
+			return nil, nil, err
+		}
+		wconn, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			return failSetup(fmt.Errorf("dist: dial node %d: %w", i, err))
+		}
+		c, err := ln.Accept()
+		if err != nil {
+			wconn.Close() //nolint:errcheck
+			return failSetup(fmt.Errorf("dist: accept: %w", err))
+		}
+		wg.Add(1)
+		go func(i int, wconn net.Conn) {
+			defer wg.Done()
+			workerErrs[i] = ServeFleet(wconn, kernelsPerNode, resolve)
+		}(i, wconn)
+		if opt.WrapConn != nil {
+			c = opt.WrapConn(i, c)
+		}
+		conns = append(conns, c)
+	}
+
+	f, err := NewFleet(conns, opt)
+	if err != nil {
+		// NewFleet closed the connections; collect the workers.
+		wg.Wait()
+		errs := []error{err}
+		for i, werr := range workerErrs {
+			if werr != nil {
+				errs = append(errs, fmt.Errorf("dist: node %d: %w", i, werr))
+			}
+		}
+		return nil, nil, errors.Join(errs...)
+	}
+	wait := func() []error {
+		wg.Wait()
+		return workerErrs
+	}
+	return f, wait, nil
+}

@@ -47,8 +47,9 @@ type Hello struct {
 
 // Exec dispatches one DThread instance to a worker, with its import
 // regions (full bytes or cache references). Execs travel coalesced in
-// ExecBatch frames.
+// ExecBatch frames; batches may interleave Execs of different programs.
 type Exec struct {
+	Prog    uint32 // program (session) id the instance belongs to
 	Inst    core.Instance
 	Kernel  int // node-local kernel index
 	Imports []RegionData
@@ -57,12 +58,76 @@ type Exec struct {
 // Done reports a completed instance with the bytes of its export
 // regions. Dones travel coalesced in DoneBatch frames.
 type Done struct {
+	Prog    uint32 // program (session) id, echoed from the Exec
 	Inst    core.Instance
 	Kernel  int // node-local kernel index
 	Exports []RegionData
 	// Err carries a body panic or staging failure; non-empty aborts the
-	// run.
+	// owning program's run.
 	Err string
+}
+
+// ProgramSpec names a DDM program by construction recipe rather than by
+// value: DThread bodies are Go functions and cannot travel on the wire,
+// so both the daemon and its workers resolve the spec through a Resolver
+// registry and build structurally identical replicas locally.
+type ProgramSpec struct {
+	Name    string // workload/registry key, e.g. "MMULT"
+	Param   int    // problem-size parameter passed to the builder
+	Kernels int    // work-distribution hint used when building
+	Unroll  int    // DThread granularity (paper's loop-unrolling factor)
+}
+
+// OpenProg installs a program replica on a worker before any of its
+// Execs arrive. Frame ordering on the link guarantees the worker builds
+// the replica first, so no acknowledgement round trip gates dispatch;
+// ProgAck only reports resolution/build failures.
+type OpenProg struct {
+	Prog uint32
+	Spec ProgramSpec
+}
+
+// ProgAck is the worker's response to OpenProg. An empty Err means the
+// replica is installed; a non-empty Err fails the program's session.
+type ProgAck struct {
+	Prog uint32
+	Err  string
+}
+
+// Submit asks a tfluxd daemon to run one DDM program. Regions carry
+// initial canonical buffer contents to apply over the builder's output
+// (full payloads only — cache references are rejected at admission).
+type Submit struct {
+	Seq     uint64 // client-chosen id echoed in Accept/Reject
+	Tenant  string // quota/fairness accounting key
+	Spec    ProgramSpec
+	Regions []RegionData
+}
+
+// Accept admits a submission: Prog is the daemon-assigned program id
+// that the eventual Result frame will carry.
+type Accept struct {
+	Seq  uint64
+	Prog uint32
+}
+
+// Reject declines a submission at admission time; Reason carries the
+// quota/capacity/lint explanation (including ddmlint findings).
+type Reject struct {
+	Seq    uint64
+	Reason string
+}
+
+// Result reports a finished program back to the submitting client with
+// the final bytes of its declared buffers and its per-program failover
+// accounting.
+type Result struct {
+	Prog      uint32
+	Err       string // non-empty: the run failed after admission
+	ElapsedNS uint64 // run time on the fleet (queueing excluded)
+	Failovers uint64 // node losses observed while this program ran
+	Retries   uint64 // this program's re-dispatched instances
+	Regions   []RegionData
 }
 
 // link wraps a connection with the binary codec, a buffered reader, and
@@ -131,6 +196,58 @@ func (l *link) sendDoneBatch(dones []Done) error {
 }
 
 func (l *link) sendShutdown() error { return l.send(ftShutdown, nil) }
+
+func (l *link) sendOpenProg(prog uint32, spec ProgramSpec) error {
+	return l.send(ftOpenProg, func(b []byte) []byte {
+		b = appendUvarint(b, uint64(prog))
+		return appendSpec(b, &spec)
+	})
+}
+
+func (l *link) sendProgAck(prog uint32, errText string) error {
+	return l.send(ftProgAck, func(b []byte) []byte {
+		b = appendUvarint(b, uint64(prog))
+		return appendString(b, errText)
+	})
+}
+
+func (l *link) sendCloseProg(prog uint32) error {
+	return l.send(ftCloseProg, func(b []byte) []byte { return appendUvarint(b, uint64(prog)) })
+}
+
+func (l *link) sendSubmit(s *Submit) error {
+	return l.send(ftSubmit, func(b []byte) []byte {
+		b = appendUvarint(b, s.Seq)
+		b = appendString(b, s.Tenant)
+		b = appendSpec(b, &s.Spec)
+		return appendRegions(b, s.Regions)
+	})
+}
+
+func (l *link) sendAccept(seq uint64, prog uint32) error {
+	return l.send(ftAccept, func(b []byte) []byte {
+		b = appendUvarint(b, seq)
+		return appendUvarint(b, uint64(prog))
+	})
+}
+
+func (l *link) sendReject(seq uint64, reason string) error {
+	return l.send(ftReject, func(b []byte) []byte {
+		b = appendUvarint(b, seq)
+		return appendString(b, reason)
+	})
+}
+
+func (l *link) sendResult(res *Result) error {
+	return l.send(ftResult, func(b []byte) []byte {
+		b = appendUvarint(b, uint64(res.Prog))
+		b = appendString(b, res.Err)
+		b = appendUvarint(b, res.ElapsedNS)
+		b = appendUvarint(b, res.Failovers)
+		b = appendUvarint(b, res.Retries)
+		return appendRegions(b, res.Regions)
+	})
+}
 
 func (l *link) sendPing(seq int64) error {
 	return l.send(ftPing, func(b []byte) []byte { return appendUvarint(b, uint64(seq)) })

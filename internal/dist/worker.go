@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -21,35 +22,65 @@ type cacheEntry struct {
 	data []byte
 }
 
-// Serve runs one worker node: it builds the node's replica of the program
-// (bodies + buffers) with build, announces its kernel count, and executes
-// Exec requests until the coordinator sends Shutdown or the connection
-// drops. It returns nil on a clean shutdown.
-//
-// build must return a program structurally identical to the
-// coordinator's (same thread IDs, instances and Access models — typically
-// both sides call the same constructor) plus the registry of this node's
-// replica buffers.
-//
-// Imports are staged into the replica in frame order as ExecBatch frames
-// arrive; full payloads are also retained in the node's region cache so
-// later dispatches of an unchanged region arrive as a (key, version)
-// reference instead of the bytes.
+// Resolver turns a ProgramSpec from an OpenProg frame into this node's
+// replica of the program: the program structure (bodies included) plus
+// the registry of replica buffers. Both sides of a session resolve the
+// same spec, so the replicas are structurally identical to the
+// coordinator's program by construction.
+type Resolver func(spec ProgramSpec) (*core.Program, *cellsim.SharedVariableBuffer, error)
+
+// replica is one program's worker-side state: its templates, its
+// private buffer registry, its region cache, and the memory lock
+// serializing staging and bodies within the replica. Different
+// programs' replicas have independent locks, so one node can run
+// bodies of different programs concurrently.
+type replica struct {
+	templates map[core.ThreadID]*core.Template
+	bufs      *cellsim.SharedVariableBuffer
+	cache     map[regionKey]cacheEntry
+	mu        sync.Mutex
+}
+
+// workItem is one Exec queued to a kernel goroutine, resolved to its
+// replica at receive time (imports already staged).
+type workItem struct {
+	ex  Exec
+	rep *replica
+}
+
+// Serve runs one worker node for a single fixed program: build returns
+// the node's replica (bodies + buffers), and every OpenProg resolves to
+// a fresh call of it regardless of spec. This is the Coordinate-side
+// worker entry point; tfluxd fleets use ServeFleet with a real
+// Resolver. It returns nil on a clean shutdown.
 func Serve(conn net.Conn, kernels int, build func() (*core.Program, *cellsim.SharedVariableBuffer)) error {
+	return ServeFleet(conn, kernels, func(ProgramSpec) (*core.Program, *cellsim.SharedVariableBuffer, error) {
+		prog, bufs := build()
+		if prog == nil {
+			return nil, nil, errors.New("dist: program builder returned nil")
+		}
+		return prog, bufs, nil
+	})
+}
+
+// ServeFleet runs one worker node that can host many programs at once:
+// it announces its kernel count, installs a program replica per
+// OpenProg frame (resolving the spec through resolve), executes Execs
+// against the owning replica, and drops replicas on CloseProg. It runs
+// until the coordinator sends Shutdown or the connection drops,
+// returning nil on a clean shutdown.
+//
+// Imports are staged into the replica in frame order as ExecBatch
+// frames arrive; full payloads are also retained in the replica's
+// region cache so later dispatches of an unchanged region arrive as a
+// (key, version) reference instead of the bytes.
+func ServeFleet(conn net.Conn, kernels int, resolve Resolver) error {
 	if kernels < 1 {
 		kernels = 1
 	}
-	prog, bufs := build()
-	if err := prog.Validate(); err != nil {
-		return err
+	if resolve == nil {
+		return errors.New("dist: nil resolver")
 	}
-	templates := make(map[core.ThreadID]*core.Template)
-	for _, b := range prog.Blocks {
-		for _, t := range b.Templates {
-			templates[t.ID] = t
-		}
-	}
-
 	l := newLink(conn)
 	defer l.close() //nolint:errcheck // worker owns its end
 	if err := l.sendHello(kernels); err != nil {
@@ -58,8 +89,9 @@ func Serve(conn net.Conn, kernels int, build func() (*core.Program, *cellsim.Sha
 
 	// Completions funnel through one writer goroutine that coalesces
 	// everything currently ready into a single DoneBatch frame — the
-	// reply-side half of the batching protocol. It exits when dones is
-	// closed, which happens only after every kernel goroutine is gone.
+	// reply-side half of the batching protocol (batches may interleave
+	// programs). It exits when dones is closed, which happens only after
+	// every kernel goroutine is gone.
 	dones := make(chan *Done, 4*kernels+16)
 	go func() {
 		batch := make([]Done, 0, maxDoneBatch)
@@ -83,29 +115,27 @@ func Serve(conn net.Conn, kernels int, build func() (*core.Program, *cellsim.Sha
 
 	// Kernel goroutines: each drains its own queue, overlapping frame
 	// decode, staging and replies. Bodies and export collection hold the
-	// node's memory lock: imports are staged (also under the lock) when
-	// the frame arrives, and DThreads dispatched concurrently to one
-	// node may have overlapping regions (e.g. stencil halos), so an
-	// unlocked body could overlap another's staging write. Parallel
-	// execution is the business of multiple nodes; within a node the
-	// replica behaves like the single memory it is. The queue depth
-	// bounds how many dispatched-but-unstarted Execs a kernel can absorb
-	// before the recv loop blocks; a blocked recv loop cannot answer
-	// Pings, so the buffer is generous to keep heartbeat replies flowing
-	// under dispatch bursts.
-	var memMu sync.Mutex
-	cache := make(map[regionKey]cacheEntry)
+	// owning replica's memory lock: imports are staged (also under the
+	// lock) when the frame arrives, and DThreads dispatched concurrently
+	// to one node may have overlapping regions (e.g. stencil halos), so
+	// an unlocked body could overlap another's staging write. Within a
+	// replica the memory behaves like the single address space it is;
+	// different programs' replicas are disjoint and run concurrently.
+	// The queue depth bounds how many dispatched-but-unstarted Execs a
+	// kernel can absorb before the recv loop blocks; a blocked recv loop
+	// cannot answer Pings, so the buffer is generous to keep heartbeat
+	// replies flowing under dispatch bursts.
 	var kernelWG sync.WaitGroup
-	queues := make([]chan Exec, kernels)
+	queues := make([]chan workItem, kernels)
 	for k := range queues {
-		queues[k] = make(chan Exec, 256)
+		queues[k] = make(chan workItem, 256)
 		kernelWG.Add(1)
-		go func(q <-chan Exec) {
+		go func(q <-chan workItem) {
 			defer kernelWG.Done()
-			for ex := range q {
-				memMu.Lock()
-				done := execOne(templates, bufs, ex)
-				memMu.Unlock()
+			for w := range q {
+				w.rep.mu.Lock()
+				done := execOne(w.rep, w.ex)
+				w.rep.mu.Unlock()
 				dones <- done
 			}
 		}(queues[k])
@@ -114,47 +144,21 @@ func Serve(conn net.Conn, kernels int, build func() (*core.Program, *cellsim.Sha
 		for _, q := range queues {
 			close(q)
 		}
-		// Serve must not block on in-flight bodies (the coordinator may
-		// have abandoned this node mid-execution); the closer goroutine
-		// retires the writer once the last kernel goroutine drains.
+		// ServeFleet must not block on in-flight bodies (the coordinator
+		// may have abandoned this node mid-execution); the closer
+		// goroutine retires the writer once the last kernel goroutine
+		// drains.
 		go func() {
 			kernelWG.Wait()
 			close(dones)
 		}()
 	}()
 
-	// stageImports applies one Exec's import regions to the replica in
-	// frame order, resolving cache references and retaining versioned
-	// full payloads. A staging failure is reported as that instance's
-	// Done and the body is skipped.
-	stageImports := func(ex *Exec) error {
-		for i := range ex.Imports {
-			rd := &ex.Imports[i]
-			b := bufs.Bytes(rd.Buffer)
-			if b == nil {
-				return fmt.Errorf("import references unregistered buffer %q", rd.Buffer)
-			}
-			if rd.Ref {
-				ent, ok := cache[rd.key()]
-				if !ok || ent.ver != rd.Ver {
-					return fmt.Errorf("cache reference %q[%d,+%d) v%d not cached here (coordinator/worker cache out of sync)", rd.Buffer, rd.Offset, rd.Size, rd.Ver)
-				}
-				if err := writeRegion(b, RegionData{Buffer: rd.Buffer, Offset: rd.Offset, Data: ent.data}); err != nil {
-					return err
-				}
-				continue
-			}
-			if err := writeRegion(b, *rd); err != nil {
-				return err
-			}
-			if rd.Ver != 0 {
-				// The decoded payload aliases the frame buffer, which the
-				// worker owns once decoded — safe to retain without a copy.
-				cache[rd.key()] = cacheEntry{ver: rd.Ver, data: rd.Data}
-			}
-		}
-		return nil
-	}
+	// replicas is touched only by this recv loop; kernel goroutines get
+	// replica pointers through their queues, so a CloseProg delete never
+	// races an in-flight body.
+	replicas := make(map[uint32]*replica)
+	reps := make([]*replica, 0, 64) // per-frame staging scratch
 
 	for {
 		f, err := l.recv()
@@ -162,19 +166,59 @@ func Serve(conn net.Conn, kernels int, build func() (*core.Program, *cellsim.Sha
 			return fmt.Errorf("dist worker: %w", err)
 		}
 		switch f.typ {
+		case ftOpenProg:
+			prog, bufs, err := resolve(f.open.Spec)
+			if err == nil && prog == nil {
+				err = errors.New("dist: resolver returned nil program")
+			}
+			if err == nil {
+				err = prog.Validate()
+			}
+			if err != nil {
+				l.sendProgAck(f.open.Prog, err.Error()) //nolint:errcheck // conn errors surface in recv
+				continue
+			}
+			templates := make(map[core.ThreadID]*core.Template)
+			for _, b := range prog.Blocks {
+				for _, t := range b.Templates {
+					templates[t.ID] = t
+				}
+			}
+			replicas[f.open.Prog] = &replica{
+				templates: templates,
+				bufs:      bufs,
+				cache:     make(map[regionKey]cacheEntry),
+			}
+			l.sendProgAck(f.open.Prog, "") //nolint:errcheck // conn errors surface in recv
+		case ftCloseProg:
+			delete(replicas, f.closeProg)
 		case ftExecBatch:
-			memMu.Lock()
+			reps = reps[:0]
 			for i := range f.execs {
 				ex := &f.execs[i]
-				if err := stageImports(ex); err != nil {
-					dones <- &Done{Inst: ex.Inst, Kernel: ex.Kernel, Err: err.Error()}
+				rep := replicas[ex.Prog]
+				if rep == nil {
+					// The program was closed (or never opened here): the
+					// coordinator's session is gone and will drop this
+					// Done, but reply rather than stall the lease.
+					dones <- &Done{Prog: ex.Prog, Inst: ex.Inst, Kernel: ex.Kernel, Err: fmt.Sprintf("unknown program %d on worker", ex.Prog)}
+					ex.Kernel = -1 // skip the body
+					reps = append(reps, nil)
+					continue
+				}
+				rep.mu.Lock()
+				err := stageImports(rep, ex)
+				rep.mu.Unlock()
+				if err != nil {
+					dones <- &Done{Prog: ex.Prog, Inst: ex.Inst, Kernel: ex.Kernel, Err: err.Error()}
 					ex.Kernel = -1 // staged nothing; skip the body
+					reps = append(reps, nil)
 					continue
 				}
 				// Imports are staged; the queued Exec only carries identity.
 				ex.Imports = nil
+				reps = append(reps, rep)
 			}
-			memMu.Unlock()
 			for i := range f.execs {
 				ex := f.execs[i]
 				if ex.Kernel == -1 {
@@ -184,7 +228,7 @@ func Serve(conn net.Conn, kernels int, build func() (*core.Program, *cellsim.Sha
 				if k < 0 || k >= kernels {
 					k = 0
 				}
-				queues[k] <- ex
+				queues[k] <- workItem{ex: ex, rep: reps[i]}
 			}
 		case ftPing:
 			l.sendPong(f.seq) //nolint:errcheck // conn errors surface in recv
@@ -196,16 +240,49 @@ func Serve(conn net.Conn, kernels int, build func() (*core.Program, *cellsim.Sha
 	}
 }
 
+// stageImports applies one Exec's import regions to its replica in
+// frame order, resolving cache references and retaining versioned full
+// payloads. Callers hold the replica's memory lock. A staging failure
+// is reported as that instance's Done and the body is skipped.
+func stageImports(rep *replica, ex *Exec) error {
+	for i := range ex.Imports {
+		rd := &ex.Imports[i]
+		b := rep.bufs.Bytes(rd.Buffer)
+		if b == nil {
+			return fmt.Errorf("import references unregistered buffer %q", rd.Buffer)
+		}
+		if rd.Ref {
+			ent, ok := rep.cache[rd.key()]
+			if !ok || ent.ver != rd.Ver {
+				return fmt.Errorf("cache reference %q[%d,+%d) v%d not cached here (coordinator/worker cache out of sync)", rd.Buffer, rd.Offset, rd.Size, rd.Ver)
+			}
+			if err := writeRegion(b, RegionData{Buffer: rd.Buffer, Offset: rd.Offset, Data: ent.data}); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := writeRegion(b, *rd); err != nil {
+			return err
+		}
+		if rd.Ver != 0 {
+			// The decoded payload aliases the frame buffer, which the
+			// worker owns once decoded — safe to retain without a copy.
+			rep.cache[rd.key()] = cacheEntry{ver: rd.Ver, data: rd.Data}
+		}
+	}
+	return nil
+}
+
 // execOne runs the body (imports were staged at receive time) and
-// collects exports from the replica.
-func execOne(templates map[core.ThreadID]*core.Template, bufs *cellsim.SharedVariableBuffer, ex Exec) (done *Done) {
-	done = &Done{Inst: ex.Inst, Kernel: ex.Kernel}
+// collects exports from the replica. Callers hold the replica's lock.
+func execOne(rep *replica, ex Exec) (done *Done) {
+	done = &Done{Prog: ex.Prog, Inst: ex.Inst, Kernel: ex.Kernel}
 	defer func() {
 		if p := recover(); p != nil {
 			done.Err = fmt.Sprintf("DThread %v panicked on worker: %v", ex.Inst, p)
 		}
 	}()
-	tpl := templates[ex.Inst.Thread]
+	tpl := rep.templates[ex.Inst.Thread]
 	if tpl == nil {
 		done.Err = fmt.Sprintf("unknown thread %d (worker program out of sync)", ex.Inst.Thread)
 		return done
@@ -219,7 +296,7 @@ func execOne(templates map[core.ThreadID]*core.Template, bufs *cellsim.SharedVar
 			if !r.Write || r.Size <= 0 {
 				continue
 			}
-			b := bufs.Bytes(r.Buffer)
+			b := rep.bufs.Bytes(r.Buffer)
 			if b == nil {
 				done.Err = fmt.Sprintf("export references unregistered buffer %q", r.Buffer)
 				return done

@@ -1,0 +1,158 @@
+package exp
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"tflux/internal/dist"
+	"tflux/internal/serve"
+	"tflux/internal/workload"
+)
+
+// Serve measures the service layer (tfluxd) end to end: a stream of
+// small TRAPEZ programs submitted by concurrent tenants onto one shared
+// 4-node fleet, reporting sustained programs/sec and the daemon's own
+// admission-to-completion latency quantiles. Row reuse follows Dist's
+// convention of carrying protocol-cost quantities in the timing
+// columns: Seq is the p50 latency bound, Par the p99 (seconds), and
+// Speedup the sustained programs/sec. Each tenant's final outcome is
+// verified against a local replica job (deterministic inputs make the
+// replica byte-comparable); any program failure aborts the experiment.
+func Serve(o Options) ([]Row, error) {
+	total := 1000
+	if o.Quick {
+		total = 150
+	}
+	const (
+		tenants        = 4
+		window         = 8
+		nodes          = 4
+		kernelsPerNode = 2
+	)
+	ws, err := workload.ByName("TRAPEZ")
+	if err != nil {
+		return nil, err
+	}
+	sizes, _ := ws.Sizes(workload.Native)
+	param := sizes[workload.Small]
+	spec := dist.ProgramSpec{Name: ws.Name, Param: param, Kernels: nodes * kernelsPerNode, Unroll: 512}
+
+	resolver := serve.WorkloadResolver()
+	flt, wait, err := dist.NewLocalFleet(nodes, kernelsPerNode, resolver, dist.Options{Metrics: o.Metrics})
+	if err != nil {
+		return nil, err
+	}
+	srv, err := serve.New(flt, serve.Options{
+		Resolver:    resolver,
+		MaxPrograms: 2 * nodes,
+		MaxQueue:    tenants * window,
+		TenantQuota: 2 * window,
+		Metrics:     o.Metrics,
+	})
+	if err != nil {
+		flt.Close() //nolint:errcheck
+		wait()
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		srv.Close() //nolint:errcheck
+		flt.Close() //nolint:errcheck
+		wait()
+		return nil, err
+	}
+	go srv.Serve(ln) //nolint:errcheck // returns when ln closes
+	defer func() {
+		ln.Close()  //nolint:errcheck
+		srv.Close() //nolint:errcheck
+		flt.Close() //nolint:errcheck
+		wait()
+	}()
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, tenants)
+	perTenant := total / tenants
+	for ten := 0; ten < tenants; ten++ {
+		wg.Add(1)
+		go func(ten int) {
+			defer wg.Done()
+			c, err := serve.Dial(ln.Addr().String(), fmt.Sprintf("tenant-%d", ten))
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer c.Close() //nolint:errcheck
+			var last *serve.Outcome
+			inflight := make([]*serve.Pending, 0, window)
+			drainOne := func() error {
+				p := inflight[0]
+				inflight = inflight[1:]
+				out, err := p.Wait()
+				if err != nil {
+					return err
+				}
+				if out.Err != "" {
+					return fmt.Errorf("program failed: %s", out.Err)
+				}
+				last = out
+				return nil
+			}
+			for i := 0; i < perTenant; i++ {
+				p, err := c.Submit(spec, nil)
+				if err != nil {
+					errCh <- fmt.Errorf("tenant %d: %w", ten, err)
+					return
+				}
+				inflight = append(inflight, p)
+				if len(inflight) == window {
+					if err := drainOne(); err != nil {
+						errCh <- fmt.Errorf("tenant %d: %w", ten, err)
+						return
+					}
+				}
+			}
+			for len(inflight) > 0 {
+				if err := drainOne(); err != nil {
+					errCh <- fmt.Errorf("tenant %d: %w", ten, err)
+					return
+				}
+			}
+			// Verify the tenant's final outcome against a local replica.
+			job := ws.Make(param)
+			if _, err := job.Build(spec.Kernels, spec.Unroll); err != nil {
+				errCh <- err
+				return
+			}
+			svb := job.SharedBuffers()
+			for _, r := range last.Regions {
+				if dst := svb.Bytes(r.Buffer); dst != nil && int64(len(dst)) >= r.Offset+int64(len(r.Data)) {
+					copy(dst[r.Offset:], r.Data)
+				}
+			}
+			if err := job.Verify(); err != nil {
+				errCh <- fmt.Errorf("tenant %d: %w", ten, err)
+			}
+		}(ten)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		return nil, err
+	}
+
+	snap := srv.Snapshot()
+	if snap.Completed != int64(tenants*perTenant) || snap.Failed != 0 {
+		return nil, fmt.Errorf("serve: completed/failed = %d/%d, want %d/0", snap.Completed, snap.Failed, tenants*perTenant)
+	}
+	o.progress("serve: %d programs from %d tenants over %d×%d fleet: %.1f programs/sec, p50 ≤ %v, p99 ≤ %v",
+		snap.Completed, tenants, nodes, kernelsPerNode, snap.ProgramsPerSec, snap.P50, snap.P99)
+	return []Row{{
+		Experiment: "serve", Benchmark: ws.Name, Platform: "tfluxd",
+		Size: ws.SizeLabel(param), Class: workload.Small,
+		Kernels: spec.Kernels, Unroll: spec.Unroll,
+		Seq: snap.P50.Seconds(), Par: snap.P99.Seconds(),
+		Unit: "s (p50/p99)", Mode: "service",
+		Speedup: snap.ProgramsPerSec,
+	}}, nil
+}

@@ -38,6 +38,15 @@ const (
 	// a worker node dead and drains its leases; Note carries the
 	// detection reason.
 	DistFailover
+	// ServeAdmit marks a tfluxd daemon admitting one program submission;
+	// Note carries "tenant/name".
+	ServeAdmit
+	// ServeReject marks a declined submission; Note carries the reason.
+	ServeReject
+	// ServeResult spans one admitted program from submission to result
+	// delivery (the admission-to-completion latency); Note carries
+	// "tenant/name".
+	ServeResult
 
 	numKinds
 )
@@ -61,6 +70,12 @@ func (k Kind) String() string {
 		return "stall"
 	case DistFailover:
 		return "failover"
+	case ServeAdmit:
+		return "admit"
+	case ServeReject:
+		return "reject"
+	case ServeResult:
+		return "result"
 	}
 	return "unknown"
 }

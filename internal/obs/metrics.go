@@ -10,24 +10,44 @@ import (
 	"time"
 )
 
-// Counter is a monotonically increasing atomic counter.
+// Counter is a monotonically increasing atomic counter. All methods are
+// nil-receiver-safe, so code holding a counter from a nil Registry can
+// update it unconditionally.
 type Counter struct{ v atomic.Int64 }
 
 // Inc adds one.
-func (c *Counter) Inc() { c.v.Add(1) }
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
 
 // Add adds n.
-func (c *Counter) Add(n int64) { c.v.Add(n) }
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
 
 // Set overwrites the value (used to publish end-of-run totals computed
 // elsewhere, e.g. tsu.Stats).
-func (c *Counter) Set(n int64) { c.v.Store(n) }
+func (c *Counter) Set(n int64) {
+	if c != nil {
+		c.v.Store(n)
+	}
+}
 
 // Value returns the current count.
-func (c *Counter) Value() int64 { return c.v.Load() }
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
 
 // Gauge is an atomic instantaneous value that also tracks its high-water
-// mark (e.g. TSU ready-queue depth).
+// mark (e.g. TSU ready-queue depth). Update methods are
+// nil-receiver-safe, matching Counter.
 type Gauge struct {
 	v   atomic.Int64
 	max atomic.Int64
@@ -35,12 +55,20 @@ type Gauge struct {
 
 // Set overwrites the value and updates the high-water mark.
 func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
 	g.v.Store(v)
 	g.bumpMax(v)
 }
 
 // Add moves the value by delta and updates the high-water mark.
-func (g *Gauge) Add(delta int64) { g.bumpMax(g.v.Add(delta)) }
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.bumpMax(g.v.Add(delta))
+}
 
 func (g *Gauge) bumpMax(v int64) {
 	for {
@@ -73,8 +101,11 @@ func newHistogram(bounds []int64) *Histogram {
 	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
 }
 
-// Observe records one sample.
+// Observe records one sample. Nil-receiver-safe.
 func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
 	i, j := 0, len(h.bounds)
 	for i < j {
 		m := (i + j) / 2
@@ -232,6 +263,16 @@ func (r *Registry) rows() []metricRow {
 	}
 	sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
 	return rows
+}
+
+// QuantileBound returns the smallest bucket upper bound covering the
+// given quantile of samples — the bucketed estimate service dashboards
+// report as p50/p99. Nil-receiver-safe.
+func (h *Histogram) QuantileBound(q float64) int64 {
+	if h == nil {
+		return 0
+	}
+	return h.quantileBound(q)
 }
 
 // quantileBound returns the smallest bucket upper bound covering the

@@ -1,0 +1,105 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+)
+
+// arenaAlign is the allocation granularity. Rounding every block up to
+// a cache line keeps neighboring tenants' buffers off shared lines and
+// keeps the free list short.
+const arenaAlign = 64
+
+// span is one free extent, [off, off+size).
+type span struct {
+	off, size int64
+}
+
+// arena is the daemon's canonical-buffer memory: one backing slice from
+// which every admitted program's coordinator-side buffers are carved.
+// Each allocation is handed out as a capped three-index subslice, so a
+// program's buffer physically cannot index into a neighbor's bytes —
+// the isolation holds even against code that ignores every declared
+// bound, because the capacity itself ends at the allocation.
+//
+// The free list is first-fit with coalescing on release: admission
+// traffic is thousands of short-lived programs with a handful of
+// buffers each, so the list stays short and first-fit keeps the arena
+// compact. Not safe for concurrent use; the scheduler owns it.
+type arena struct {
+	buf  []byte
+	free []span // sorted by offset, adjacent spans coalesced
+}
+
+func newArena(size int64) *arena {
+	if size < arenaAlign {
+		size = arenaAlign
+	}
+	return &arena{buf: make([]byte, size), free: []span{{0, size}}}
+}
+
+func alignUp(n int64) int64 {
+	if n < 1 {
+		n = 1
+	}
+	return (n + arenaAlign - 1) &^ (arenaAlign - 1)
+}
+
+// alloc carves n bytes (rounded up to the alignment) out of the first
+// free span that fits, returning the capped subslice and its offset
+// (the release handle). ok is false when no span fits.
+func (a *arena) alloc(n int64) (b []byte, off int64, ok bool) {
+	n = alignUp(n)
+	for i := range a.free {
+		s := &a.free[i]
+		if s.size < n {
+			continue
+		}
+		off = s.off
+		s.off += n
+		s.size -= n
+		if s.size == 0 {
+			a.free = append(a.free[:i], a.free[i+1:]...)
+		}
+		return a.buf[off : off+n : off+n], off, true
+	}
+	return nil, 0, false
+}
+
+// release returns the n bytes at off (as rounded by alloc) to the free
+// list, coalescing with adjacent spans. Releasing a region that
+// overlaps the free list is a bookkeeping bug and panics.
+func (a *arena) release(off, n int64) {
+	n = alignUp(n)
+	i := sort.Search(len(a.free), func(i int) bool { return a.free[i].off >= off })
+	if (i > 0 && a.free[i-1].off+a.free[i-1].size > off) ||
+		(i < len(a.free) && off+n > a.free[i].off) {
+		panic(fmt.Sprintf("serve: arena release [%d,+%d) overlaps free list", off, n))
+	}
+	// Merge with the right neighbor, then the left.
+	if i < len(a.free) && off+n == a.free[i].off {
+		a.free[i].off = off
+		a.free[i].size += n
+	} else {
+		a.free = append(a.free, span{})
+		copy(a.free[i+1:], a.free[i:])
+		a.free[i] = span{off, n}
+	}
+	if i > 0 && a.free[i-1].off+a.free[i-1].size == a.free[i].off {
+		a.free[i-1].size += a.free[i].size
+		a.free = append(a.free[:i], a.free[i+1:]...)
+	}
+}
+
+// available returns the total free bytes (an upper bound on what a
+// multi-buffer allocation can get; fragmentation may deny less).
+func (a *arena) available() int64 {
+	var total int64
+	for _, s := range a.free {
+		total += s.size
+	}
+	return total
+}
+
+// size returns the arena's capacity.
+func (a *arena) size() int64 { return int64(len(a.buf)) }

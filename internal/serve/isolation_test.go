@@ -1,0 +1,120 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+
+	"tflux/internal/dist"
+)
+
+// TestIsolationAdmissionReject: a program whose Access model reaches
+// for a buffer outside its declared namespace is rejected at admission,
+// with the ddmlint finding in the Reject frame — it never runs, so the
+// attack never touches the fleet.
+func TestIsolationAdmissionReject(t *testing.T) {
+	tw := newTestWorkloads()
+	d := startDaemon(t, 2, 1, tw, Options{}, dist.Options{})
+	defer d.stop(t)
+	c := d.dial(t, "mallory")
+	defer c.Close() //nolint:errcheck
+
+	p, err := c.Submit(dist.ProgramSpec{Name: "evil"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = p.Wait()
+	if err == nil {
+		t.Fatal("evil program was admitted")
+	}
+	for _, want := range []string{"ddmlint", "victim"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("rejection should carry the lint finding (%q): %v", want, err)
+		}
+	}
+	snap := d.srv.Snapshot()
+	if snap.Rejected != 1 || snap.Accepted != 0 {
+		t.Fatalf("rejected/accepted = %d/%d, want 1/0", snap.Rejected, snap.Accepted)
+	}
+}
+
+// TestIsolationRuntimeGuard proves the defense in depth behind the
+// lint gate: with admission linting disabled, the evil program runs —
+// and its out-of-namespace export still cannot apply, because the
+// coordinator's per-program buffer namespace has nowhere to put it.
+// The program fails; the node it ran on survives (one tenant's bad
+// program must not cost the shared fleet a worker); and a concurrent
+// well-behaved tenant's result is byte-identical to the expected one.
+func TestIsolationRuntimeGuard(t *testing.T) {
+	tw := newTestWorkloads()
+	d := startDaemon(t, 2, 2, tw, Options{DisableLint: true}, dist.Options{})
+	defer d.stop(t)
+	good := d.dial(t, "alice")
+	defer good.Close() //nolint:errcheck
+	mal := d.dial(t, "mallory")
+	defer mal.Close() //nolint:errcheck
+
+	// Pin a well-behaved program in the running state so the attack
+	// runs concurrently with it.
+	in := make([]byte, 32)
+	for i := range in {
+		in[i] = byte(100 + i)
+	}
+	pg, err := good.Submit(dist.ProgramSpec{Name: "gated", Param: 32},
+		[]dist.RegionData{{Buffer: "in", Offset: 0, Data: in, Size: 32}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitSnapshot(t, d.srv, "victim running", func(s Snapshot) bool { return s.Running == 1 })
+
+	pe, err := mal.Submit(dist.ProgramSpec{Name: "evil"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := pe.Wait()
+	if err != nil {
+		t.Fatalf("evil submission should be admitted with lint off, got %v", err)
+	}
+	if !strings.Contains(out.Err, "outside its namespace") {
+		t.Fatalf("evil program outcome: want namespace violation, got %+v", out)
+	}
+	if alive := d.srv.Snapshot().AliveNodes; alive != 2 {
+		t.Fatalf("alive nodes = %d after namespace violation, want 2 (program faults must not kill nodes)", alive)
+	}
+
+	tw.release()
+	og, err := pg.Wait()
+	if err != nil || og.Err != "" {
+		t.Fatalf("victim program: %v / %+v", err, og)
+	}
+	wantScaled(t, in, og.Buffer("out"), "victim after attack")
+	if og.Failovers != 0 {
+		t.Fatalf("victim charged %d failovers for the attacker's fault", og.Failovers)
+	}
+}
+
+// TestIsolationBoundsGuard: the second runtime guard — an export that
+// names the program's own buffer but overflows its declared size is
+// also rejected program-scoped (the arena carving is capped, so even a
+// guard bug could not reach a neighbor's bytes).
+func TestIsolationBoundsGuard(t *testing.T) {
+	tw := newTestWorkloads()
+	d := startDaemon(t, 1, 1, tw, Options{DisableLint: true}, dist.Options{})
+	defer d.stop(t)
+	c := d.dial(t, "mallory")
+	defer c.Close() //nolint:errcheck
+
+	p, err := c.Submit(dist.ProgramSpec{Name: "overflow"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := p.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.Err, "outside buffer") {
+		t.Fatalf("overflow outcome: want bounds violation, got %+v", out)
+	}
+	if alive := d.srv.Snapshot().AliveNodes; alive != 1 {
+		t.Fatalf("alive nodes = %d, want 1", alive)
+	}
+}

@@ -1,0 +1,147 @@
+package serve
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"tflux/internal/dist"
+)
+
+// TestSoak drives the daemon the way the service is meant to be run:
+// four tenants pipelining a thousand small programs onto one shared
+// 4-node fleet, with one worker severed mid-soak. Every program must
+// complete with byte-identical output, and the run reports sustained
+// programs/sec plus admission-to-completion latency quantiles from the
+// daemon's own metrics. CI runs this under -race as the tfluxd-soak
+// job; EXPERIMENTS.md records the numbers from a full run.
+func TestSoak(t *testing.T) {
+	total := 1000
+	if testing.Short() {
+		total = 160
+	}
+	const (
+		tenants = 4
+		window  = 8 // submissions each tenant keeps in flight
+	)
+
+	tw := newTestWorkloads()
+	var severMu sync.Mutex
+	var severConn net.Conn
+	d := startDaemon(t, 4, 2, tw, Options{MaxPrograms: 8, MaxQueue: tenants * window, TenantQuota: 2 * window},
+		dist.Options{WrapConn: func(node int, c net.Conn) net.Conn {
+			if node == 2 {
+				severMu.Lock()
+				severConn = c
+				severMu.Unlock()
+			}
+			return c
+		}})
+	defer func() {
+		for i, err := range d.stop(t) {
+			if err != nil && i != 2 {
+				t.Errorf("surviving node %d: %v", i, err)
+			}
+		}
+	}()
+
+	// Sever node 2 once half the programs have completed.
+	var completed atomic.Int64
+	var severOnce sync.Once
+	sever := func() {
+		severOnce.Do(func() {
+			severMu.Lock()
+			conn := severConn
+			severMu.Unlock()
+			conn.Close() //nolint:errcheck
+		})
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, tenants)
+	perTenant := total / tenants
+	for ten := 0; ten < tenants; ten++ {
+		wg.Add(1)
+		go func(ten int) {
+			defer wg.Done()
+			c := d.dial(t, fmt.Sprintf("tenant-%d", ten))
+			defer c.Close() //nolint:errcheck
+
+			inflight := make([]*Pending, 0, window)
+			ins := make([][]byte, 0, window)
+			drainOne := func() error {
+				p, in := inflight[0], ins[0]
+				inflight, ins = inflight[1:], ins[1:]
+				out, err := p.Wait()
+				if err != nil {
+					return err
+				}
+				if out.Err != "" {
+					return fmt.Errorf("program failed: %s", out.Err)
+				}
+				got := out.Buffer("out")
+				for i := range in {
+					if got[i] != in[i]*3+7 {
+						return fmt.Errorf("out[%d] = %d, want %d", i, got[i], in[i]*3+7)
+					}
+				}
+				if completed.Add(1) == int64(total/2) {
+					sever()
+				}
+				return nil
+			}
+			for i := 0; i < perTenant; i++ {
+				in := make([]byte, 24)
+				for j := range in {
+					in[j] = byte(ten*perTenant + i + j)
+				}
+				p, err := c.Submit(dist.ProgramSpec{Name: "scale", Param: 24},
+					[]dist.RegionData{{Buffer: "in", Offset: 0, Data: in, Size: 24}})
+				if err != nil {
+					errs <- fmt.Errorf("tenant %d: submit %d: %w", ten, i, err)
+					return
+				}
+				inflight = append(inflight, p)
+				ins = append(ins, in)
+				if len(inflight) == window {
+					if err := drainOne(); err != nil {
+						errs <- fmt.Errorf("tenant %d: %w", ten, err)
+						return
+					}
+				}
+			}
+			for len(inflight) > 0 {
+				if err := drainOne(); err != nil {
+					errs <- fmt.Errorf("tenant %d: %w", ten, err)
+					return
+				}
+			}
+		}(ten)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	snap := d.srv.Snapshot()
+	if snap.Completed != int64(total) || snap.Failed != 0 || snap.Rejected != 0 {
+		t.Fatalf("completed/failed/rejected = %d/%d/%d, want %d/0/0",
+			snap.Completed, snap.Failed, snap.Rejected, total)
+	}
+	if snap.AliveNodes != 3 {
+		t.Fatalf("alive nodes = %d, want 3 (one severed mid-soak)", snap.AliveNodes)
+	}
+	var sb strings.Builder
+	if err := d.srv.WriteDashboard(&sb); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("soak: %d programs, %d tenants, window %d, node 2 severed at %d completions\n%s",
+		total, tenants, window, total/2, sb.String())
+}
