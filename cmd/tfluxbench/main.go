@@ -11,6 +11,7 @@
 //	tfluxbench -exp fig5x86           # §6.1.2: 9-core x86 companion machine
 //	tfluxbench -exp groups            # §4.1 extension: multiple TSU Groups
 //	tfluxbench -exp policy            # scheduling-policy ablation
+//	tfluxbench -exp shards            # sharded-TSU scaling study
 //	tfluxbench -exp dist              # TFluxDist protocol cost across nodes
 //	tfluxbench -exp serve             # tfluxd service-layer throughput
 //	tfluxbench -exp all               # everything
@@ -41,7 +42,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("tfluxbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		which   = fs.String("exp", "all", "experiment: table1|fig5|fig6|fig7|fig5x86|groups|policy|dist|serve|tsulat|unroll|budget|all")
+		which   = fs.String("exp", "all", "experiment: table1|fig5|fig6|fig7|fig5x86|groups|policy|shards|dist|serve|tsulat|unroll|budget|all")
 		quick   = fs.Bool("quick", false, "smallest sizes, fewest configurations (seconds instead of minutes)")
 		reps    = fs.Int("reps", 0, "native repetitions per measurement (0 = default)")
 		maxK    = fs.Int("maxkernels", 0, "cap kernel counts (0 = paper configurations)")
@@ -103,6 +104,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 				failed = true
 				return
 			}
+			// Sharded-TSU runs publish occupancy under well-known names;
+			// distill them into one balance line (Registry metrics are
+			// create-on-read, so probing unused names is harmless).
+			if shards := oe.Metrics.Counter("tsu.shards").Value(); shards > 1 {
+				fmt.Fprintf(stdout, "shard balance: %d shards, %d cross-shard decrement(s), imbalance %d%% (max shard vs mean occupancy)\n",
+					shards, oe.Metrics.Counter("tsu.cross_shard_decrements").Value(),
+					oe.Metrics.Gauge("tsu.shard_imbalance_pct").Value())
+			}
 		}
 		fmt.Fprintln(stdout)
 	}
@@ -135,6 +144,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if all || *which == "policy" {
 		runExp("policy (ready-queue scheduling ablation)", exp.Policies)
+		did = true
+	}
+	if all || *which == "shards" {
+		runExp("shards (sharded software TSU vs dedicated emulator)", exp.Shards)
 		did = true
 	}
 	if all || *which == "dist" {

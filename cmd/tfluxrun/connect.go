@@ -19,6 +19,7 @@ import (
 var connectIncompatible = []string{
 	"platform", "nodes", "dist-batch", "dist-batch-bytes", "dist-window",
 	"dist-no-cache", "trace-out", "trace", "metrics", "gantt", "dot", "vet",
+	"tsu-shards", "tsu-map",
 }
 
 // runConnect executes the benchmark by submitting it to a tfluxd

@@ -22,6 +22,12 @@
 // cmd/tfluxvet) before dispatch and refuses to run a program with
 // findings.
 //
+// TSU tuning: -tsu-shards N (soft platform) replaces the dedicated
+// TSU-emulator goroutine with N kernel-stepped shards — parallel readiness
+// bookkeeping; -tsu-map range|rr|locality overrides the TKT context→kernel
+// assignment on the soft, hard and cell platforms, where locality derives
+// the mapping from the program's declared Access regions (ddmlint).
+//
 // Data-plane tuning (dist platform): -dist-batch, -dist-batch-bytes and
 // -dist-window bound how many Execs coalesce per ExecBatch frame and how
 // many instances may be in flight per node; -dist-no-cache disables the
@@ -68,6 +74,7 @@ import (
 	"tflux/internal/obs"
 	"tflux/internal/rts"
 	"tflux/internal/stats"
+	"tflux/internal/tsu"
 	"tflux/internal/vtime"
 	"tflux/internal/workload"
 )
@@ -87,6 +94,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		kernels     = fs.Int("kernels", 4, "kernels / cores / SPEs (total across nodes for dist)")
 		nodes       = fs.Int("nodes", 2, "worker nodes (dist platform)")
 		unroll      = fs.Int("unroll", 8, "loop unroll factor (DThread granularity)")
+		tsuShards   = fs.Int("tsu-shards", 0, "soft platform: shard the software TSU across N kernel-stepped shards (0 or 1 = legacy dedicated emulator)")
+		tsuMap      = fs.String("tsu-map", "", "TKT context→kernel mapping policy: range|rr|locality (soft/hard/cell; empty = closed-form range split)")
 		reps        = fs.Int("reps", 3, "repetitions for native measurements (min taken)")
 		dotOut      = fs.String("dot", "", "write the Synchronization Graph in DOT format to this file and exit")
 		traceOut    = fs.String("trace-out", "", "write a Chrome trace-event JSON file of the run (soft|hard|cell|dist)")
@@ -189,6 +198,29 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "wrote synchronization graph to %s\n", *dotOut)
 		return 0
 	}
+	// TSU-plane tuning: the sharded plane is the soft runtime's, and the
+	// mapping policies plug into every platform that owns a tsu.State
+	// locally. The locality policy is derived from the program's declared
+	// Access regions by the linter's region summarizer.
+	var mapping tsu.Mapping
+	switch *tsuMap {
+	case "":
+	case "range":
+		mapping = tsu.RangeMapping{}
+	case "rr":
+		mapping = tsu.RoundRobinMapping{}
+	case "locality":
+		mapping = ddmlint.LocalityMapping(prog)
+	default:
+		return fail(fmt.Errorf("unknown -tsu-map %q (want range, rr or locality)", *tsuMap))
+	}
+	if mapping != nil && (*platform == "dist" || *platform == "virtual") {
+		return fail(fmt.Errorf("-tsu-map is not supported on the %s platform", *platform))
+	}
+	if *tsuShards > 1 && *platform != "soft" {
+		return fail(fmt.Errorf("-tsu-shards applies to the soft platform only"))
+	}
+
 	if *vet {
 		rep, err := ddmlint.Lint(prog)
 		if err != nil {
@@ -260,7 +292,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if err != nil {
 			return fail(err)
 		}
-		res, err := hardsim.Run(prog, hardsim.Config{Cores: *kernels, Obs: sink, Metrics: reg})
+		res, err := hardsim.Run(prog, hardsim.Config{Cores: *kernels, Mapping: mapping, Obs: sink, Metrics: reg})
 		if err != nil {
 			return fail(err)
 		}
@@ -282,17 +314,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 				tracer = rts.NewTracer()
 			}
 			best := time.Duration(0)
+			var last *rts.Stats
 			for r := 0; r < *reps; r++ {
 				job.ResetOutput()
-				st, err := rts.Run(prog, rts.Options{Kernels: *kernels, Trace: tracer, Obs: sink, Metrics: reg})
+				st, err := rts.Run(prog, rts.Options{Kernels: *kernels, TSUShards: *tsuShards, TSUMapping: mapping, Trace: tracer, Obs: sink, Metrics: reg})
 				if err != nil {
 					return fail(err)
 				}
+				last = st
 				if best == 0 || st.Elapsed < best {
 					best = st.Elapsed
 				}
 			}
 			parT = best
+			if last != nil && last.Shards > 1 {
+				fmt.Fprintf(stdout, "tsu:        %d shards, %d cross-shard decrement(s), per-shard fires %v\n",
+					last.Shards, last.CrossShardDecrements, last.ShardFired)
+			}
 			if *gantt && tracer != nil {
 				if err := tracer.Gantt(stdout, *kernels, 72); err != nil {
 					return fail(err)
@@ -302,7 +340,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			best := time.Duration(0)
 			for r := 0; r < *reps; r++ {
 				job.ResetOutput()
-				st, err := cellsim.Run(prog, job.SharedBuffers(), cellsim.Config{SPEs: *kernels, Obs: sink, Metrics: reg})
+				st, err := cellsim.Run(prog, job.SharedBuffers(), cellsim.Config{SPEs: *kernels, Mapping: mapping, Obs: sink, Metrics: reg})
 				if err != nil {
 					return fail(err)
 				}

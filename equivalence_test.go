@@ -154,6 +154,14 @@ func TestPlatformEquivalenceRandomPrograms(t *testing.T) {
 			_, err := tflux.RunSoft(p, tflux.SoftOptions{Kernels: 3, Steal: true})
 			return err
 		}},
+		{"soft-sharded", func(p *tflux.Program, _ *tflux.CellBuffers) error {
+			_, err := tflux.RunSoft(p, tflux.SoftOptions{Kernels: 3, TSUShards: 3})
+			return err
+		}},
+		{"soft-sharded-uneven", func(p *tflux.Program, _ *tflux.CellBuffers) error {
+			_, err := tflux.RunSoft(p, tflux.SoftOptions{Kernels: 5, TSUShards: 2})
+			return err
+		}},
 		{"hard", func(p *tflux.Program, _ *tflux.CellBuffers) error {
 			_, err := tflux.RunHard(p, tflux.HardConfig{Cores: 3})
 			return err

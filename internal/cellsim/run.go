@@ -32,6 +32,10 @@ type Config struct {
 	// TSUSize caps the DThread instances per DDM Block (the TSU's slot
 	// count, §2). Zero means unlimited.
 	TSUSize int64
+	// Mapping overrides the context→SPE assignment policy (the TKT
+	// contents). Nil keeps the paper's chunked range split — the default
+	// the cycle-accounted runs are calibrated against.
+	Mapping tsu.Mapping
 	// Obs, when non-nil, receives typed events: ThreadComplete per SPE
 	// lane, DMATransfer per staging operation, and TSUCommand on the PPE
 	// lane (lane == SPEs).
@@ -90,7 +94,7 @@ type Stats struct {
 // with at least the declared size.
 func Run(p *core.Program, svb *SharedVariableBuffer, cfg Config) (*Stats, error) {
 	cfg = cfg.withDefaults()
-	state, err := tsu.NewStateSized(p, cfg.SPEs, cfg.TSUSize)
+	state, err := tsu.NewStateCfg(p, cfg.SPEs, tsu.Config{MaxBlockInstances: cfg.TSUSize, Mapping: cfg.Mapping})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,90 @@
+package ddmlint
+
+import (
+	"testing"
+
+	"tflux/internal/core"
+	"tflux/internal/tsu"
+)
+
+func TestRegionSummariesPrefersWrites(t *testing.T) {
+	p := core.NewProgram("regions")
+	b := p.AddBlock()
+	tpl := core.NewTemplate(1, "rows", nil)
+	tpl.Instances = 4
+	tpl.Access = func(ctx core.Context) []core.MemRegion {
+		return []core.MemRegion{
+			{Buffer: "in", Offset: 0, Size: 4096},                           // shared read, biggest
+			{Buffer: "out", Offset: int64(ctx) * 64, Size: 64, Write: true}, // per-ctx write
+			{Buffer: "out", Offset: int64(ctx) * 64, Size: 8, Write: true},  // smaller write
+		}
+	}
+	noAccess := core.NewTemplate(2, "opaque", nil)
+	noAccess.Instances = 4
+	b.Add(tpl)
+	b.Add(noAccess)
+
+	sums := RegionSummaries(p)
+	if _, ok := sums[2]; ok {
+		t.Fatal("template without an Access model got a summary")
+	}
+	regs, ok := sums[1]
+	if !ok || len(regs) != 4 {
+		t.Fatalf("summary for template 1 = %v", regs)
+	}
+	for c, r := range regs {
+		want := tsu.CtxRegion{Buf: "out", Lo: int64(c) * 64, Hi: int64(c)*64 + 64}
+		if r != want {
+			t.Fatalf("ctx %d summary = %+v, want the largest write %+v", c, r, want)
+		}
+	}
+}
+
+func TestRegionSummariesFallsBackToReads(t *testing.T) {
+	p := core.NewProgram("reads")
+	b := p.AddBlock()
+	tpl := core.NewTemplate(1, "scan", nil)
+	tpl.Instances = 2
+	tpl.Access = func(ctx core.Context) []core.MemRegion {
+		return []core.MemRegion{
+			{Buffer: "in", Offset: int64(ctx) * 128, Size: 128},
+			{Buffer: "lut", Offset: 0, Size: 16},
+		}
+	}
+	b.Add(tpl)
+	regs := RegionSummaries(p)[1]
+	if len(regs) != 2 || regs[1] != (tsu.CtxRegion{Buf: "in", Lo: 128, Hi: 256}) {
+		t.Fatalf("read-only summary = %v", regs)
+	}
+}
+
+// TestLocalityMappingFromProgram: the end-to-end helper must regroup a
+// strided write pattern by buffer, which the range split cannot.
+func TestLocalityMappingFromProgram(t *testing.T) {
+	p := core.NewProgram("stride")
+	b := p.AddBlock()
+	tpl := core.NewTemplate(1, "interleave", func(core.Context) {})
+	tpl.Instances = 8
+	tpl.Access = func(ctx core.Context) []core.MemRegion {
+		buf := "a"
+		if ctx%2 == 1 {
+			buf = "b"
+		}
+		return []core.MemRegion{{Buffer: buf, Offset: int64(ctx), Size: 1, Write: true}}
+	}
+	b.Add(tpl)
+	m := LocalityMapping(p)
+	if m.Name() != "locality" {
+		t.Fatalf("mapping name = %q", m.Name())
+	}
+	s, err := tsu.NewStateCfg(p, 2, tsu.Config{Mapping: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := core.Context(0); c < 8; c++ {
+		want := tsu.KernelID(int(c) % 2) // all of "a" on kernel 0, "b" on kernel 1
+		if got := s.KernelOf(core.Instance{Thread: 1, Ctx: c}); got != want {
+			t.Fatalf("ctx %d on kernel %d, want %d", c, got, want)
+		}
+	}
+}

@@ -1,0 +1,32 @@
+package exp
+
+import "testing"
+
+func TestShardsQuick(t *testing.T) {
+	o := quick()
+	rows, err := Shards(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3 (legacy, sharded, sharded+loc)", len(rows))
+	}
+	names := map[string]bool{}
+	for _, r := range rows {
+		names[r.Benchmark] = true
+		if r.Par <= 0 || r.Seq <= 0 {
+			t.Fatalf("row %+v", r)
+		}
+		if r.Benchmark == "TRAPEZ/legacy" && r.Unroll != 0 {
+			t.Fatalf("legacy row reports %d shards", r.Unroll)
+		}
+		if r.Benchmark != "TRAPEZ/legacy" && r.Unroll != r.Kernels {
+			t.Fatalf("sharded row reports %d shards for %d kernels", r.Unroll, r.Kernels)
+		}
+	}
+	for _, want := range []string{"TRAPEZ/legacy", "TRAPEZ/sharded", "TRAPEZ/sharded+loc"} {
+		if !names[want] {
+			t.Fatalf("missing shards row %s (have %v)", want, names)
+		}
+	}
+}

@@ -51,6 +51,10 @@ type Config struct {
 	// TSUSize caps the DThread instances per DDM Block (the hardware
 	// TSU's slot count, §2). Zero means unlimited.
 	TSUSize int64
+	// Mapping overrides the context→core assignment policy (the TKT
+	// contents). Nil keeps the paper's chunked range split, which the
+	// Figure 5 cycle counts are pinned to.
+	Mapping tsu.Mapping
 	// MaxEvents bounds the event loop as a runaway backstop (0 = none).
 	MaxEvents int64
 	// Obs, when non-nil, receives the simulated run as typed events, with
@@ -177,7 +181,7 @@ func (m *machine) cyc(t sim.Time) time.Duration {
 // cycle-level result.
 func Run(p *core.Program, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
-	state, err := tsu.NewStateSized(p, cfg.Cores, cfg.TSUSize)
+	state, err := tsu.NewStateCfg(p, cfg.Cores, tsu.Config{MaxBlockInstances: cfg.TSUSize, Mapping: cfg.Mapping})
 	if err != nil {
 		return nil, err
 	}

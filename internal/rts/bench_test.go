@@ -151,3 +151,36 @@ func BenchmarkRunFineGrainSteal(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkRunFineGrainSharded is BenchmarkRunFineGrain on the sharded TSU
+// plane: no dedicated emulator, per-kernel shard stepping. Comparing its
+// k4 ns/instance against the legacy k4 number is the headline contention
+// measurement of the sharding work.
+func BenchmarkRunFineGrainSharded(b *testing.B) {
+	for _, kernels := range []int{4, 8} {
+		b.Run(map[int]string{4: "k4s4", 8: "k8s8"}[kernels], func(b *testing.B) {
+			const n = 2048
+			p := chainProgram(n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Run(p, Options{Kernels: kernels, TSUShards: kernels}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/(2*n), "ns/instance")
+		})
+	}
+}
+
+// BenchmarkRunFineGrainShardedSteal layers work stealing on the sharded
+// plane (stepping kernels must keep draining inboxes while stealing).
+func BenchmarkRunFineGrainShardedSteal(b *testing.B) {
+	const n = 2048
+	p := chainProgram(n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(p, Options{Kernels: 4, TSUShards: 4, Steal: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -6,13 +6,26 @@
 // Run launches n Kernels. A Kernel is a worker loop that requests the next
 // ready DThread from the TSU, jumps to the DThread's code, and on
 // completion performs the kernel-side half of the Post-Processing Phase:
-// it expands the completed thread's consumer arcs and deposits the
-// resulting update record into the Thread-to-Update Buffer (TUB). The
-// TSU Emulator — one additional worker, mirroring the dedicated CPU of the
-// paper's Figure 4 — drains the TUB, decrements Ready Counts in the
-// per-kernel Synchronization Memories (locating them directly through the
-// Thread-to-Kernel Table), and dispatches newly ready DThreads to the
-// ready queue of their owning Kernel.
+// it expands the completed thread's consumer arcs. What happens next
+// depends on the TSU plane:
+//
+//   - Legacy (default): the update record is deposited into the
+//     Thread-to-Update Buffer (TUB), and the TSU Emulator — one additional
+//     worker, mirroring the dedicated CPU of the paper's Figure 4 — drains
+//     the TUB, decrements Ready Counts in the per-kernel Synchronization
+//     Memories (locating them directly through the Thread-to-Kernel
+//     Table), and dispatches newly ready DThreads to the ready queue of
+//     their owning Kernel. Dispatch order is deterministic given a
+//     deterministic program.
+//
+//   - Sharded (Options.TSUShards > 1): there is no dedicated emulator.
+//     The synchronization state is partitioned into shards along TKT
+//     ownership, and each Kernel steps the shard it owns: decrements that
+//     land in its own shard are applied lock-free in place, while
+//     cross-shard decrements are batched into the owning shard's inbox (a
+//     per-shard TUB) and a kick on the owner's ready queue wakes it to
+//     drain. This removes the single serializing goroutine that bounds
+//     fine-grain scaling.
 //
 // The paper maps Kernels to POSIX threads; here each Kernel is a
 // goroutine, and the Go scheduler plays the role of the OS scheduler the

@@ -79,6 +79,7 @@ type readyQueue struct {
 	indexed bool
 
 	closed  bool
+	kicked  bool // a shard inbox has work for this kernel (see kick)
 	waiters int // kernels parked in pop; gates the wakeup on push
 	policy  Policy
 	scan    int // arrival-distance bound for the locality preference
@@ -291,6 +292,51 @@ func (q *readyQueue) pop(last core.Instance) (core.Instance, bool) {
 	it := q.remove(q.pick(last))
 	q.mu.Unlock()
 	return it, true
+}
+
+// kick wakes the queue's kernel without enqueuing work: a cross-shard
+// batch landed in the shard inbox this kernel steps. The flag is set under
+// the queue mutex, so a kick can never be lost between the stepper's inbox
+// drain and its park in popKick.
+func (q *readyQueue) kick() {
+	q.mu.Lock()
+	q.kicked = true
+	sig := q.waiters > 0
+	q.mu.Unlock()
+	if sig {
+		q.cond.Signal()
+	}
+}
+
+// popKick is pop for a shard-stepping kernel: it additionally returns
+// (ok=false, kicked=true) when the queue is empty but the kernel's shard
+// inbox needs draining, so the caller re-steps its shard instead of
+// sleeping through pending cross-shard decrements. On close it returns
+// ok=false, kicked=false.
+func (q *readyQueue) popKick(last core.Instance) (inst core.Instance, ok, kicked bool) {
+	q.mu.Lock()
+	for q.count == 0 {
+		if q.closed {
+			q.mu.Unlock()
+			return core.Instance{}, false, false
+		}
+		if q.kicked {
+			q.kicked = false
+			q.mu.Unlock()
+			return core.Instance{}, false, true
+		}
+		start := time.Now()
+		q.waiters++
+		q.cond.Wait()
+		q.waiters--
+		q.idle += time.Since(start)
+	}
+	// Taking work also consumes any pending kick: the caller steps its
+	// shard on every loop iteration anyway.
+	q.kicked = false
+	it := q.remove(q.pick(last))
+	q.mu.Unlock()
+	return it, true, false
 }
 
 // idleTime returns the accumulated blocking time (safe after the Kernel

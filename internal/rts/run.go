@@ -13,10 +13,23 @@ import (
 
 // Options configures a TFluxSoft run.
 type Options struct {
-	// Kernels is the number of worker loops executing DThreads. The TSU
-	// emulator is one extra goroutine on top (the paper dedicates a CPU to
-	// it). Zero selects 1.
+	// Kernels is the number of worker loops executing DThreads. In the
+	// legacy (unsharded) mode the TSU emulator is one extra goroutine on
+	// top of them, mirroring the CPU the paper dedicates to it; with
+	// TSUShards > 1 there is no extra goroutine — readiness bookkeeping is
+	// stepped by the kernels themselves. Zero selects 1.
 	Kernels int
+	// TSUShards selects the sharded TSU plane: N > 1 partitions the
+	// readiness bookkeeping into N shards (clamped to Kernels), each
+	// stepped lock-free by one kernel, with cross-shard decrements batched
+	// through per-shard inbox TUBs. 0 or 1 keeps the legacy dedicated
+	// emulator goroutine, whose dispatch order is deterministic — the
+	// replay tooling and the simulated platforms pin that path.
+	TSUShards int
+	// TSUMapping overrides the context→kernel assignment policy (the TKT
+	// contents). Nil keeps the paper's chunked range split. Works in both
+	// the legacy and the sharded mode.
+	TSUMapping tsu.Mapping
 	// TUB configures the Thread-to-Update Buffer.
 	TUB tsu.TUBConfig
 	// Policy is the ready-queue scheduling policy (default locality).
@@ -60,6 +73,16 @@ type Stats struct {
 	Service []int64
 	// Idle is per-kernel time spent blocked waiting for a ready DThread.
 	Idle []time.Duration
+	// Shards is the TSU shard count (0 for the legacy emulator). With
+	// shards, TUB reports the cross-shard inbox traffic instead of the
+	// global buffer's.
+	Shards int
+	// CrossShardDecrements counts Ready Count decrements that crossed a
+	// shard boundary through an inbox (0 for the legacy emulator).
+	CrossShardDecrements int64
+	// ShardFired is the per-shard count of instances fired into each
+	// shard's ownership — the occupancy/imbalance measure.
+	ShardFired []int64
 }
 
 // TotalExecuted sums per-kernel application instance counts.
@@ -79,9 +102,13 @@ func Run(p *core.Program, opt Options) (*Stats, error) {
 	if opt.Kernels <= 0 {
 		opt.Kernels = 1
 	}
-	state, err := tsu.NewStateSized(p, opt.Kernels, opt.TSUSize)
+	state, err := tsu.NewStateCfg(p, opt.Kernels, tsu.Config{MaxBlockInstances: opt.TSUSize, Mapping: opt.TSUMapping})
 	if err != nil {
 		return nil, err
+	}
+	shards := opt.TSUShards
+	if shards > opt.Kernels {
+		shards = opt.Kernels
 	}
 	var traceSink obs.Sink
 	if opt.Trace != nil {
@@ -89,12 +116,23 @@ func Run(p *core.Program, opt Options) (*Stats, error) {
 	}
 	r := &runner{
 		state:   state,
-		tub:     tsu.NewTUB(opt.Kernels, opt.TUB),
 		queues:  make([]*readyQueue, opt.Kernels),
 		pend:    make([][]core.Instance, opt.Kernels),
 		stop:    make(chan struct{}),
 		sink:    obs.Multi(traceSink, opt.Obs),
-		tsuLane: opt.Kernels, // the emulator's dedicated lane (Figure 4)
+		tsuLane: opt.Kernels, // first TSU lane: the emulator's (Figure 4), or shard 0's
+	}
+	if shards > 1 {
+		// Sharded plane: cross-shard batches wake the stepper of the
+		// receiving shard through its ready queue's kick flag.
+		r.sharded, err = tsu.NewSharded(state, shards, opt.TUB, func(sh int) {
+			r.queues[int(r.sharded.Stepper(sh))].kick()
+		})
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		r.tub = tsu.NewTUB(opt.Kernels, opt.TUB)
 	}
 	if opt.Metrics != nil {
 		r.mDispatched = opt.Metrics.Counter("rts.dispatched")
@@ -104,7 +142,9 @@ func Run(p *core.Program, opt Options) (*Stats, error) {
 	}
 	if r.sink != nil {
 		r.sink.Begin()
-		r.tub.SetObs(r.sink)
+		if r.tub != nil {
+			r.tub.SetObs(r.sink)
+		}
 	}
 	for i := range r.queues {
 		r.queues[i] = newReadyQueue(opt.Policy, opt.QueueScan)
@@ -118,21 +158,29 @@ func Run(p *core.Program, opt Options) (*Stats, error) {
 
 	start := time.Now()
 	var wg sync.WaitGroup
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		if opt.PinEmulator {
-			runtime.LockOSThread()
-			defer runtime.UnlockOSThread()
-		}
-		r.emulate()
-	}()
+	if r.sharded == nil {
+		// Legacy plane: the TSU emulator is a dedicated goroutine, the
+		// paper's Figure 4 layout.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if opt.PinEmulator {
+				runtime.LockOSThread()
+				defer runtime.UnlockOSThread()
+			}
+			r.emulate()
+		}()
+	}
 	r.steal = opt.Steal
 	for k := 0; k < opt.Kernels; k++ {
 		wg.Add(1)
 		go func(k int) {
 			defer wg.Done()
-			r.kernel(tsu.KernelID(k), &stats.Executed[k], &stats.Service[k])
+			if r.sharded != nil {
+				r.kernelSharded(tsu.KernelID(k), &stats.Executed[k], &stats.Service[k])
+			} else {
+				r.kernel(tsu.KernelID(k), &stats.Executed[k], &stats.Service[k])
+			}
 		}(k)
 	}
 	// Bootstrap: the Inlet DThread of the first Block is the first thing a
@@ -141,8 +189,16 @@ func Run(p *core.Program, opt Options) (*Stats, error) {
 	wg.Wait()
 
 	stats.Elapsed = time.Since(start)
-	stats.TSU = state.Stats()
-	stats.TUB = r.tub.Stats()
+	if r.sharded != nil {
+		stats.TSU = r.sharded.Stats()
+		stats.TUB = r.sharded.InboxStats()
+		stats.Shards = r.sharded.Shards()
+		stats.CrossShardDecrements = r.sharded.CrossShardDecrements()
+		stats.ShardFired = r.sharded.ShardFired()
+	} else {
+		stats.TSU = state.Stats()
+		stats.TUB = r.tub.Stats()
+	}
 	for k, q := range r.queues {
 		stats.Idle[k] = q.idleTime()
 	}
@@ -177,13 +233,33 @@ func publishMetrics(reg *obs.Registry, stats *Stats) {
 		reg.Counter(fmt.Sprintf("rts.executed.k%d", k)).Set(stats.Executed[k])
 		reg.Counter(fmt.Sprintf("rts.idle_ns.k%d", k)).Set(int64(stats.Idle[k]))
 	}
+	if stats.Shards > 1 {
+		reg.Counter("tsu.shards").Set(int64(stats.Shards))
+		reg.Counter("tsu.cross_shard_decrements").Set(stats.CrossShardDecrements)
+		var max, sum int64
+		for sh, n := range stats.ShardFired {
+			reg.Gauge(fmt.Sprintf("tsu.shard_occupancy.s%d", sh)).Set(n)
+			sum += n
+			if n > max {
+				max = n
+			}
+		}
+		// Imbalance: how far the hottest shard sits above the mean, in
+		// percent (0 = perfectly even ownership load).
+		if mean := float64(sum) / float64(len(stats.ShardFired)); mean > 0 {
+			reg.Gauge("tsu.shard_imbalance_pct").Set(int64(100 * (float64(max)/mean - 1)))
+		}
+	}
 }
 
 type runner struct {
-	state  *tsu.State
-	tub    *tsu.TUB
-	queues []*readyQueue
-	steal  bool
+	state *tsu.State
+	// Exactly one of tub/sharded is set: tub feeds the legacy dedicated
+	// emulator, sharded is the per-kernel-stepped shard plane.
+	tub     *tsu.TUB
+	sharded *tsu.ShardedState
+	queues  []*readyQueue
+	steal   bool
 
 	// pend accumulates per-kernel ready batches across one TUB drain
 	// cycle; flush publishes each batch under a single queue-lock
@@ -216,7 +292,11 @@ func (r *runner) fail(err error) {
 	}
 	r.errMu.Unlock()
 	r.shutdown()
-	r.tub.Close()
+	if r.tub != nil {
+		r.tub.Close()
+	}
+	// Sharded inboxes are unbounded: no writer can be blocked in them, so
+	// there is nothing to release on the error path.
 }
 
 func (r *runner) shutdown() {
@@ -276,6 +356,159 @@ func (r *runner) next(k int, last core.Instance) (core.Instance, bool, bool) {
 		}
 	}
 	return r.queues[k].popTimeout(last, 100*time.Microsecond)
+}
+
+// kernelSharded is the Kernel loop in sharded-TSU mode: no dedicated
+// emulator exists — the kernel interleaves executing DThreads with
+// stepping the TSU shard it owns (draining its cross-shard inbox), and
+// performs the whole Post-Processing Phase of its own completions in
+// place. A kick on the ready queue signals inbox work while the queue is
+// empty, so pending cross-shard decrements are never slept through.
+func (r *runner) kernelSharded(k tsu.KernelID, executed, service *int64) {
+	ln := r.sharded.Lane(k)
+	q := r.queues[int(k)]
+	var last core.Instance
+	var ready []tsu.Ready
+	var targets []core.Instance
+	pend := make([][]core.Instance, len(r.queues))
+	for {
+		// Step boundary: apply cross-shard decrements addressed to this
+		// kernel's shard and dispatch whatever they fired.
+		ready = ln.Step(ready[:0])
+		r.dispatchReady(ready, pend)
+		var inst core.Instance
+		var ok bool
+		if r.steal {
+			// popTimeout's bounded backoff doubles as the kick: the loop
+			// re-steps the shard at least every backoff period.
+			var closed bool
+			inst, ok, closed = r.next(int(k), last)
+			if closed {
+				return
+			}
+			if !ok {
+				continue
+			}
+		} else {
+			var kicked bool
+			inst, ok, kicked = q.popKick(last)
+			if !ok {
+				if kicked {
+					continue
+				}
+				return
+			}
+		}
+		if r.mQueueDepth != nil {
+			r.mQueueDepth.Add(-1)
+		}
+		abort, done := r.executeSharded(k, ln, inst, &targets, &ready, pend, executed, service)
+		if done {
+			r.shutdown()
+			return
+		}
+		if abort {
+			return
+		}
+		last = inst
+	}
+}
+
+// executeSharded runs one DThread body and performs its sharded
+// Post-Processing in place: consumer expansion, own-shard decrements,
+// cross-shard routing, and completion accounting. It reports whether the
+// kernel must exit (abort: a body panicked; done: the program finished).
+func (r *runner) executeSharded(k tsu.KernelID, ln *tsu.Lane, inst core.Instance, targets *[]core.Instance, ready *[]tsu.Ready, pend [][]core.Instance, executed, service *int64) (abort, done bool) {
+	defer func() {
+		if p := recover(); p != nil {
+			r.fail(fmt.Errorf("rts: DThread %v panicked on kernel %d: %v", inst, k, p))
+			abort = true
+		}
+	}()
+	body := r.state.Body(inst)
+	if r.sink != nil || r.mThreadNS != nil {
+		var t0 time.Duration
+		if r.sink != nil {
+			t0 = r.sink.Now()
+		}
+		start := time.Now()
+		body(inst.Ctx)
+		dur := time.Since(start)
+		if r.sink != nil {
+			r.sink.Record(obs.Event{
+				Kind:    obs.ThreadComplete,
+				Lane:    int(k),
+				Inst:    inst,
+				Start:   t0,
+				Dur:     dur,
+				Service: r.state.IsService(inst),
+			})
+		}
+		if r.mThreadNS != nil {
+			r.mThreadNS.ObserveDuration(dur)
+		}
+	} else {
+		body(inst.Ctx)
+	}
+	if r.state.IsService(inst) {
+		*service++
+	} else {
+		*executed++
+	}
+	*targets = r.state.AppendConsumers((*targets)[:0], inst)
+	var t0 time.Duration
+	if r.sink != nil {
+		t0 = r.sink.Now()
+	}
+	*ready, done = ln.Complete((*ready)[:0], inst, *targets)
+	if r.sink != nil {
+		r.sink.Record(obs.Event{
+			Kind:  obs.TSUCommand,
+			Lane:  r.tsuLane + r.sharded.ShardOf(k),
+			Inst:  inst,
+			Start: t0,
+			Dur:   r.sink.Now() - t0,
+		})
+	}
+	if r.mTSUCommands != nil {
+		r.mTSUCommands.Inc()
+	}
+	r.dispatchReady(*ready, pend)
+	return false, done
+}
+
+// dispatchReady groups a ready batch by owning kernel and publishes each
+// group under a single queue-lock acquisition. pend is the caller's
+// per-kernel scratch (each sharded kernel owns one; the batches are
+// cleared before returning).
+func (r *runner) dispatchReady(ready []tsu.Ready, pend [][]core.Instance) {
+	if len(ready) == 0 {
+		return
+	}
+	for _, rd := range ready {
+		if r.sink != nil {
+			r.sink.Record(obs.Event{
+				Kind:  obs.ThreadDispatch,
+				Lane:  int(rd.Kernel),
+				Inst:  rd.Inst,
+				Start: r.sink.Now(),
+			})
+		}
+		if r.mDispatched != nil {
+			r.mDispatched.Inc()
+		}
+		if r.mQueueDepth != nil {
+			r.mQueueDepth.Add(1)
+		}
+		pend[int(rd.Kernel)] = append(pend[int(rd.Kernel)], rd.Inst)
+	}
+	for kk, batch := range pend {
+		if len(batch) == 0 {
+			continue
+		}
+		r.queues[kk].pushBatch(batch)
+		pend[kk] = batch[:0]
+	}
 }
 
 // execute runs one DThread body and deposits its completion record. It

@@ -1,0 +1,44 @@
+package rts
+
+import (
+	"testing"
+
+	"tflux/internal/workload"
+)
+
+// TestShardedBenchmarkSuite runs all five Table 1 benchmarks at their
+// small native size under the sharded TSU plane and verifies the parallel
+// output against the sequential reference. CI runs this test under the
+// race detector: the five programs between them exercise every mapping
+// kind, block chaining and the cross-shard inbox hand-off, so a clean
+// -race pass is the visibility-invariant check for the sharded engine.
+func TestShardedBenchmarkSuite(t *testing.T) {
+	for _, spec := range workload.Suite() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			sizes, ok := spec.Sizes(workload.Native)
+			if !ok {
+				sizes, _ = spec.Sizes(workload.Simulated)
+			}
+			job := spec.Make(sizes[workload.Small])
+			job.RunSequential()
+			for _, shards := range []int{2, 4} {
+				job.ResetOutput()
+				p, err := job.Build(4, 1)
+				if err != nil {
+					t.Fatalf("build: %v", err)
+				}
+				st, err := Run(p, Options{Kernels: 4, TSUShards: shards})
+				if err != nil {
+					t.Fatalf("shards=%d: %v", shards, err)
+				}
+				if st.Shards != shards {
+					t.Fatalf("stats report %d shards, want %d", st.Shards, shards)
+				}
+				if err := job.Verify(); err != nil {
+					t.Fatalf("shards=%d: verify: %v", shards, err)
+				}
+			}
+		})
+	}
+}

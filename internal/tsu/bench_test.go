@@ -47,6 +47,68 @@ func BenchmarkDecrement(b *testing.B) {
 	}
 }
 
+// shardedReductionState is reductionState wrapped in the sharded engine,
+// with the block loaded through a lane's service completion.
+func shardedReductionState(b *testing.B, n core.Context, kernels, shards int) *ShardedState {
+	b.Helper()
+	p := core.NewProgram("shard-bench")
+	blk := p.AddBlock()
+	prod := core.NewTemplate(1, "prod", func(core.Context) {})
+	prod.Instances = n
+	red := core.NewTemplate(2, "red", func(core.Context) {})
+	prod.Then(2, core.AllToOne{})
+	blk.Add(prod)
+	blk.Add(red)
+	s, err := NewState(p, kernels)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ss, err := NewSharded(s, shards, TUBConfig{}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ss.Lane(0).Complete(nil, core.Instance{Thread: s.InletID(0)}, nil)
+	return ss
+}
+
+// BenchmarkShardedDecrement measures the sharded Post-Processing hot path
+// per decrement: in-place application on the owning lane (own-shard) versus
+// the batched inbox round-trip (cross-shard, drained every 64 records —
+// the runtime's step-boundary shape).
+func BenchmarkShardedDecrement(b *testing.B) {
+	target := core.Instance{Thread: 2, Ctx: 0} // owned by kernel 0, shard 0
+	b.Run("own-shard", func(b *testing.B) {
+		ss := shardedReductionState(b, core.Context(b.N)+1, 8, 8)
+		ln := ss.Lane(0)
+		tgts := []core.Instance{target}
+		var dst []Ready
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			dst, _ = ln.Complete(dst[:0], core.Instance{Thread: 1, Ctx: core.Context(i)}, tgts)
+			if len(dst) != 0 {
+				b.Fatal("fired early")
+			}
+		}
+	})
+	b.Run("cross-shard", func(b *testing.B) {
+		ss := shardedReductionState(b, core.Context(b.N)+1, 8, 8)
+		producer := ss.Lane(7) // shard 7: every decrement of red.0 routes to shard 0
+		stepper := ss.Lane(0)
+		tgts := []core.Instance{target}
+		var dst []Ready
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			dst, _ = producer.Complete(dst[:0], core.Instance{Thread: 1, Ctx: core.Context(i)}, tgts)
+			if i%64 == 63 {
+				dst = stepper.Step(dst[:0])
+			}
+			if len(dst) != 0 {
+				b.Fatal("fired early")
+			}
+		}
+	})
+}
+
 // fanoutState builds a template with four outgoing arcs of mixed mappings,
 // the shape AppendConsumers walks per completion.
 func fanoutState(b *testing.B) *State {

@@ -1,0 +1,147 @@
+package tsu
+
+import (
+	"fmt"
+	"sort"
+
+	"tflux/internal/core"
+)
+
+// Mapping is a pluggable context→kernel assignment policy: the function the
+// Thread-to-Kernel Table (TKT) tabulates. The State consults it once per
+// template at construction time and freezes the answers into owner/slot
+// tables, so a policy can be arbitrarily clever without ever appearing on
+// the Decrement hot path.
+//
+// Assign must fill owner[ctx] for every ctx in [0, t.Instances) with a
+// kernel in [0, kernels). Templates with an explicit Affinity bypass the
+// mapping entirely (the pin always wins), so Assign never sees them.
+type Mapping interface {
+	// Name identifies the policy in flags, stats and error messages.
+	Name() string
+	// Assign writes the owning kernel of every context of t into owner
+	// (len(owner) == t.Instances).
+	Assign(owner []KernelID, t *core.Template, kernels int)
+}
+
+// RangeMapping is the paper's chunked TKT split: contexts are divided into
+// kernels contiguous ranges, ctx → ctx·kernels/instances. It produces
+// exactly the assignment the State computes arithmetically when no Mapping
+// is configured; it exists so the table-driven path can be exercised (and
+// compared) against the closed-form one.
+type RangeMapping struct{}
+
+// Name implements Mapping.
+func (RangeMapping) Name() string { return "range" }
+
+// Assign implements Mapping.
+func (RangeMapping) Assign(owner []KernelID, t *core.Template, kernels int) {
+	n := uint64(len(owner))
+	for c := range owner {
+		owner[c] = KernelID(uint64(c) * uint64(kernels) / n)
+	}
+}
+
+// RoundRobinMapping deals contexts to kernels cyclically (ctx mod kernels).
+// It trades the range split's spatial locality for perfect instance-count
+// balance on templates whose per-context cost is uniform.
+type RoundRobinMapping struct{}
+
+// Name implements Mapping.
+func (RoundRobinMapping) Name() string { return "rr" }
+
+// Assign implements Mapping.
+func (RoundRobinMapping) Assign(owner []KernelID, t *core.Template, kernels int) {
+	for c := range owner {
+		owner[c] = KernelID(c % kernels)
+	}
+}
+
+// CtxRegion summarizes the dominant declared memory footprint of one
+// context of a template: the buffer and byte interval its Access model
+// names. ddmlint computes these summaries from the same per-context Access
+// expansion its race detector walks (see ddmlint.RegionSummaries).
+type CtxRegion struct {
+	Buf    string // declared buffer name; "" when the context declares nothing
+	Lo, Hi int64  // byte interval [Lo, Hi) within the buffer
+}
+
+// LocalityMapping co-locates contexts with the buffer regions they declare:
+// contexts are ordered by (buffer, offset) and the order is cut into
+// kernels equal-count chunks, so instances touching the same or adjacent
+// byte ranges land on the same kernel regardless of how the context space
+// interleaves them. For row-major context layouts it degenerates to the
+// range split; for strided or shuffled layouts it restores the spatial
+// locality the range split loses. Templates without region summaries fall
+// back to the range split.
+type LocalityMapping struct {
+	regions map[core.ThreadID][]CtxRegion
+}
+
+// NewLocalityMapping builds a locality mapping from per-template region
+// summaries (one CtxRegion per context, indexed by context).
+func NewLocalityMapping(regions map[core.ThreadID][]CtxRegion) *LocalityMapping {
+	return &LocalityMapping{regions: regions}
+}
+
+// Name implements Mapping.
+func (m *LocalityMapping) Name() string { return "locality" }
+
+// Assign implements Mapping.
+func (m *LocalityMapping) Assign(owner []KernelID, t *core.Template, kernels int) {
+	regs := m.regions[t.ID]
+	if len(regs) != len(owner) {
+		RangeMapping{}.Assign(owner, t, kernels)
+		return
+	}
+	order := make([]int, len(owner))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ra, rb := &regs[order[a]], &regs[order[b]]
+		if ra.Buf != rb.Buf {
+			return ra.Buf < rb.Buf
+		}
+		if ra.Lo != rb.Lo {
+			return ra.Lo < rb.Lo
+		}
+		return ra.Hi < rb.Hi
+	})
+	n := uint64(len(order))
+	for pos, ctx := range order {
+		owner[ctx] = KernelID(uint64(pos) * uint64(kernels) / n)
+	}
+}
+
+// buildOwnerTables freezes the mapping's per-template assignment into the
+// dense thread table: owner[ctx] is the owning kernel, slot[ctx] the index
+// of ctx within that kernel's SM slice, and perKernel[k] the number of
+// contexts kernel k owns. Affinity-pinned templates keep their pin and get
+// no tables (the arithmetic path already handles them).
+func (s *State) buildOwnerTables(m Mapping) error {
+	for _, b := range s.prog.Blocks {
+		for _, t := range b.Templates {
+			info := &s.infos[t.ID]
+			if info.affinity >= 0 || info.inst == 0 {
+				continue
+			}
+			owner := make([]KernelID, info.inst)
+			m.Assign(owner, t, s.kernels)
+			slot := make([]int32, info.inst)
+			perKernel := make([]int32, s.kernels)
+			for c, k := range owner {
+				if k < 0 || int(k) >= s.kernels {
+					return fmt.Errorf("tsu: mapping %q assigned context %d of thread %d to kernel %d (have %d kernels)",
+						m.Name(), c, t.ID, k, s.kernels)
+				}
+				slot[c] = perKernel[k]
+				perKernel[k]++
+			}
+			info.owner = owner
+			info.slot = slot
+			info.perKernel = perKernel
+		}
+	}
+	return nil
+}

@@ -69,6 +69,15 @@ type tmplInfo struct {
 	affinity int          // t.Affinity, dense copy
 	dense    int          // index within its block
 	block    int
+
+	// Tabulated TKT, present only when a Mapping is configured (nil under
+	// the default closed-form range split, keeping that path untouched):
+	// owner[ctx] is the owning kernel, slot[ctx] the context's index within
+	// that kernel's SM slice (table ownership need not be contiguous), and
+	// perKernel[k] the number of contexts kernel k owns.
+	owner     []KernelID
+	slot      []int32
+	perKernel []int32
 }
 
 // State is the synchronization engine of the TSU Group. It is not safe for
@@ -89,6 +98,10 @@ type State struct {
 	// Inlet/Outlet thread IDs are synthesized above the program's own ID
 	// space: inlet(b) = serviceBase + 2b, outlet(b) = serviceBase + 2b+1.
 	serviceBase core.ThreadID
+
+	// mapping is the configured context→kernel policy; nil selects the
+	// closed-form chunked range split (the paper's TKT arithmetic).
+	mapping Mapping
 
 	curBlock  int
 	remaining int64 // application instances left in the current block
@@ -122,21 +135,33 @@ func (s *State) info(id core.ThreadID) *tmplInfo { return &s.infos[id] }
 
 // locate returns the kernel whose SM holds the instance. With Thread
 // Indexing this is a direct TKT computation; in the ablation it probes
-// each kernel's owned range in turn, charging a step per probe.
-func (s *State) locate(info *tmplInfo, ctx core.Context) KernelID {
+// each kernel's SM membership in turn, charging a step per probe. steps
+// points at the probe counter to charge — s.searchSteps for the single
+// driver, a lane-local counter under the sharded engine.
+func (s *State) locate(info *tmplInfo, ctx core.Context, steps *int64) KernelID {
 	if !s.linearSearch {
-		s.searchSteps++
+		*steps++
 		return s.kernelOfInfo(info, ctx)
 	}
 	for k := 0; k < s.kernels; k++ {
-		s.searchSteps++
-		lo, hi := s.ownedRange(info.t, KernelID(k))
-		if ctx >= lo && ctx < hi {
+		*steps++
+		if s.owns(info, KernelID(k), ctx) {
 			return KernelID(k)
 		}
 	}
 	// Unreachable for valid instances; fall back to the TKT answer.
 	return s.kernelOfInfo(info, ctx)
+}
+
+// owns reports whether kernel k's SM holds ctx of info's template: an
+// owner-table lookup under a configured Mapping, a range test under the
+// chunked split. One call is the unit the linear-search ablation charges.
+func (s *State) owns(info *tmplInfo, k KernelID, ctx core.Context) bool {
+	if info.owner != nil {
+		return info.owner[ctx] == k
+	}
+	lo, hi := s.ownedRange(info.t, k)
+	return ctx >= lo && ctx < hi
 }
 
 // NewState validates the program and builds the immutable tables (arc
@@ -145,6 +170,41 @@ func (s *State) locate(info *tmplInfo, ctx core.Context) KernelID {
 // an unlimited TSU.
 func NewState(p *core.Program, kernels int) (*State, error) {
 	return NewStateSized(p, kernels, 0)
+}
+
+// Config bundles the optional State knobs.
+type Config struct {
+	// MaxBlockInstances is the TSU's DThread-instance slot count (§2);
+	// zero means unlimited. See NewStateSized.
+	MaxBlockInstances int64
+	// Mapping is the context→kernel assignment policy. Nil selects the
+	// paper's chunked range split computed arithmetically — the default
+	// every deterministic consumer (hardsim's Figure 5 pipeline) pins.
+	Mapping Mapping
+}
+
+// NewStateCfg is NewState with the full option set.
+func NewStateCfg(p *core.Program, kernels int, cfg Config) (*State, error) {
+	s, err := NewStateSized(p, kernels, cfg.MaxBlockInstances)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Mapping != nil {
+		s.mapping = cfg.Mapping
+		if err := s.buildOwnerTables(cfg.Mapping); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// MappingName names the configured context→kernel policy ("range" for the
+// default closed-form split).
+func (s *State) MappingName() string {
+	if s.mapping == nil {
+		return RangeMapping{}.Name()
+	}
+	return s.mapping.Name()
 }
 
 // NewStateSized is NewState with a finite TSU: maxBlockInstances is the
@@ -260,20 +320,13 @@ func (s *State) kernelOfInfo(info *tmplInfo, ctx core.Context) KernelID {
 	if info.affinity >= 0 {
 		return KernelID(info.affinity % s.kernels)
 	}
+	if info.owner != nil {
+		return info.owner[ctx]
+	}
 	if info.inst == 0 {
 		return 0
 	}
 	return KernelID(uint64(ctx) * uint64(s.kernels) / uint64(info.inst))
-}
-
-func (s *State) kernelOfTemplate(t *core.Template, ctx core.Context) KernelID {
-	if t.Affinity >= 0 {
-		return KernelID(t.Affinity % s.kernels)
-	}
-	if t.Instances == 0 {
-		return 0
-	}
-	return KernelID(uint64(ctx) * uint64(s.kernels) / uint64(t.Instances))
 }
 
 // ownedRange returns the context interval [lo, hi) of template t owned by
@@ -371,9 +424,8 @@ func (s *State) dec(target core.Instance) (KernelID, bool) {
 	if info.block != s.curBlock || !s.loaded {
 		panic(fmt.Sprintf("tsu: decrement of %v but block %d is loaded", target, s.curBlock))
 	}
-	k := s.locate(info, target.Ctx)
-	m := &s.sms[k]
-	c := &m.counts[info.dense][target.Ctx-m.base[info.dense]]
+	k := s.locate(info, target.Ctx, &s.searchSteps)
+	c := s.countAddr(info, k, target.Ctx)
 	*c--
 	s.stats.Decrements++
 	if *c < 0 {
@@ -385,6 +437,17 @@ func (s *State) dec(target core.Instance) (KernelID, bool) {
 		return k, true
 	}
 	return k, false
+}
+
+// countAddr returns the Ready Count cell of ctx within kernel k's SM:
+// slot-indexed under a table mapping (ownership may be non-contiguous),
+// base-offset under the chunked range split.
+func (s *State) countAddr(info *tmplInfo, k KernelID, ctx core.Context) *int32 {
+	m := &s.sms[k]
+	if info.slot != nil {
+		return &m.counts[info.dense][info.slot[ctx]]
+	}
+	return &m.counts[info.dense][ctx-m.base[info.dense]]
 }
 
 // Done processes the completion of an instance by kernel k: the
@@ -453,21 +516,36 @@ func (s *State) inletDone(dst []Ready, blk int) []Ready {
 		s.sms[k].base = make([]core.Context, len(b.Templates))
 	}
 	for di, t := range b.Templates {
+		info := &s.infos[t.ID]
 		deg := core.InDegrees(b, t)
-		for k := 0; k < s.kernels; k++ {
-			lo, hi := s.ownedRange(t, KernelID(k))
-			s.sms[k].base[di] = lo
-			if hi > lo {
-				cnt := make([]int32, hi-lo)
-				for c := lo; c < hi; c++ {
-					cnt[c-lo] = int32(deg[c])
+		if info.owner != nil {
+			// Table mapping: ownership may be non-contiguous, so each
+			// kernel's slice is slot-indexed (countAddr) rather than
+			// base-offset.
+			for k := 0; k < s.kernels; k++ {
+				if n := info.perKernel[k]; n > 0 {
+					s.sms[k].counts[di] = make([]int32, n)
 				}
-				s.sms[k].counts[di] = cnt
+			}
+			for c := core.Context(0); c < t.Instances; c++ {
+				s.sms[info.owner[c]].counts[di][info.slot[c]] = int32(deg[c])
+			}
+		} else {
+			for k := 0; k < s.kernels; k++ {
+				lo, hi := s.ownedRange(t, KernelID(k))
+				s.sms[k].base[di] = lo
+				if hi > lo {
+					cnt := make([]int32, hi-lo)
+					for c := lo; c < hi; c++ {
+						cnt[c-lo] = int32(deg[c])
+					}
+					s.sms[k].counts[di] = cnt
+				}
 			}
 		}
 		for c := core.Context(0); c < t.Instances; c++ {
 			if deg[c] == 0 {
-				kc := s.kernelOfTemplate(t, c)
+				kc := s.kernelOfInfo(info, c)
 				s.stats.Fired++
 				s.stats.PerKernel[int(kc)]++
 				dst = append(dst, Ready{Inst: core.Instance{Thread: t.ID, Ctx: c}, Kernel: kc})

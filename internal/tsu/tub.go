@@ -31,6 +31,14 @@ type TUBConfig struct {
 	// SingleLock disables segmentation (one global lock) — the ablation
 	// configuration showing why the paper partitions the TUB.
 	SingleLock bool
+	// Unbounded lets a Push grow a segment past SegmentCap instead of
+	// blocking for space. The sharded TSU uses this for its cross-shard
+	// inboxes: every shard is both a producer into its peers' inboxes and
+	// the drainer of its own, so a blocking Push could deadlock two shards
+	// against each other's full inboxes. Capacity stays bounded in
+	// practice by the Block's arc count. SegmentCap still sizes the
+	// initial allocation.
+	Unbounded bool
 }
 
 func (c TUBConfig) withDefaults(kernels int) TUBConfig {
@@ -69,9 +77,10 @@ func (s *tubSegment) init(capacity int) {
 // TUB is the Thread-to-Update Buffer shared between the Kernels (writers)
 // and the TSU Emulator (single reader). See §4.2 of the paper.
 type TUB struct {
-	segs   []tubSegment
-	notify chan struct{}
-	closed atomic.Bool
+	segs      []tubSegment
+	notify    chan struct{}
+	closed    atomic.Bool
+	unbounded bool
 
 	pushes    atomic.Int64
 	tryMisses atomic.Int64
@@ -92,8 +101,9 @@ func (t *TUB) SetObs(s obs.Sink) { t.sink = s }
 func NewTUB(kernels int, cfg TUBConfig) *TUB {
 	cfg = cfg.withDefaults(kernels)
 	t := &TUB{
-		segs:   make([]tubSegment, cfg.Segments),
-		notify: make(chan struct{}, 1),
+		segs:      make([]tubSegment, cfg.Segments),
+		notify:    make(chan struct{}, 1),
+		unbounded: cfg.Unbounded,
 	}
 	for i := range t.segs {
 		t.segs[i].init(cfg.SegmentCap)
@@ -147,7 +157,7 @@ func (t *TUB) Push(rec Completion) {
 				t.tryMisses.Add(1)
 				continue
 			}
-			if len(seg.buf) >= seg.cap {
+			if len(seg.buf) >= seg.cap && !t.unbounded {
 				seg.mu.Unlock()
 				t.tryMisses.Add(1)
 				continue
@@ -160,11 +170,11 @@ func (t *TUB) Push(rec Completion) {
 		}
 		t.blocked.Add(1)
 	}
-	// Blocking fallback on the home segment (and the only path in
-	// single-lock mode).
+	// Fallback on the home segment (and the only path in single-lock
+	// mode): blocking for space, or growing past cap in unbounded mode.
 	seg := &t.segs[home]
 	seg.mu.Lock()
-	for len(seg.buf) >= seg.cap {
+	for len(seg.buf) >= seg.cap && !t.unbounded {
 		if t.closed.Load() {
 			// Aborted run: nobody will drain; drop the record rather
 			// than deadlock the kernel.
