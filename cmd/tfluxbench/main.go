@@ -14,7 +14,12 @@
 //	tfluxbench -exp shards            # sharded-TSU scaling study
 //	tfluxbench -exp dist              # TFluxDist protocol cost across nodes
 //	tfluxbench -exp serve             # tfluxd service-layer throughput
+//	tfluxbench -exp stream            # streaming event filter at sustained rate
 //	tfluxbench -exp all               # everything
+//
+// -json FILE additionally writes every produced row as a JSON array
+// (name, rates, speedups, latency percentiles) for machine consumption;
+// FILE may be "-" for stdout.
 //
 // Native experiments (fig6, fig7, part of unroll) measure wall clock on
 // multicore hosts and fall back to the virtual-time model on single-core
@@ -42,7 +47,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("tfluxbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		which   = fs.String("exp", "all", "experiment: table1|fig5|fig6|fig7|fig5x86|groups|policy|shards|dist|serve|tsulat|unroll|budget|all")
+		which   = fs.String("exp", "all", "experiment: table1|fig5|fig6|fig7|fig5x86|groups|policy|shards|dist|serve|stream|tsulat|unroll|budget|all")
 		quick   = fs.Bool("quick", false, "smallest sizes, fewest configurations (seconds instead of minutes)")
 		reps    = fs.Int("reps", 0, "native repetitions per measurement (0 = default)")
 		maxK    = fs.Int("maxkernels", 0, "cap kernel counts (0 = paper configurations)")
@@ -50,6 +55,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		format  = fs.String("format", "table", "row output format: table|csv|chart")
 		mode    = fs.String("mode", "auto", "software-platform timing: auto|wallclock|virtual")
 		metrics = fs.Bool("metrics", false, "print a runtime metrics summary after each experiment")
+		jsonOut = fs.String("json", "", "write machine-readable results (JSON rows) to this file; - for stdout")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -84,6 +90,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	failed := false
+	var allRows []exp.Row
 	runExp := func(name string, f func(exp.Options) ([]exp.Row, error)) {
 		oe := o
 		if *metrics {
@@ -96,6 +103,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			failed = true
 			return
 		}
+		allRows = append(allRows, rows...)
 		fmt.Fprintf(stdout, "== %s ==\n%s%s\n", name, render(rows), exp.Summary(rows))
 		if *metrics {
 			fmt.Fprintln(stdout, "-- metrics --")
@@ -158,6 +166,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		runExp("serve (tfluxd service-layer throughput)", exp.Serve)
 		did = true
 	}
+	if all || *which == "stream" {
+		runExp("stream (sustained-rate event filter)", exp.Stream)
+		did = true
+	}
 	if all || *which == "tsulat" {
 		runExp("tsulat (TSU latency 1..128 cycles)", exp.TSULatency)
 		did = true
@@ -174,8 +186,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "tfluxbench: unknown experiment %q\n", *which)
 		return 2
 	}
+	if *jsonOut != "" {
+		if err := writeJSON(*jsonOut, allRows, stdout); err != nil {
+			fmt.Fprintf(stderr, "tfluxbench: %v\n", err)
+			failed = true
+		}
+	}
 	if failed {
 		return 1
 	}
 	return 0
+}
+
+// writeJSON writes the collected rows to path ("-" = stdout).
+func writeJSON(path string, rows []exp.Row, stdout io.Writer) error {
+	if path == "-" {
+		return exp.WriteJSON(stdout, rows)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := exp.WriteJSON(f, rows); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -95,6 +98,50 @@ func TestRunMetricsFlag(t *testing.T) {
 		if !strings.Contains(s, want) {
 			t.Fatalf("metrics summary missing %q:\n%s", want, s)
 		}
+	}
+}
+
+func TestRunStreamQuick(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-exp", "stream", "-quick"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	for _, want := range []string{"stream", "EVENTFILTER", "ev/s"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("stream output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "rows.json")
+	var out, errb bytes.Buffer
+	if code := run([]string{"-exp", "stream", "-quick", "-json", path}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []map[string]any
+	if err := json.Unmarshal(data, &rows); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, data)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("json rows = %d, want 3", len(rows))
+	}
+	for _, key := range []string{"experiment", "benchmark", "throughput_eps", "p99_s", "speedup", "class"} {
+		if _, ok := rows[0][key]; !ok {
+			t.Fatalf("json row missing %q: %v", key, rows[0])
+		}
+	}
+	// "-" writes the array to stdout.
+	out.Reset()
+	if code := run([]string{"-exp", "budget", "-json", "-"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "[]") {
+		t.Fatalf("rowless experiment should emit an empty JSON array:\n%s", out.String())
 	}
 }
 

@@ -20,6 +20,8 @@ var connectIncompatible = []string{
 	"platform", "nodes", "dist-batch", "dist-batch-bytes", "dist-window",
 	"dist-no-cache", "trace-out", "trace", "metrics", "gantt", "dot", "vet",
 	"tsu-shards", "tsu-map",
+	"stream-events", "stream-rate", "stream-window", "stream-slots",
+	"stream-policy", "stream-faults",
 }
 
 // runConnect executes the benchmark by submitting it to a tfluxd

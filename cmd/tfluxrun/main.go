@@ -13,8 +13,25 @@
 // Observability: -trace-out FILE writes a Chrome trace-event JSON file of
 // the run (open it at ui.perfetto.dev or chrome://tracing); -metrics
 // prints the runtime metrics registry and a per-lane event summary.
-// Both work on the soft, hard, cell, and dist platforms. -trace is a
-// deprecated alias for -trace-out.
+// Both work on the soft, hard, cell, and dist platforms. (The old
+// -trace alias has been removed; passing it is an error naming
+// -trace-out.)
+//
+// Streaming mode: -stream-events N runs the EVENTFILTER streaming
+// pipeline (decode → filter → aggregate over recycled window slots)
+// instead of a batch benchmark, reporting achieved vs offered events/sec
+// and p50/p95/p99 admission-to-retire latency. -stream-rate sets the
+// offered rate in events/sec (0 = unbounded), -stream-window the events
+// per window, -stream-slots the in-flight window budget, and
+// -stream-policy block|shed the backpressure behaviour at slot
+// exhaustion. -stream-faults injects an in-process chaos plan against
+// pipeline stages (latency and stall kinds; see internal/stream), e.g.
+//
+//	tfluxrun -stream-events 100000 -stream-rate 50000 \
+//	    -stream-faults 'stall-write:node=1:after=2000:dur=20ms'
+//
+// With the block policy (nothing shed) the run is verified bit-exactly
+// against the sequential reference.
 //
 // Extras: -dot FILE writes the Synchronization Graph in Graphviz format
 // and exits; -gantt (soft platform) prints an ASCII timeline chart; -vet
@@ -74,6 +91,7 @@ import (
 	"tflux/internal/obs"
 	"tflux/internal/rts"
 	"tflux/internal/stats"
+	"tflux/internal/stream"
 	"tflux/internal/tsu"
 	"tflux/internal/vtime"
 	"tflux/internal/workload"
@@ -88,35 +106,37 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("tfluxrun", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		bench       = fs.String("bench", "TRAPEZ", "benchmark: TRAPEZ|MMULT|QSORT|SUSAN|FFT")
-		platform    = fs.String("platform", "soft", "platform: soft|hard|cell|dist|virtual")
-		size        = fs.String("size", "small", "problem size: small|medium|large")
-		kernels     = fs.Int("kernels", 4, "kernels / cores / SPEs (total across nodes for dist)")
-		nodes       = fs.Int("nodes", 2, "worker nodes (dist platform)")
-		unroll      = fs.Int("unroll", 8, "loop unroll factor (DThread granularity)")
-		tsuShards   = fs.Int("tsu-shards", 0, "soft platform: shard the software TSU across N kernel-stepped shards (0 or 1 = legacy dedicated emulator)")
-		tsuMap      = fs.String("tsu-map", "", "TKT context→kernel mapping policy: range|rr|locality (soft/hard/cell; empty = closed-form range split)")
-		reps        = fs.Int("reps", 3, "repetitions for native measurements (min taken)")
-		dotOut      = fs.String("dot", "", "write the Synchronization Graph in DOT format to this file and exit")
-		traceOut    = fs.String("trace-out", "", "write a Chrome trace-event JSON file of the run (soft|hard|cell|dist)")
-		traceLegacy = fs.String("trace", "", "deprecated alias for -trace-out")
-		metrics     = fs.Bool("metrics", false, "print the metrics registry and per-lane event summary after the run")
-		gantt       = fs.Bool("gantt", false, "print an ASCII per-kernel timeline chart (soft platform only)")
-		vet         = fs.Bool("vet", false, "statically verify the program at instance granularity (ddmlint) and refuse to dispatch on findings")
-		distFaults  = fs.String("dist-faults", "", "dist platform: seeded fault-injection plan, e.g. seed=7,plan=sever:node=1:after=40 (see internal/chaos)")
-		distBatch   = fs.Int("dist-batch", 0, "dist platform: max Execs per ExecBatch frame (0 = default 32, negative = 1)")
-		distBatchKB = fs.Int64("dist-batch-bytes", 0, "dist platform: flush a node's batch at this many payload bytes (0 = default 256 KiB)")
-		distWindow  = fs.Int("dist-window", 0, "dist platform: per-node in-flight instance window (0 = default 64, negative = 1)")
-		distNoCache = fs.Bool("dist-no-cache", false, "dist platform: disable the worker-side import-region cache (ship full bytes every dispatch)")
-		connect     = fs.String("connect", "", "submit the benchmark to a running tfluxd daemon at this address instead of hosting a platform locally")
-		tenant      = fs.String("tenant", "tfluxrun", "tenant name for -connect submissions")
+		bench        = fs.String("bench", "TRAPEZ", "benchmark: TRAPEZ|MMULT|QSORT|SUSAN|FFT")
+		platform     = fs.String("platform", "soft", "platform: soft|hard|cell|dist|virtual")
+		size         = fs.String("size", "small", "problem size: small|medium|large")
+		kernels      = fs.Int("kernels", 4, "kernels / cores / SPEs (total across nodes for dist)")
+		nodes        = fs.Int("nodes", 2, "worker nodes (dist platform)")
+		unroll       = fs.Int("unroll", 8, "loop unroll factor (DThread granularity)")
+		tsuShards    = fs.Int("tsu-shards", 0, "soft platform: shard the software TSU across N kernel-stepped shards (0 or 1 = legacy dedicated emulator)")
+		tsuMap       = fs.String("tsu-map", "", "TKT context→kernel mapping policy: range|rr|locality (soft/hard/cell; empty = closed-form range split)")
+		reps         = fs.Int("reps", 3, "repetitions for native measurements (min taken)")
+		dotOut       = fs.String("dot", "", "write the Synchronization Graph in DOT format to this file and exit")
+		traceOut     = fs.String("trace-out", "", "write a Chrome trace-event JSON file of the run (soft|hard|cell|dist)")
+		traceLegacy  = fs.String("trace", "", "removed; use -trace-out")
+		metrics      = fs.Bool("metrics", false, "print the metrics registry and per-lane event summary after the run")
+		gantt        = fs.Bool("gantt", false, "print an ASCII per-kernel timeline chart (soft platform only)")
+		vet          = fs.Bool("vet", false, "statically verify the program at instance granularity (ddmlint) and refuse to dispatch on findings")
+		distFaults   = fs.String("dist-faults", "", "dist platform: seeded fault-injection plan, e.g. seed=7,plan=sever:node=1:after=40 (see internal/chaos)")
+		distBatch    = fs.Int("dist-batch", 0, "dist platform: max Execs per ExecBatch frame (0 = default 32, negative = 1)")
+		distBatchKB  = fs.Int64("dist-batch-bytes", 0, "dist platform: flush a node's batch at this many payload bytes (0 = default 256 KiB)")
+		distWindow   = fs.Int("dist-window", 0, "dist platform: per-node in-flight instance window (0 = default 64, negative = 1)")
+		distNoCache  = fs.Bool("dist-no-cache", false, "dist platform: disable the worker-side import-region cache (ship full bytes every dispatch)")
+		connect      = fs.String("connect", "", "submit the benchmark to a running tfluxd daemon at this address instead of hosting a platform locally")
+		tenant       = fs.String("tenant", "tfluxrun", "tenant name for -connect submissions")
+		streamEvents = fs.Int64("stream-events", 0, "streaming mode: run the EVENTFILTER pipeline over this many events (0 = batch mode)")
+		streamRate   = fs.Float64("stream-rate", 0, "streaming mode: offered injection rate in events/sec (0 = unbounded)")
+		streamWindow = fs.Int("stream-window", 64, "streaming mode: events per window")
+		streamSlots  = fs.Int("stream-slots", 8, "streaming mode: in-flight window budget (recycled SM slots)")
+		streamPolicy = fs.String("stream-policy", "block", "streaming mode: backpressure at slot exhaustion: block|shed")
+		streamFaults = fs.String("stream-faults", "", "streaming mode: in-process chaos plan against pipeline stages, e.g. stall-write:node=1:after=2000:dur=20ms")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
-	}
-	if *traceOut == "" && *traceLegacy != "" {
-		*traceOut = *traceLegacy
-		fmt.Fprintln(stderr, "tfluxrun: -trace is deprecated, use -trace-out (the output is now Chrome trace JSON)")
 	}
 	if *nodes < 1 {
 		*nodes = 1
@@ -125,6 +145,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fail := func(err error) int {
 		fmt.Fprintln(stderr, "tfluxrun:", err)
 		return 1
+	}
+	if *traceLegacy != "" {
+		return fail(fmt.Errorf("-trace was removed; use -trace-out FILE (the output is Chrome trace-event JSON)"))
 	}
 
 	// Client mode hands the fleet to the daemon: flags that configure a
@@ -141,6 +164,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	} else if set["tenant"] {
 		return fail(fmt.Errorf("-tenant only applies to -connect submissions"))
+	}
+
+	// Streaming mode replaces the batch benchmark entirely.
+	if *streamEvents > 0 {
+		for _, name := range []string{"bench", "platform", "size", "unroll", "nodes", "trace-out", "gantt", "dot", "vet"} {
+			if set[name] {
+				return fail(fmt.Errorf("-%s does not apply to streaming mode (-stream-events)", name))
+			}
+		}
+		return runStreamMode(*streamEvents, *streamRate, *streamWindow, *streamSlots,
+			*kernels, *streamPolicy, *streamFaults, *metrics, stdout, stderr)
+	}
+	for _, name := range []string{"stream-rate", "stream-window", "stream-slots", "stream-policy", "stream-faults"} {
+		if set[name] {
+			return fail(fmt.Errorf("-%s requires streaming mode (-stream-events N)", name))
+		}
 	}
 
 	spec, err := workload.ByName(*bench)
@@ -441,4 +480,74 @@ func run(args []string, stdout, stderr io.Writer) int {
 			stats.Speedup(seqT.Seconds(), parT.Seconds()))
 	}
 	return finish()
+}
+
+// runStreamMode runs the EVENTFILTER streaming pipeline and reports
+// sustained-rate and tail-latency results. With the block policy and
+// nothing shed, the checksum is verified against the sequential
+// reference (the exactly-once contract); a shedding run skips it, since
+// the reference covers all offered events.
+func runStreamMode(events int64, rate float64, window, slots, workers int, policy, faults string, metrics bool, stdout, stderr io.Writer) int {
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "tfluxrun:", err)
+		return 1
+	}
+	pol, err := stream.ParsePolicy(policy)
+	if err != nil {
+		return fail(err)
+	}
+	ef, err := workload.NewEventFilter(core.Context(window), slots, 0x5eed)
+	if err != nil {
+		return fail(err)
+	}
+	opt := stream.Options{Slots: slots, Workers: workers, Policy: pol}
+	if metrics {
+		opt.Metrics = obs.NewRegistry()
+	}
+	if faults != "" {
+		plan, err := chaos.ParseSpec(faults)
+		if err != nil {
+			return fail(err)
+		}
+		opt.Faults, opt.FaultLog = plan, chaos.NewLog()
+	}
+	fmt.Fprintf(stdout, "streaming EVENTFILTER: %d events, window %d, %d slots, policy %s, %d workers\n",
+		events, window, slots, pol, workers)
+	st, err := rts.RunStream(ef.Pipeline(), stream.NewCountSource(events, rate), opt)
+	if err != nil {
+		return fail(err)
+	}
+	if rate > 0 {
+		fmt.Fprintf(stdout, "offered:    %.0f ev/s\n", rate)
+	} else {
+		fmt.Fprintln(stdout, "offered:    unbounded")
+	}
+	fmt.Fprintf(stdout, "achieved:   %.0f ev/s (%d events, %d windows, %d padded, max %d windows in flight)\n",
+		st.AchievedEPS, st.Events, st.Windows, st.Padded, st.MaxInFlight)
+	fmt.Fprintf(stdout, "latency:    p50 %s p95 %s p99 %s (admission→retire)\n",
+		stats.FormatDuration(st.P50), stats.FormatDuration(st.P95), stats.FormatDuration(st.P99))
+	if pol == stream.Shed {
+		fmt.Fprintf(stdout, "shed:       %d event(s) in %d window(s)\n", st.ShedEvents, st.ShedWindows)
+	}
+	if opt.FaultLog != nil {
+		fmt.Fprintf(stdout, "chaos:      %d fault(s) fired\n", opt.FaultLog.Count())
+		for _, ev := range opt.FaultLog.Events() {
+			fmt.Fprintf(stdout, "  stage %d firing %d: %s %s\n", ev.Node, ev.Frame, ev.Kind, ev.Detail)
+		}
+	}
+	if metrics {
+		fmt.Fprintln(stdout, "-- metrics --")
+		if err := opt.Metrics.WriteSummary(stdout); err != nil {
+			return fail(err)
+		}
+	}
+	if st.ShedEvents > 0 {
+		fmt.Fprintln(stdout, "verify:     skipped (shed runs drop whole windows; the sequential reference covers all offered events)")
+		return 0
+	}
+	if err := ef.Verify(events); err != nil {
+		return fail(err)
+	}
+	fmt.Fprintln(stdout, "verify:     ok")
+	return 0
 }

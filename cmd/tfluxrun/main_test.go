@@ -81,21 +81,18 @@ func TestRunSoftWithTraceOut(t *testing.T) {
 	}
 }
 
-// TestRunTraceDeprecatedAlias pins that the old -trace flag still works,
-// now producing Chrome trace JSON, with a deprecation warning on stderr.
-func TestRunTraceDeprecatedAlias(t *testing.T) {
-	dir := t.TempDir()
-	tracePath := filepath.Join(dir, "trace.json")
+// TestRunTraceRemovedAlias pins that the old -trace alias is gone: the
+// run is refused with an error pointing the user at -trace-out.
+func TestRunTraceRemovedAlias(t *testing.T) {
 	var out, errb bytes.Buffer
 	code := run([]string{"-bench", "TRAPEZ", "-platform", "soft", "-size", "small",
-		"-kernels", "2", "-reps", "1", "-trace", tracePath}, &out, &errb)
-	if code != 0 {
-		t.Fatalf("exit %d: %s", code, errb.String())
+		"-kernels", "2", "-reps", "1", "-trace", "trace.json"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 (stderr: %s)", code, errb.String())
 	}
-	if !strings.Contains(errb.String(), "deprecated") {
-		t.Fatalf("no deprecation warning on stderr: %s", errb.String())
+	if s := errb.String(); !strings.Contains(s, "removed") || !strings.Contains(s, "-trace-out") {
+		t.Fatalf("error should name -trace-out as the replacement: %s", s)
 	}
-	readTrace(t, tracePath)
 }
 
 func TestRunHardWithTraceOut(t *testing.T) {
@@ -264,6 +261,77 @@ func TestRunVetFlag(t *testing.T) {
 	s := out.String()
 	if !strings.Contains(s, "vet:        ok") || !strings.Contains(s, "verify:     ok") {
 		t.Fatalf("output:\n%s", s)
+	}
+}
+
+// TestRunStreamMode drives the streaming entry point: a rated run with
+// chaos and metrics, reporting throughput and tail latency and verifying
+// the checksum against the sequential reference.
+func TestRunStreamMode(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-stream-events", "4000", "-stream-rate", "40000",
+		"-stream-window", "16", "-stream-slots", "4", "-kernels", "4",
+		"-stream-faults", "stall-write:node=1:after=500:dur=5ms", "-metrics"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	s := out.String()
+	for _, want := range []string{"streaming EVENTFILTER", "offered:    40000 ev/s",
+		"achieved:", "latency:    p50", "chaos:      1 fault(s)", "stall-write",
+		"-- metrics --", "stream.injected", "stream.event_latency_ns", "verify:     ok"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestRunStreamShedPolicy pins that an overloaded shed run reports the
+// dropped windows and skips checksum verification.
+func TestRunStreamShedPolicy(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-stream-events", "2000", "-stream-window", "16",
+		"-stream-slots", "1", "-stream-policy", "shed", "-kernels", "1",
+		"-stream-faults", "latency:node=2:after=1:dur=2ms"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "shed:") {
+		t.Fatalf("no shed line:\n%s", s)
+	}
+	if !strings.Contains(s, "window(s)") {
+		t.Fatalf("shed line should count windows:\n%s", s)
+	}
+	if strings.Contains(s, "verify:     ok") && !strings.Contains(s, "skipped") {
+		// Nothing shed is legal under light load; a shed count must then be 0.
+		if !strings.Contains(s, "shed:       0 event(s)") {
+			t.Fatalf("verified run claims sheds:\n%s", s)
+		}
+	}
+}
+
+// TestRunStreamErrors pins the streaming flag validation.
+func TestRunStreamErrors(t *testing.T) {
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-stream-rate", "100"}, "requires streaming mode"},
+		{[]string{"-stream-events", "10", "-bench", "MMULT"}, "does not apply to streaming mode"},
+		{[]string{"-stream-events", "10", "-platform", "hard"}, "does not apply to streaming mode"},
+		{[]string{"-stream-events", "10", "-stream-policy", "drop"}, "unknown backpressure policy"},
+		{[]string{"-stream-events", "10", "-stream-faults", "sever:node=0:after=1"}, "sever"},
+		{[]string{"-stream-events", "10", "-stream-window", "7"}, "multiple of"},
+		{[]string{"-connect", "127.0.0.1:1", "-stream-events", "10"}, "incompatible with -connect"},
+	}
+	for _, c := range cases {
+		var out, errb bytes.Buffer
+		if code := run(c.args, &out, &errb); code != 1 {
+			t.Fatalf("args %v: exit %d, want 1 (stderr: %s)", c.args, code, errb.String())
+		}
+		if !strings.Contains(errb.String(), c.want) {
+			t.Fatalf("args %v: stderr missing %q: %s", c.args, c.want, errb.String())
+		}
 	}
 }
 

@@ -1,0 +1,20 @@
+package main
+
+import (
+	"testing"
+
+	"tflux"
+)
+
+// TestVetClean statically verifies one window of the example's pipeline
+// at instance granularity — every window executes the same graph, so
+// vetting one window vets the stream (see cmd/tfluxvet).
+func TestVetClean(t *testing.T) {
+	rep, err := tflux.VetStream(build(newState()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() || len(rep.Notes) > 0 {
+		t.Fatalf("findings %+v, notes %v", rep.Findings, rep.Notes)
+	}
+}

@@ -43,18 +43,25 @@ import (
 // Row is one data point of an experiment: one (benchmark, platform,
 // kernels, size) cell of a paper figure.
 type Row struct {
-	Experiment string
-	Benchmark  string
-	Platform   string
-	Size       string
-	Class      workload.SizeClass
-	Kernels    int
-	Unroll     int     // the unroll factor that won the min-over-unroll selection
-	Seq        float64 // sequential baseline (Unit)
-	Par        float64 // parallel execution (Unit)
-	Unit       string  // "cycles" (simulated) or "s" (native wall clock)
-	Mode       string  // "sim", "wallclock" or "virtual"
-	Speedup    float64
+	Experiment string             `json:"experiment"`
+	Benchmark  string             `json:"benchmark"`
+	Platform   string             `json:"platform"`
+	Size       string             `json:"size"`
+	Class      workload.SizeClass `json:"-"`
+	Kernels    int                `json:"kernels"`
+	Unroll     int                `json:"unroll,omitempty"` // the unroll factor that won the min-over-unroll selection
+	Seq        float64            `json:"seq"`              // sequential baseline (Unit)
+	Par        float64            `json:"par"`              // parallel execution (Unit)
+	Unit       string             `json:"unit"`             // "cycles" (simulated) or "s" (native wall clock)
+	Mode       string             `json:"mode"`             // "sim", "wallclock", "virtual" or "stream"
+	Speedup    float64            `json:"speedup"`
+
+	// Streaming rows only: sustained throughput and per-event
+	// admission-to-retire latency quantiles.
+	Throughput float64 `json:"throughput_eps,omitempty"` // achieved events/sec
+	P50        float64 `json:"p50_s,omitempty"`          // seconds
+	P95        float64 `json:"p95_s,omitempty"`
+	P99        float64 `json:"p99_s,omitempty"`
 }
 
 // Options tunes experiment scope.

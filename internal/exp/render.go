@@ -1,7 +1,9 @@
 package exp
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 	"sort"
 	"strings"
 )
@@ -79,4 +81,22 @@ func Chart(rows []Row) string {
 	}
 	fmt.Fprintf(&b, "scale: full bar = %.1fx speedup\n", maxSp)
 	return b.String()
+}
+
+// WriteJSON renders rows as an indented JSON array, the machine-readable
+// form tfluxbench -json emits so perf trajectories can be tracked across
+// commits by tooling instead of prose. Streaming rows carry throughput
+// and latency-quantile fields; batch rows omit them.
+func WriteJSON(w io.Writer, rows []Row) error {
+	type jsonRow struct {
+		Row
+		Class string `json:"class"`
+	}
+	out := make([]jsonRow, len(rows))
+	for i, r := range rows {
+		out[i] = jsonRow{Row: r, Class: r.Class.String()}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }

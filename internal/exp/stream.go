@@ -1,0 +1,102 @@
+package exp
+
+import (
+	"fmt"
+	"runtime"
+
+	"tflux/internal/chaos"
+	"tflux/internal/core"
+	"tflux/internal/rts"
+	"tflux/internal/stream"
+	"tflux/internal/workload"
+)
+
+// Stream measures the streaming subsystem: the EVENTFILTER pipeline
+// (decode → filter → aggregate over recycled window slots) driven by a
+// paced source. Three configurations:
+//
+//   - unbounded: the source injects as fast as admission allows — the
+//     pipeline's peak throughput;
+//   - sustained: a fixed offered rate the host should sustain — the
+//     row's Speedup column is the sustain ratio (achieved/offered);
+//   - sustained+chaos: the same rate with an injected latency fault on
+//     the filter stage, measuring tail-latency degradation.
+//
+// Every configuration runs under the Block policy and is verified
+// bit-exactly against the sequential reference (exactly-once).
+func Stream(o Options) ([]Row, error) {
+	const (
+		window = core.Context(64)
+		slots  = 8
+		// Two one-shot stalls (filter stage, then aggregate stage): each
+		// freezes one worker for 20ms mid-run, so the windows in flight
+		// around it absorb the hit — a bounded tail-latency injection
+		// whose wall-clock cost stays ~40ms regardless of event count
+		// (a per-firing latency fault would scale with the stream).
+		fault = "stall-write:node=1:after=2000:dur=20ms;stall-read:node=2:after=3000:dur=20ms"
+	)
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 2 {
+		workers = 2 // keep injection and retirement from serializing fully
+	}
+	events := int64(100_000)
+	rate := 50_000.0
+	if o.Quick {
+		events, rate = 16_000, 40_000.0
+	}
+
+	type cfg struct {
+		name   string
+		rate   float64
+		faults string
+	}
+	cfgs := []cfg{
+		{"unbounded", 0, ""},
+		{"sustained", rate, ""},
+		{"sustained+chaos", rate, fault},
+	}
+
+	var rows []Row
+	for _, c := range cfgs {
+		ef, err := workload.NewEventFilter(window, slots, 0x5eed)
+		if err != nil {
+			return nil, err
+		}
+		opt := stream.Options{Slots: slots, Workers: workers, Policy: stream.Block, Metrics: o.Metrics}
+		if c.faults != "" {
+			plan, err := chaos.ParseSpec(c.faults)
+			if err != nil {
+				return nil, err
+			}
+			opt.Faults, opt.FaultLog = plan, chaos.NewLog()
+		}
+		st, err := rts.RunStream(ef.Pipeline(), stream.NewCountSource(events, c.rate), opt)
+		if err != nil {
+			return nil, fmt.Errorf("stream %s: %w", c.name, err)
+		}
+		if err := ef.Verify(events); err != nil {
+			return nil, fmt.Errorf("stream %s: %w", c.name, err)
+		}
+		offered := st.OfferedEPS
+		if offered == 0 {
+			offered = st.AchievedEPS // unbounded: peak is its own baseline
+		}
+		mode := "stream"
+		if c.faults != "" {
+			mode = "stream+chaos"
+		}
+		o.progress("stream %s: offered %.0f ev/s, achieved %.0f ev/s, p50 %v p99 %v, %d windows (%d faults)",
+			c.name, offered, st.AchievedEPS, st.P50, st.P99, st.Windows, st.Faults)
+		rows = append(rows, Row{
+			Experiment: "stream", Benchmark: "EVENTFILTER", Platform: "TFluxSoft",
+			Size:    fmt.Sprintf("%dev/w%d", events, window),
+			Class:   workload.Small,
+			Kernels: workers,
+			Seq:     offered, Par: st.AchievedEPS, Unit: "ev/s", Mode: mode,
+			Speedup:    st.AchievedEPS / offered,
+			Throughput: st.AchievedEPS,
+			P50:        st.P50.Seconds(), P95: st.P95.Seconds(), P99: st.P99.Seconds(),
+		})
+	}
+	return rows, nil
+}

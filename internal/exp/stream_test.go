@@ -1,0 +1,40 @@
+package exp
+
+import (
+	"testing"
+
+	"tflux/internal/obs"
+)
+
+func TestStreamQuick(t *testing.T) {
+	o := quick()
+	o.Metrics = obs.NewRegistry()
+	rows, err := Stream(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 { // unbounded, sustained, sustained+chaos
+		t.Fatalf("stream quick rows = %d, want 3", len(rows))
+	}
+	for _, r := range rows {
+		if r.Unit != "ev/s" || r.Benchmark != "EVENTFILTER" {
+			t.Fatalf("row %+v", r)
+		}
+		if r.Throughput <= 0 || r.Speedup <= 0 {
+			t.Fatalf("bad throughput in %+v", r)
+		}
+		if r.P99 < r.P50 || r.P50 <= 0 {
+			t.Fatalf("bad quantiles in %+v", r)
+		}
+	}
+	if rows[2].Mode != "stream+chaos" {
+		t.Fatalf("mode %q", rows[2].Mode)
+	}
+	// The injected filter-stage latency must show up in the tail.
+	if rows[2].P99 <= rows[1].P99 {
+		t.Logf("note: chaos p99 %.6fs not above clean p99 %.6fs (host noise)", rows[2].P99, rows[1].P99)
+	}
+	if got := o.Metrics.Counter("stream.injected").Value(); got == 0 {
+		t.Fatal("stream metrics not published")
+	}
+}

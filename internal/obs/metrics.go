@@ -259,10 +259,57 @@ func (r *Registry) rows() []metricRow {
 			mean = h.Sum() / n
 		}
 		rows = append(rows, metricRow{name, "histogram",
-			fmt.Sprintf("n=%d sum=%d mean=%d p99≤%d", n, h.Sum(), mean, h.quantileBound(0.99))})
+			fmt.Sprintf("n=%d sum=%d mean=%d p50=%d p95=%d p99=%d",
+				n, h.Sum(), mean, h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99))})
 	}
 	sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
 	return rows
+}
+
+// Quantile returns a bucket-interpolated estimate of the q-quantile:
+// the bucket covering the quantile is located and the value is linearly
+// interpolated between its bounds by the sample's rank within it. The
+// overflow bucket has no upper bound, so quantiles landing there report
+// its lower edge. q is clamped to [0,1]; an empty histogram reports 0.
+// Nil-receiver-safe.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h == nil {
+		return 0
+	}
+	total := h.Count()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(total)
+	var seen int64
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		if c == 0 {
+			continue
+		}
+		if float64(seen)+float64(c) >= target {
+			var lo int64
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			if i == len(h.bounds) {
+				return lo // overflow bucket: no upper bound to interpolate to
+			}
+			frac := (target - float64(seen)) / float64(c)
+			return lo + int64(frac*float64(h.bounds[i]-lo)+0.5)
+		}
+		seen += c
+	}
+	if len(h.bounds) == 0 {
+		return 0
+	}
+	return h.bounds[len(h.bounds)-1]
 }
 
 // QuantileBound returns the smallest bucket upper bound covering the

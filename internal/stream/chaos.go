@@ -1,0 +1,97 @@
+package stream
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tflux/internal/chaos"
+)
+
+// Injector interprets a chaos.Plan against an in-process streaming
+// pipeline. The plan vocabulary was designed for network links, so the
+// mapping is:
+//
+//   - Rule.Node selects a pipeline stage index (-1 = every stage), and
+//     a "frame" is one instance firing of that stage;
+//   - Latency delays every firing past After by Dur (plus Ramp per
+//     firing past activation — jitter is ignored to keep in-process
+//     runs deterministic);
+//   - StallRead/StallWrite stall one firing by Dur, once, after After
+//     firings (both sides collapse to the same thing in-process);
+//   - Sever, Refuse and Throttle have no in-process meaning (there is
+//     no connection to cut or byte stream to cap) and are rejected up
+//     front rather than silently ignored.
+//
+// Fired faults are recorded to the chaos.Log with the stage index as
+// the node, so stream runs and dist runs share one report format.
+type Injector struct {
+	log    *chaos.Log
+	stages []stageFaults
+}
+
+// stageFaults is the fault state attached to one pipeline stage.
+type stageFaults struct {
+	rules []*stageRule
+}
+
+// stageRule is one rule applied to one stage.
+type stageRule struct {
+	rule   chaos.Rule
+	frames atomic.Int64 // firings observed on this stage
+	once   sync.Once    // one-shot stalls and one-time activation logging
+}
+
+// NewInjector compiles a plan against a pipeline of the given stage
+// count. A nil plan yields a nil injector, whose Delay is a free no-op.
+func NewInjector(p *chaos.Plan, stages int, log *chaos.Log) (*Injector, error) {
+	if p == nil {
+		return nil, nil
+	}
+	in := &Injector{log: log, stages: make([]stageFaults, stages)}
+	for _, r := range p.Rules {
+		switch r.Kind {
+		case chaos.Latency, chaos.StallRead, chaos.StallWrite:
+		default:
+			return nil, fmt.Errorf("stream: fault %q does not apply to in-process streams (use latency, stall-read or stall-write)", r.Kind)
+		}
+		if r.Node >= stages {
+			return nil, fmt.Errorf("stream: fault %q targets stage %d, pipeline has %d stages", r.Kind, r.Node, stages)
+		}
+		for s := range in.stages {
+			if r.Node < 0 || r.Node == s {
+				in.stages[s].rules = append(in.stages[s].rules, &stageRule{rule: r})
+			}
+		}
+	}
+	return in, nil
+}
+
+// Delay returns the injected delay for the next firing of the given
+// stage and logs faults as they activate. Nil-receiver-safe.
+func (in *Injector) Delay(stage int) time.Duration {
+	if in == nil {
+		return 0
+	}
+	var d time.Duration
+	for _, sr := range in.stages[stage].rules {
+		frame := sr.frames.Add(1)
+		if frame <= sr.rule.After {
+			continue
+		}
+		switch sr.rule.Kind {
+		case chaos.Latency:
+			d += sr.rule.Dur + time.Duration(frame-sr.rule.After-1)*sr.rule.Ramp
+			sr.once.Do(func() {
+				in.log.Record(stage, sr.rule.Kind.String(), frame, "dur="+sr.rule.Dur.String())
+			})
+		case chaos.StallRead, chaos.StallWrite:
+			sr.once.Do(func() {
+				d += sr.rule.Dur
+				in.log.Record(stage, sr.rule.Kind.String(), frame, "dur="+sr.rule.Dur.String())
+			})
+		}
+	}
+	return d
+}

@@ -1,0 +1,99 @@
+package stream
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"tflux/internal/chaos"
+)
+
+func TestInjectorNil(t *testing.T) {
+	in, err := NewInjector(nil, 3, nil)
+	if err != nil || in != nil {
+		t.Fatalf("nil plan: %v %v", in, err)
+	}
+	if in.Delay(0) != 0 {
+		t.Fatal("nil injector must be a no-op")
+	}
+}
+
+func TestInjectorRejects(t *testing.T) {
+	for _, spec := range []string{"sever:node=0", "refuse", "throttle:rate=100"} {
+		p, err := chaos.ParseSpec(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := NewInjector(p, 3, nil); err == nil {
+			t.Errorf("%s: accepted for in-process stream", spec)
+		}
+	}
+	p, err := chaos.ParseSpec("latency:node=5:dur=1ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewInjector(p, 3, nil); err == nil || !strings.Contains(err.Error(), "3 stages") {
+		t.Errorf("out-of-range stage: %v", err)
+	}
+}
+
+func TestInjectorLatency(t *testing.T) {
+	p, err := chaos.ParseSpec("latency:node=1:after=2:dur=3ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := chaos.NewLog()
+	in, err := NewInjector(p, 3, log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Untargeted stage: never delayed.
+	if d := in.Delay(0); d != 0 {
+		t.Fatalf("stage 0 delay = %v", d)
+	}
+	// Targeted stage: first two firings free, then 3ms each.
+	if d := in.Delay(1); d != 0 {
+		t.Fatalf("firing 1 delay = %v", d)
+	}
+	if d := in.Delay(1); d != 0 {
+		t.Fatalf("firing 2 delay = %v", d)
+	}
+	for i := 0; i < 3; i++ {
+		if d := in.Delay(1); d != 3*time.Millisecond {
+			t.Fatalf("post-activation delay = %v", d)
+		}
+	}
+	// Activation is logged once, not per firing.
+	if log.Count() != 1 {
+		t.Fatalf("log count = %d:\n%s", log.Count(), log)
+	}
+	if ev := log.Events()[0]; ev.Node != 1 || ev.Kind != "latency" {
+		t.Fatalf("event = %+v", ev)
+	}
+}
+
+func TestInjectorStallOnce(t *testing.T) {
+	p, err := chaos.ParseSpec("stall-write:node=0:after=1:dur=5ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := chaos.NewLog()
+	in, err := NewInjector(p, 2, log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := in.Delay(0); d != 0 {
+		t.Fatalf("pre-activation delay = %v", d)
+	}
+	if d := in.Delay(0); d != 5*time.Millisecond {
+		t.Fatalf("stall delay = %v", d)
+	}
+	for i := 0; i < 3; i++ {
+		if d := in.Delay(0); d != 0 {
+			t.Fatalf("stall fired twice: %v", d)
+		}
+	}
+	if log.Count() != 1 {
+		t.Fatalf("log count = %d", log.Count())
+	}
+}

@@ -1,0 +1,142 @@
+package stream
+
+import (
+	"fmt"
+
+	"tflux/internal/core"
+)
+
+// Ctx is the execution context handed to a stage body: which window the
+// instance belongs to, which recycled buffer slot the window occupies,
+// and the instance's local index within the window.
+//
+// Slot is the windowed-memory analogue of the batch context: any
+// per-window scratch (ring buffers, partial aggregates) must be indexed
+// by Slot, not by Window — at most Options.Slots windows are live at
+// once and their storage is recycled exactly like their SM slots. Two
+// live windows never share a slot.
+type Ctx struct {
+	Window int64        // stream window index (0, 1, 2, ...)
+	Slot   int          // recycled buffer slot in [0, Options.Slots)
+	Local  core.Context // instance index within the window
+	Seq    int64        // global event sequence = Window·W + Local
+}
+
+// Body is a stage's per-instance work function.
+type Body func(Ctx)
+
+// Stage is one stage of a streaming pipeline: a DThread template
+// repeated every window. Instances is the per-window instance count;
+// Map connects this stage to the next one (nil only on the last stage).
+type Stage struct {
+	Name      string
+	Instances core.Context
+	Body      Body
+	Map       core.Mapping
+}
+
+// Pipeline is a linear multi-stage streaming program. The first stage
+// is the entry: it has exactly Window instances per window, one per
+// admitted event, and in-degree zero (event arrival is its trigger).
+// Pad instances (see rts.RunStream) skip the entry body but still flow
+// through the graph so partial final windows retire.
+type Pipeline struct {
+	Name   string
+	Window core.Context // events per window (entry-stage instances)
+	Stages []Stage
+
+	// Export, when non-nil, runs once per retired window — after every
+	// instance of the window has fired, before its slot is recycled.
+	// This is the streaming analogue of the batch outlet/export step:
+	// the last chance to read the window's slot-indexed results.
+	Export func(win int64, slot int)
+}
+
+// Validate checks the pipeline's structural invariants. It returns nil
+// exactly when Block succeeds and the per-window graph is closed.
+func (p *Pipeline) Validate() error {
+	_, err := p.Block()
+	return err
+}
+
+// Block builds the per-window Synchronization Graph as a core.Block
+// with thread IDs 1..len(Stages) (stage i → thread i+1). The block
+// passes core Program validation: unique IDs, in-block acyclic arcs,
+// and an in-degree-zero entry.
+func (p *Pipeline) Block() (*core.Block, error) {
+	if p == nil || len(p.Stages) == 0 {
+		return nil, fmt.Errorf("stream: pipeline has no stages")
+	}
+	if p.Window <= 0 {
+		return nil, fmt.Errorf("stream: pipeline %q: window size %d must be positive", p.Name, p.Window)
+	}
+	if p.Stages[0].Instances != p.Window {
+		return nil, fmt.Errorf("stream: pipeline %q: entry stage %q has %d instances per window, want one per event (%d)",
+			p.Name, p.Stages[0].Name, p.Stages[0].Instances, p.Window)
+	}
+	b := &core.Block{ID: 0}
+	for i, s := range p.Stages {
+		if s.Instances <= 0 {
+			return nil, fmt.Errorf("stream: pipeline %q: stage %q has %d instances", p.Name, s.Name, s.Instances)
+		}
+		last := i == len(p.Stages)-1
+		if last && s.Map != nil {
+			return nil, fmt.Errorf("stream: pipeline %q: final stage %q has an outgoing mapping", p.Name, s.Name)
+		}
+		if !last && s.Map == nil {
+			return nil, fmt.Errorf("stream: pipeline %q: stage %q has no mapping to %q", p.Name, s.Name, p.Stages[i+1].Name)
+		}
+		body := s.Body
+		t := core.NewTemplate(core.ThreadID(i+1), s.Name, func(c core.Context) {
+			// Batch-compatibility body: running the per-window block
+			// through the closed-form path treats it as window 0 in
+			// slot 0 — how the vet harness and examples exercise it.
+			if body != nil {
+				body(Ctx{Window: 0, Slot: 0, Local: c, Seq: int64(c)})
+			}
+		})
+		t.Instances = s.Instances
+		if !last {
+			t.Then(core.ThreadID(i+2), s.Map)
+		}
+		b.Templates = append(b.Templates, t)
+	}
+	// Every non-entry stage must be reachable: with linear arcs that
+	// means its in-degree per instance is ≥ 1 (a mapping that leaves
+	// instances unfed would leave the window unable to retire).
+	for i, t := range b.Templates {
+		if i == 0 {
+			continue
+		}
+		for c, d := range core.InDegrees(b, t) {
+			if d == 0 {
+				return nil, fmt.Errorf("stream: pipeline %q: stage %q instance %d is unreachable (in-degree 0); mapping from %q does not cover it",
+					p.Name, t.Name, c, p.Stages[i-1].Name)
+			}
+		}
+	}
+	return b, nil
+}
+
+// Program wraps the per-window block in a core.Program so the standard
+// vet checks apply.
+func (p *Pipeline) Program() (*core.Program, error) {
+	b, err := p.Block()
+	if err != nil {
+		return nil, err
+	}
+	prog := &core.Program{Blocks: []*core.Block{b}}
+	if err := prog.Validate(); err != nil {
+		return nil, fmt.Errorf("stream: pipeline %q: %v", p.Name, err)
+	}
+	return prog, nil
+}
+
+// PerWindow returns the total instances fired per window.
+func (p *Pipeline) PerWindow() int64 {
+	var n int64
+	for _, s := range p.Stages {
+		n += int64(s.Instances)
+	}
+	return n
+}

@@ -1,0 +1,120 @@
+package stream
+
+import (
+	"strings"
+	"testing"
+
+	"tflux/internal/core"
+)
+
+// threeStage is the canonical decode → filter → aggregate shape used
+// across the stream tests.
+func threeStage(w core.Context) *Pipeline {
+	return &Pipeline{
+		Name:   "test",
+		Window: w,
+		Stages: []Stage{
+			{Name: "decode", Instances: w, Map: core.OneToOne{}},
+			{Name: "filter", Instances: w, Map: core.Gather{Fan: 4}},
+			{Name: "aggregate", Instances: w / 4},
+		},
+	}
+}
+
+func TestPipelineValidate(t *testing.T) {
+	p := threeStage(8)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Block()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Templates) != 3 {
+		t.Fatalf("templates = %d", len(b.Templates))
+	}
+	for i, tm := range b.Templates {
+		if tm.ID != core.ThreadID(i+1) {
+			t.Fatalf("stage %d has thread ID %d", i, tm.ID)
+		}
+	}
+	if p.PerWindow() != 8+8+2 {
+		t.Fatalf("perWindow = %d", p.PerWindow())
+	}
+	if _, err := p.Program(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPipelineValidateErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		p    *Pipeline
+		want string
+	}{
+		{"nil", nil, "no stages"},
+		{"empty", &Pipeline{Window: 4}, "no stages"},
+		{"window", &Pipeline{Window: 0, Stages: []Stage{{Name: "a", Instances: 4}}}, "window size"},
+		{"entry-count", &Pipeline{Window: 4, Stages: []Stage{{Name: "a", Instances: 2}}}, "one per event"},
+		{"no-map", &Pipeline{Window: 4, Stages: []Stage{
+			{Name: "a", Instances: 4},
+			{Name: "b", Instances: 4},
+		}}, "no mapping"},
+		{"final-map", &Pipeline{Window: 4, Stages: []Stage{
+			{Name: "a", Instances: 4, Map: core.OneToOne{}},
+			{Name: "b", Instances: 4, Map: core.OneToOne{}},
+		}}, "outgoing mapping"},
+		{"zero-instances", &Pipeline{Window: 4, Stages: []Stage{
+			{Name: "a", Instances: 4, Map: core.OneToOne{}},
+			{Name: "b", Instances: 0},
+		}}, "0 instances"},
+		{"unreachable", &Pipeline{Window: 4, Stages: []Stage{
+			{Name: "a", Instances: 4, Map: core.Const{Target: 0}},
+			{Name: "b", Instances: 2},
+		}}, "in-degree 0"},
+	}
+	for _, c := range cases {
+		err := c.p.Validate()
+		if err == nil {
+			t.Errorf("%s: expected error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+// TestPipelineBlockBatchBody pins the batch-compatibility wrapper: the
+// per-window block's bodies run stage bodies as window 0, slot 0, so
+// the closed-form path can execute one window of a pipeline.
+func TestPipelineBlockBatchBody(t *testing.T) {
+	var got []Ctx
+	p := &Pipeline{
+		Window: 2,
+		Stages: []Stage{{Name: "only", Instances: 2, Body: func(c Ctx) { got = append(got, c) }}},
+	}
+	b, err := p.Block()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Templates[0].Body(1)
+	if len(got) != 1 || got[0] != (Ctx{Window: 0, Slot: 0, Local: 1, Seq: 1}) {
+		t.Fatalf("batch body ctx = %+v", got)
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	if p, err := ParsePolicy("block"); err != nil || p != Block {
+		t.Fatalf("block: %v %v", p, err)
+	}
+	if p, err := ParsePolicy("shed"); err != nil || p != Shed {
+		t.Fatalf("shed: %v %v", p, err)
+	}
+	if _, err := ParsePolicy("drop"); err == nil {
+		t.Fatal("bad policy accepted")
+	}
+	if Block.String() != "block" || Shed.String() != "shed" {
+		t.Fatal("policy names")
+	}
+}

@@ -1,0 +1,58 @@
+package stream
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCountSource(t *testing.T) {
+	s := NewCountSource(3, 0)
+	for want := int64(0); want < 3; want++ {
+		seq, ok := s.Next()
+		if !ok || seq != want {
+			t.Fatalf("Next = %d,%v want %d,true", seq, ok, want)
+		}
+	}
+	if _, ok := s.Next(); ok {
+		t.Fatal("source not exhausted after n events")
+	}
+	if s.Rate() != 0 {
+		t.Fatalf("rate = %v", s.Rate())
+	}
+}
+
+func TestCountSourcePacing(t *testing.T) {
+	// 10 events at 500 ev/s: inter-event gaps of 2ms are well above the
+	// pacing floor, so the drain must take most of the 18ms schedule.
+	s := NewCountSource(10, 500)
+	start := time.Now()
+	n := 0
+	for {
+		if _, ok := s.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n != 10 {
+		t.Fatalf("events = %d", n)
+	}
+	if el := time.Since(start); el < 12*time.Millisecond {
+		t.Fatalf("drained 10 events at 500 ev/s in %v; pacing not applied", el)
+	}
+}
+
+func TestCountSourcePacingFloor(t *testing.T) {
+	// At 100k ev/s the 10µs gaps are under the pacing floor: the source
+	// must not degrade to one timer sleep per event (which would cap the
+	// rate near 1/resolution). 2000 events are due over 20ms; allow 3×.
+	s := NewCountSource(2000, 100_000)
+	start := time.Now()
+	for {
+		if _, ok := s.Next(); !ok {
+			break
+		}
+	}
+	if el := time.Since(start); el > 60*time.Millisecond {
+		t.Fatalf("drained 2000 events at 100k ev/s in %v; sub-floor sleeps applied", el)
+	}
+}

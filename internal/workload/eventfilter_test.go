@@ -1,0 +1,69 @@
+package workload
+
+import (
+	"testing"
+
+	"tflux/internal/rts"
+	"tflux/internal/stream"
+)
+
+func TestEventFilterValidation(t *testing.T) {
+	if _, err := NewEventFilter(6, 2, 1); err == nil {
+		t.Fatal("window not a multiple of the fan accepted")
+	}
+	if _, err := NewEventFilter(0, 2, 1); err == nil {
+		t.Fatal("zero window accepted")
+	}
+	if _, err := NewEventFilter(8, 0, 1); err == nil {
+		t.Fatal("zero slots accepted")
+	}
+}
+
+func TestEventFilterReference(t *testing.T) {
+	e, err := NewEventFilter(16, 2, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum1, acc1 := e.Reference(5000)
+	sum2, acc2 := e.Reference(5000)
+	if sum1 != sum2 || acc1 != acc2 {
+		t.Fatal("reference not deterministic")
+	}
+	if sum1 == 0 || acc1 == 0 {
+		t.Fatal("degenerate reference")
+	}
+	// The filter keeps ~5/8 of events.
+	if acc1 < 2500 || acc1 > 3750 {
+		t.Fatalf("accepted %d of 5000, expected ≈5/8", acc1)
+	}
+	// A different seed must disagree (the checksum actually depends on
+	// the payloads, not just the count).
+	e2, _ := NewEventFilter(16, 2, 43)
+	if s, _ := e2.Reference(5000); s == sum1 {
+		t.Fatal("seed does not affect the checksum")
+	}
+}
+
+// TestEventFilterEndToEnd streams an uneven event count (forcing a
+// padded final window) through few slots and verifies the checksum
+// against the sequential reference — the exactly-once contract.
+func TestEventFilterEndToEnd(t *testing.T) {
+	const n = 1000 // 62 full windows of 16 + an 8-event partial
+	e, err := NewEventFilter(16, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := rts.RunStream(e.Pipeline(), stream.NewCountSource(n, 0), stream.Options{Slots: 3, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Verify(n); err != nil {
+		t.Fatal(err)
+	}
+	if e.Windows() != 63 || st.Windows != 63 {
+		t.Fatalf("windows %d/%d, want 63", e.Windows(), st.Windows)
+	}
+	if st.Padded != 8 {
+		t.Fatalf("padded %d, want 8", st.Padded)
+	}
+}

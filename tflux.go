@@ -49,6 +49,7 @@ import (
 	"tflux/internal/hardsim"
 	"tflux/internal/obs"
 	"tflux/internal/rts"
+	"tflux/internal/stream"
 	"tflux/internal/tsu"
 	"tflux/internal/vtime"
 )
@@ -325,4 +326,74 @@ func RunCell(p *Program, bufs *CellBuffers, cfg CellConfig) (*CellStats, error) 
 // target configuration.
 func RunVirtual(p *Program, cfg VirtualConfig) (*VirtualResult, error) {
 	return vtime.Run(p.p, cfg)
+}
+
+// Streaming execution: instead of one batch program run to completion,
+// a StreamPipeline processes an unbounded event sequence in fixed-size
+// windows over a bounded budget of recycled synchronization-memory
+// slots. The injector admits events window by window and, at slot
+// exhaustion, either blocks the source or sheds whole windows
+// (StreamOptions.Policy); the batch Run* entry points above are
+// untouched by any of this. See internal/stream and DESIGN.md's
+// streaming section for the window lifecycle and the exactly-once
+// contract.
+type (
+	// StreamPipeline is a linear multi-stage streaming program
+	// (stream.Pipeline).
+	StreamPipeline = stream.Pipeline
+	// StreamStage is one pipeline stage: an instance count per window, a
+	// body, and a context mapping to the next stage (stream.Stage).
+	StreamStage = stream.Stage
+	// StreamCtx tells a stage body which window, slot, local context and
+	// global event sequence it is running for (stream.Ctx).
+	StreamCtx = stream.Ctx
+	// StreamSource yields event sequence numbers, optionally paced
+	// (stream.Source).
+	StreamSource = stream.Source
+	// StreamPolicy selects the backpressure behaviour at slot
+	// exhaustion (stream.Policy).
+	StreamPolicy = stream.Policy
+	// StreamOptions configures a streaming run (stream.Options).
+	StreamOptions = stream.Options
+	// StreamStats is the streaming run report: achieved rate, shed
+	// counts, and admission-to-retire latency quantiles (stream.Stats).
+	StreamStats = stream.Stats
+)
+
+// The backpressure policies.
+const (
+	// StreamBlock stalls the injector until a window slot retires —
+	// lossless, the source absorbs the pressure.
+	StreamBlock = stream.Block
+	// StreamShed drops whole windows while no slot is free — lossy but
+	// rate-stable; StreamStats reports what was shed.
+	StreamShed = stream.Shed
+)
+
+// NewCountSource returns a StreamSource yielding n events paced at
+// eventsPerSec (0 = as fast as admission allows).
+func NewCountSource(n int64, eventsPerSec float64) StreamSource {
+	return stream.NewCountSource(n, eventsPerSec)
+}
+
+// RunStream executes the pipeline over every event the source yields and
+// blocks until the final window retires. Windows are admitted into
+// opt.Slots recycled SM slots; a partial final window is padded so its
+// graph completes. With the StreamBlock policy every admitted event is
+// processed exactly once.
+func RunStream(p *StreamPipeline, src StreamSource, opt StreamOptions) (StreamStats, error) {
+	return rts.RunStream(p, src, opt)
+}
+
+// VetStream statically verifies one window of the pipeline with the
+// instance-level linter (see Vet): the window graph is expanded to its
+// dynamic contexts and checked for Ready-Count consistency, deadlock and
+// unreachable instances. Because every window executes the same graph,
+// vetting one window vets the stream.
+func VetStream(p *StreamPipeline) (*VetReport, error) {
+	prog, err := p.Program()
+	if err != nil {
+		return nil, err
+	}
+	return ddmlint.Lint(prog)
 }
