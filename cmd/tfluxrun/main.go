@@ -35,9 +35,11 @@
 //
 // Extras: -dot FILE writes the Synchronization Graph in Graphviz format
 // and exits; -gantt (soft platform) prints an ASCII timeline chart; -vet
-// runs the instance-level static verifier (see internal/ddmlint and
-// cmd/tfluxvet) before dispatch and refuses to run a program with
-// findings.
+// runs the static verifier before dispatch and refuses to run a program
+// with findings — the instance-level batch linter in batch mode, the
+// whole-pipeline streaming analyzer (scratch lifetime, shed safety,
+// pads, lifecycle, budget) in streaming mode (see internal/ddmlint and
+// cmd/tfluxvet).
 //
 // TSU tuning: -tsu-shards N (soft platform) replaces the dedicated
 // TSU-emulator goroutine with N kernel-stepped shards — parallel readiness
@@ -168,13 +170,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	// Streaming mode replaces the batch benchmark entirely.
 	if *streamEvents > 0 {
-		for _, name := range []string{"bench", "platform", "size", "unroll", "nodes", "trace-out", "gantt", "dot", "vet"} {
+		for _, name := range []string{"bench", "platform", "size", "unroll", "nodes", "trace-out", "gantt", "dot"} {
 			if set[name] {
 				return fail(fmt.Errorf("-%s does not apply to streaming mode (-stream-events)", name))
 			}
 		}
 		return runStreamMode(*streamEvents, *streamRate, *streamWindow, *streamSlots,
-			*kernels, *streamPolicy, *streamFaults, *metrics, stdout, stderr)
+			*kernels, *streamPolicy, *streamFaults, *vet, *metrics, stdout, stderr)
 	}
 	for _, name := range []string{"stream-rate", "stream-window", "stream-slots", "stream-policy", "stream-faults"} {
 		if set[name] {
@@ -486,8 +488,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 // sustained-rate and tail-latency results. With the block policy and
 // nothing shed, the checksum is verified against the sequential
 // reference (the exactly-once contract); a shedding run skips it, since
-// the reference covers all offered events.
-func runStreamMode(events int64, rate float64, window, slots, workers int, policy, faults string, metrics bool, stdout, stderr io.Writer) int {
+// the reference covers all offered events. With vet, the streaming
+// verifier (ddmlint.LintStream) runs against this exact configuration
+// before dispatch and refuses to run a pipeline with findings,
+// mirroring the batch -vet gate.
+func runStreamMode(events int64, rate float64, window, slots, workers int, policy, faults string, vet, metrics bool, stdout, stderr io.Writer) int {
 	fail := func(err error) int {
 		fmt.Fprintln(stderr, "tfluxrun:", err)
 		return 1
@@ -499,6 +504,21 @@ func runStreamMode(events int64, rate float64, window, slots, workers int, polic
 	ef, err := workload.NewEventFilter(core.Context(window), slots, 0x5eed)
 	if err != nil {
 		return fail(err)
+	}
+	if vet {
+		rep, err := ddmlint.LintStream(ef.Pipeline(), ddmlint.StreamConfig{
+			Slots: slots, Workers: workers, Policy: pol,
+		})
+		if err != nil {
+			return fail(err)
+		}
+		if !rep.OK() {
+			if err := rep.WriteText(stderr); err != nil {
+				return fail(err)
+			}
+			return fail(fmt.Errorf("%d ddmlint finding(s); refusing to dispatch", len(rep.Findings)))
+		}
+		fmt.Fprintln(stdout, "vet:        ok")
 	}
 	opt := stream.Options{Slots: slots, Workers: workers, Policy: pol}
 	if metrics {

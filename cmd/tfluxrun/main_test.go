@@ -347,3 +347,20 @@ func TestRunGanttFlag(t *testing.T) {
 		t.Fatalf("no gantt chart in output:\n%s", s)
 	}
 }
+
+// TestRunStreamVetGate drives the streaming vet gate: -vet in stream
+// mode lints the pipeline across window generations before dispatching
+// a single event, and reports the clean verdict alongside the run.
+func TestRunStreamVetGate(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-stream-events", "1000", "-stream-window", "16",
+		"-stream-slots", "2", "-kernels", "2", "-vet"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	for _, want := range []string{"vet:        ok", "verify:     ok"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("stdout missing %q:\n%s", want, out.String())
+		}
+	}
+}

@@ -10,6 +10,15 @@
 //	tfluxvet -kernels 8 -unroll 64 -size medium MMULT
 //	tfluxvet -dot graph.dot MMULT  # DOT graph with findings overlaid in red
 //
+// With -stream it instead verifies the built-in streaming workloads
+// across window generations (ddmlint.LintStream): scratch-lifetime
+// (recycled-slot stale reads), pad-soundness, shed-safety, the
+// WindowedSM lifecycle proof, and the RunStream capacity budget. Each
+// workload is linted under every backpressure policy it supports.
+//
+//	tfluxvet -stream                               # all streaming workloads
+//	tfluxvet -stream -window 64 -slots 8 eventfilter
+//
 // Exit status is 0 when every program is clean, 1 when any program has
 // findings or fails to build, 2 on usage errors. See internal/ddmlint for
 // what each check proves and its caveats.
@@ -39,6 +48,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		kernels = fs.Int("kernels", 4, "kernels the program is built for")
 		unroll  = fs.Int("unroll", 8, "loop unroll factor (DThread granularity)")
 		dotOut  = fs.String("dot", "", "write the Synchronization Graph in DOT format, findings highlighted (single benchmark only)")
+		strm    = fs.Bool("stream", false, "verify the built-in streaming workloads across window generations instead of the batch suite")
+		window  = fs.Int("window", 0, "with -stream: events per window (0 = workload default)")
+		slots   = fs.Int("slots", 0, "with -stream: window-slot budget (0 = runtime default)")
+		workers = fs.Int("workers", 0, "with -stream: firing workers assumed by the budget check (0 = GOMAXPROCS)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -46,6 +59,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fail := func(err error) int {
 		fmt.Fprintln(stderr, "tfluxvet:", err)
 		return 1
+	}
+	if *strm {
+		return runStream(fs.Args(), *window, *slots, *workers, stdout, stderr)
 	}
 
 	var cls workload.SizeClass
@@ -116,6 +132,57 @@ func run(args []string, stdout, stderr io.Writer) int {
 				return fail(err)
 			}
 			fmt.Fprintf(stdout, "wrote synchronization graph to %s\n", *dotOut)
+		}
+	}
+	if bad > 0 {
+		return 1
+	}
+	return 0
+}
+
+// runStream verifies the named streaming workloads (default: all) under
+// every backpressure policy each supports.
+func runStream(names []string, window, slots, workers int, stdout, stderr io.Writer) int {
+	var specs []workload.StreamSpec
+	if len(names) == 0 {
+		specs = workload.StreamSuite()
+	} else {
+		for _, name := range names {
+			spec, err := workload.StreamByName(name)
+			if err != nil {
+				fmt.Fprintln(stderr, "tfluxvet:", err)
+				return 2
+			}
+			specs = append(specs, spec)
+		}
+	}
+	bad := 0
+	for _, spec := range specs {
+		p, err := spec.Make(core.Context(window), slots)
+		if err != nil {
+			fmt.Fprintf(stderr, "tfluxvet: %s: build: %v\n", spec.Name, err)
+			bad++
+			continue
+		}
+		for _, pol := range spec.Policies {
+			rep, err := ddmlint.LintStream(p, ddmlint.StreamConfig{
+				Slots:   slots,
+				Workers: workers,
+				Policy:  pol,
+			})
+			if err != nil {
+				fmt.Fprintf(stdout, "ddmlint: %q (%s): invalid pipeline: %v\n", spec.Name, pol, err)
+				bad++
+				continue
+			}
+			fmt.Fprintf(stdout, "stream %q under the %s policy:\n", spec.Name, pol)
+			if err := rep.WriteText(stdout); err != nil {
+				fmt.Fprintln(stderr, "tfluxvet:", err)
+				return 1
+			}
+			if !rep.OK() {
+				bad++
+			}
 		}
 	}
 	if bad > 0 {

@@ -62,3 +62,50 @@ func TestVetUsageErrors(t *testing.T) {
 		}
 	}
 }
+
+func TestVetStreamSuiteIsClean(t *testing.T) {
+	code, out, errb := runVet(t, "-stream")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q\n%s", code, errb, out)
+	}
+	if !strings.Contains(out, `stream "eventfilter" under the block policy:`) ||
+		!strings.Contains(out, `stream "eventfilter" under the shed policy:`) {
+		t.Fatalf("output missing per-policy verdicts:\n%s", out)
+	}
+	if strings.Count(out, "ok (no findings)") < 2 {
+		t.Fatalf("streaming workloads not clean under every policy:\n%s", out)
+	}
+}
+
+func TestVetStreamSingleWorkload(t *testing.T) {
+	code, out, errb := runVet(t, "-stream", "-window", "32", "-slots", "2", "-workers", "2", "eventfilter")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q\n%s", code, errb, out)
+	}
+	if !strings.Contains(out, "ok (no findings)") {
+		t.Fatalf("output = %q", out)
+	}
+}
+
+func TestVetStreamUsageErrors(t *testing.T) {
+	code, _, errb := runVet(t, "-stream", "NOSUCH")
+	if code != 2 {
+		t.Errorf("unknown streaming workload: exit %d, want 2 (stderr %q)", code, errb)
+	}
+	if !strings.Contains(errb, "unknown streaming workload") {
+		t.Errorf("stderr = %q", errb)
+	}
+}
+
+func TestVetStreamBuildFailure(t *testing.T) {
+	// 30 is not a multiple of the aggregate fan-in: the workload
+	// constructor refuses, which counts as a finding (exit 1), matching
+	// the batch path's build-failure contract.
+	code, _, errb := runVet(t, "-stream", "-window", "30", "eventfilter")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 (stderr %q)", code, errb)
+	}
+	if !strings.Contains(errb, "multiple of") {
+		t.Fatalf("stderr = %q", errb)
+	}
+}

@@ -50,33 +50,63 @@ func build(st *pipeState) *tflux.StreamPipeline {
 	return &tflux.StreamPipeline{
 		Name:   "spikes",
 		Window: window,
+		// The scratch model mirrors the two slot-indexed arrays above so
+		// the streaming verifier (tflux.VetStream) can prove no read
+		// observes a recycled slot's stale data. Both are ZeroOnExport:
+		// the Export below clears them before the slot is released.
+		Scratch: []tflux.StreamScratchDecl{
+			{Name: "readings", Len: window, ZeroOnExport: true},
+			{Name: "spikes", Len: window, ZeroOnExport: true},
+		},
 		Stages: []tflux.StreamStage{
 			// Entry stage: one instance per admitted event. Pad
 			// instances of a partial final window skip this body.
 			{Name: "decode", Instances: window, Map: tflux.OneToOne{},
 				Body: func(c tflux.StreamCtx) {
 					st.readings[c.Slot][c.Local] = decode(c.Seq)
+				},
+				Scratch: func(l tflux.Context) []tflux.StreamScratchAccess {
+					return []tflux.StreamScratchAccess{
+						{Array: "readings", Lo: l, Hi: l + 1, Write: true},
+					}
 				}},
 			{Name: "spike", Instances: window, Map: tflux.AllToOne{},
 				Body: func(c tflux.StreamCtx) {
 					if v := st.readings[c.Slot][c.Local]; v > 48 {
 						st.spikes[c.Slot][c.Local] = v
 					}
+				},
+				Scratch: func(l tflux.Context) []tflux.StreamScratchAccess {
+					return []tflux.StreamScratchAccess{
+						{Array: "readings", Lo: l, Hi: l + 1},
+						{Array: "spikes", Lo: l, Hi: l + 1, Write: true},
+					}
 				}},
 			// One collector instance per window, fired after all spike
-			// instances (its Ready Count is the window size).
-			{Name: "collect", Instances: 1,
+			// instances (its Ready Count is the window size). It folds
+			// into a cross-window total, so it is an accumulator: safe
+			// under the Block policy this example runs, and deliberately
+			// NOT ShedTolerant — shedding would break the exactly-once
+			// checksum (the vet test demonstrates the finding).
+			{Name: "collect", Instances: 1, Accumulates: true,
 				Body: func(c tflux.StreamCtx) {
 					var sum int64
 					for _, v := range st.spikes[c.Slot] {
 						sum += v
 					}
 					st.total.Add(sum)
+				},
+				Scratch: func(tflux.Context) []tflux.StreamScratchAccess {
+					return []tflux.StreamScratchAccess{
+						{Array: "spikes", Lo: 0, Hi: window},
+					}
 				}},
 		},
 		// Export retires the window: last read of the slot, then zero it
 		// so the next window in this slot — and the pads of a partial
-		// final window — start from clean scratch.
+		// final window — start from clean scratch. It counts retired
+		// windows, so it too accumulates across the stream.
+		ExportAccumulates: true,
 		Export: func(win int64, slot int) {
 			st.windows.Add(1)
 			clear(st.readings[slot])

@@ -52,6 +52,10 @@ type blockGraph struct {
 	topo     []int32 // topological order of all instances (valid iff !hasCycle)
 	cyclic   []bool
 	hasCycle bool
+
+	// Filled by checkDead: whether the dataflow firing simulation ever
+	// fires each instance. Reused by the streaming lifecycle pass.
+	fired []bool
 }
 
 // inst returns the global instance index of (template index, context).
@@ -344,6 +348,7 @@ func (g *blockGraph) checkDead(r *Report) {
 			}
 		}
 	}
+	g.fired = fired
 	for ti, t := range g.tmpls {
 		var count int
 		var exCtx core.Context

@@ -35,6 +35,27 @@ const (
 	// KindUndeclaredBuffer: a region names a buffer the program never
 	// declared.
 	KindUndeclaredBuffer
+	// KindStaleScratch (streaming): an instance reads slot-indexed
+	// scratch elements no same-window write happens-before, so the read
+	// observes whatever the slot's previous occupant left behind.
+	KindStaleScratch
+	// KindShedUnsafe (streaming): a stage or export accumulates state
+	// across windows while the backpressure policy is Shed — dropped
+	// windows silently skew the accumulated result.
+	KindShedUnsafe
+	// KindPadLeak (streaming): in a padded partial final window, a stage
+	// reads scratch elements only the skipped entry body would have
+	// written, so the previous occupant's data flows into the export.
+	KindPadLeak
+	// KindLifecycle (streaming): the per-window graph cannot walk the
+	// WindowRef lifecycle (Open → Encode/Decrement → Done → Release)
+	// cleanly — a windowed-SM panic or a permanently pinned slot is
+	// reachable.
+	KindLifecycle
+	// KindBudget (streaming): the (pipeline shape, slot budget, worker
+	// count) configuration voids RunStream's no-deadlock capacity
+	// argument or the windowed engine's admission conditions.
+	KindBudget
 )
 
 var kindNames = [...]string{
@@ -46,6 +67,11 @@ var kindNames = [...]string{
 	KindWriteConflict:    "write-conflict",
 	KindBufferBounds:     "buffer-bounds",
 	KindUndeclaredBuffer: "undeclared-buffer",
+	KindStaleScratch:     "stale-scratch",
+	KindShedUnsafe:       "shed-unsafe",
+	KindPadLeak:          "pad-leak",
+	KindLifecycle:        "lifecycle",
+	KindBudget:           "budget",
 }
 
 func (k Kind) String() string {
@@ -62,7 +88,9 @@ func (k Kind) String() string {
 // compiles through race warnings but refuses structural errors.
 func (k Kind) Structural() bool {
 	switch k {
-	case KindRace, KindWriteConflict:
+	case KindRace, KindWriteConflict, KindStaleScratch, KindShedUnsafe, KindPadLeak:
+		// Data findings: the graph fires and drains, but what the bodies
+		// compute is schedule- or policy-dependent.
 		return false
 	}
 	return true

@@ -78,13 +78,9 @@ type accessor struct {
 	regs []core.MemRegion
 }
 
-// checkRaces reports unordered instance pairs with conflicting declared
-// accesses. Happens-before within a Block is exactly reachability over
-// the instance graph: the TSU enables an instance only after all its
-// producers complete, and DDM bodies may not block on anything else, so
-// two instances without an arc path between them can run concurrently.
-// Requires an acyclic instance graph (g.topo valid).
-func checkRaces(r *Report, g *blockGraph, opts Options) {
+// collectAccessors gathers every instance with a non-empty declared
+// access set, in (template, context) order.
+func collectAccessors(g *blockGraph) []accessor {
 	var accs []accessor
 	for ti, t := range g.tmpls {
 		if t.Access == nil {
@@ -106,21 +102,28 @@ func checkRaces(r *Report, g *blockGraph, opts Options) {
 			}
 		}
 	}
-	if len(accs) < 2 {
-		return
-	}
+	return accs
+}
+
+// accessorOrder computes happens-before between accessors: reachability
+// over the instance graph, since the TSU enables an instance only after
+// all its producers complete and DDM bodies may not block on anything
+// else. It returns nil (with a Note on r naming what) when the accessor
+// count or bitset memory exceeds opts' caps. Requires an acyclic
+// instance graph (g.topo valid).
+func accessorOrder(r *Report, g *blockGraph, accs []accessor, what string, opts Options) func(a, b int) bool {
 	if len(accs) > opts.MaxRaceInstances {
 		r.Notes = append(r.Notes, fmt.Sprintf(
-			"block %d: race analysis skipped (%d accessor instances exceeds MaxRaceInstances %d)",
-			g.b.ID, len(accs), opts.MaxRaceInstances))
-		return
+			"block %d: %s skipped (%d accessor instances exceeds MaxRaceInstances %d)",
+			g.b.ID, what, len(accs), opts.MaxRaceInstances))
+		return nil
 	}
 	words := (len(accs) + 63) / 64
 	if bytes := int64(g.n) * int64(words) * 8; bytes > opts.MaxRaceBytes {
 		r.Notes = append(r.Notes, fmt.Sprintf(
-			"block %d: race analysis skipped (reachability bitsets need %d bytes, MaxRaceBytes is %d)",
-			g.b.ID, bytes, opts.MaxRaceBytes))
-		return
+			"block %d: %s skipped (reachability bitsets need %d bytes, MaxRaceBytes is %d)",
+			g.b.ID, what, bytes, opts.MaxRaceBytes))
+		return nil
 	}
 
 	// accOf[i] = accessor bit of instance i, or -1.
@@ -148,10 +151,28 @@ func checkRaces(r *Report, g *blockGraph, opts Options) {
 			}
 		}
 	}
-	ordered := func(a, b int) bool { // accessor a happens-before accessor b?
+	return func(a, b int) bool { // accessor a happens-before accessor b?
 		return row(accs[a].inst)[b/64]&(1<<(uint(b)%64)) != 0
 	}
+}
 
+// checkRaces reports unordered instance pairs with conflicting declared
+// accesses (see accessorOrder for the happens-before model).
+func checkRaces(r *Report, g *blockGraph, opts Options) {
+	accs := collectAccessors(g)
+	if len(accs) < 2 {
+		return
+	}
+	ordered := accessorOrder(r, g, accs, "race analysis", opts)
+	if ordered == nil {
+		return
+	}
+	reportRaces(r, g, accs, ordered)
+}
+
+// reportRaces runs the pairwise conflict scan over accessors with a
+// precomputed happens-before order.
+func reportRaces(r *Report, g *blockGraph, accs []accessor, ordered func(a, b int) bool) {
 	// Aggregate conflicts per (kind, template pair, buffer).
 	type pairKey struct {
 		kind   Kind

@@ -72,14 +72,14 @@ func RunStream(p *stream.Pipeline, src stream.Source, opt stream.Options) (strea
 		reg = obs.NewRegistry()
 	}
 	var (
-		cInjected  = reg.Counter("stream.injected")
-		cPadded    = reg.Counter("stream.padded")
-		cShedEv    = reg.Counter("stream.shed_events")
-		cShedWin   = reg.Counter("stream.shed_windows")
-		cOpened    = reg.Counter("stream.windows_opened")
-		cRetired   = reg.Counter("stream.windows_retired")
-		gInflight  = reg.Gauge("stream.inflight_windows")
-		hLatency   = reg.Histogram("stream.event_latency_ns", obs.LatencyBuckets)
+		cInjected = reg.Counter("stream.injected")
+		cPadded   = reg.Counter("stream.padded")
+		cShedEv   = reg.Counter("stream.shed_events")
+		cShedWin  = reg.Counter("stream.shed_windows")
+		cOpened   = reg.Counter("stream.windows_opened")
+		cRetired  = reg.Counter("stream.windows_retired")
+		gInflight = reg.Gauge("stream.inflight_windows")
+		hLatency  = reg.Histogram("stream.event_latency_ns", obs.LatencyBuckets)
 	)
 
 	// Per-slot state recycled with the SM slot: the window's WindowRef
@@ -100,8 +100,16 @@ func RunStream(p *stream.Pipeline, src stream.Source, opt stream.Options) (strea
 
 	// The work channel holds every dispatched-but-unfired instance. Its
 	// capacity is the worst case — all live windows fully pending — so
-	// worker self-pushes never block and cannot deadlock.
-	work := make(chan core.Instance, int64(slots)*wsm.PerWindow()+int64(workers))
+	// worker self-pushes never block and cannot deadlock. WorkCapacity is
+	// the shared derivation of that bound (ddmlint's budget check verifies
+	// the same formula); a capacity that overflows or exceeds what a chan
+	// can hold voids the no-deadlock argument, so refuse to run.
+	capWork, capOK := stream.WorkCapacity(int64(slots), wsm.PerWindow(), int64(workers))
+	if !capOK || capWork > math.MaxInt32 {
+		return stream.Stats{}, fmt.Errorf("rts: work channel capacity %d slots × %d instances + %d workers voids the no-deadlock bound",
+			slots, wsm.PerWindow(), workers)
+	}
+	work := make(chan core.Instance, capWork)
 	freeCh := make(chan struct{}, slots)
 	wsm.SetOnFree(func() {
 		select {
@@ -232,7 +240,7 @@ func RunStream(p *stream.Pipeline, src stream.Source, opt stream.Options) (strea
 		ShedWindows: cShedWin.Value(),
 		Windows:     cRetired.Value(),
 		// Entry instances fire on arrival, the rest on decrement.
-		Fired: wsm.Stats().Fired + cInjected.Value() + cPadded.Value(),
+		Fired:       wsm.Stats().Fired + cInjected.Value() + cPadded.Value(),
 		P50:         time.Duration(hLatency.Quantile(0.50)),
 		P95:         time.Duration(hLatency.Quantile(0.95)),
 		P99:         time.Duration(hLatency.Quantile(0.99)),

@@ -25,6 +25,47 @@ type Ctx struct {
 // Body is a stage's per-instance work function.
 type Body func(Ctx)
 
+// ScratchDecl declares one slot-indexed scratch array of a pipeline:
+// per-slot storage of Len elements, recycled with the window's SM slot
+// exactly like the Ctx.Slot contract describes. The declaration is what
+// the streaming verifier (ddmlint.LintStream) analyzes: stage bodies
+// are opaque closures, so — like the batch Access models — the declared
+// footprint stands in for the real one, and the analysis is sound
+// exactly as far as the declarations are honest.
+type ScratchDecl struct {
+	// Name identifies the array in stage ScratchAccess declarations and
+	// in verifier findings (reported as buffer "scratch:NAME").
+	Name string
+	// Len is the element count per slot. Accesses are declared in
+	// element units, [0, Len).
+	Len core.Context
+	// ZeroOnExport declares that the pipeline's Export zeroes the array
+	// before the slot is released. The verifier then treats reads of
+	// elements no same-window instance wrote as reads of zeroes (the pad
+	// contract) rather than of a recycled slot's stale data. The runtime
+	// does not enforce the zeroing — it is a declared contract, like the
+	// accesses themselves.
+	ZeroOnExport bool
+}
+
+// ScratchAccess declares one element range of a named scratch array
+// that a stage instance touches. Within one instance, reads are modeled
+// as happening before writes (read-modify-write declares both). A
+// declared write is a MUST-write: a body that writes only conditionally
+// should either write unconditionally (a zero is fine) or declare the
+// array ZeroOnExport, otherwise the verifier's scratch-lifetime
+// analysis can be fooled into trusting a write that never lands.
+type ScratchAccess struct {
+	Array  string       // a ScratchDecl.Name
+	Lo, Hi core.Context // half-open element range [Lo, Hi)
+	Write  bool
+}
+
+// ScratchFn returns the scratch accesses of one stage instance. It must
+// be pure (same local, same accesses) so the verifier and any runtime
+// consumer agree. Nil means the stage declares no scratch model.
+type ScratchFn func(local core.Context) []ScratchAccess
+
 // Stage is one stage of a streaming pipeline: a DThread template
 // repeated every window. Instances is the per-window instance count;
 // Map connects this stage to the next one (nil only on the last stage).
@@ -33,6 +74,21 @@ type Stage struct {
 	Instances core.Context
 	Body      Body
 	Map       core.Mapping
+
+	// Scratch declares the stage's per-instance slot-scratch footprint
+	// for static verification (see ScratchDecl). Nil = no model.
+	Scratch ScratchFn
+
+	// Accumulates declares that the body folds values into state that
+	// outlives a window — global counters, running aggregates, anything
+	// not recycled with the slot. Under the Shed policy dropped windows
+	// silently skew such state, so the verifier flags accumulating
+	// stages unless they are declared ShedTolerant.
+	Accumulates bool
+	// ShedTolerant declares the accumulation is meaningful even when
+	// whole windows are shed (e.g. best-effort totals defined as "sum
+	// over retired windows"). Suppresses the shed-unsafe finding.
+	ShedTolerant bool
 }
 
 // Pipeline is a linear multi-stage streaming program. The first stage
@@ -45,11 +101,24 @@ type Pipeline struct {
 	Window core.Context // events per window (entry-stage instances)
 	Stages []Stage
 
+	// Scratch declares the pipeline's slot-indexed scratch arrays for
+	// static verification. Stages reference them by name in their
+	// ScratchFn declarations. Empty = no scratch model declared.
+	Scratch []ScratchDecl
+
 	// Export, when non-nil, runs once per retired window — after every
 	// instance of the window has fired, before its slot is recycled.
 	// This is the streaming analogue of the batch outlet/export step:
 	// the last chance to read the window's slot-indexed results.
 	Export func(win int64, slot int)
+
+	// ExportAccumulates declares that Export folds window results into
+	// cross-window state (a checksum, a running total); see
+	// Stage.Accumulates for why the verifier cares under Shed.
+	ExportAccumulates bool
+	// ExportShedTolerant suppresses the shed-unsafe finding on an
+	// accumulating Export.
+	ExportShedTolerant bool
 }
 
 // Validate checks the pipeline's structural invariants. It returns nil
@@ -73,6 +142,16 @@ func (p *Pipeline) Block() (*core.Block, error) {
 	if p.Stages[0].Instances != p.Window {
 		return nil, fmt.Errorf("stream: pipeline %q: entry stage %q has %d instances per window, want one per event (%d)",
 			p.Name, p.Stages[0].Name, p.Stages[0].Instances, p.Window)
+	}
+	seen := make(map[string]bool, len(p.Scratch))
+	for _, d := range p.Scratch {
+		if d.Name == "" || d.Len <= 0 {
+			return nil, fmt.Errorf("stream: pipeline %q: scratch array %q declares %d elements; need a name and a positive length", p.Name, d.Name, d.Len)
+		}
+		if seen[d.Name] {
+			return nil, fmt.Errorf("stream: pipeline %q: scratch array %q declared twice", p.Name, d.Name)
+		}
+		seen[d.Name] = true
 	}
 	b := &core.Block{ID: 0}
 	for i, s := range p.Stages {

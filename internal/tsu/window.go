@@ -95,16 +95,19 @@ type WindowStats struct {
 	Fired      int64 // instances whose Ready Count reached zero
 }
 
-// NewWindowed builds the windowed engine for the given per-window Block
-// with the given slot budget. Template IDs must be dense-ish (same guard as
-// the batch State); every arc is window-local by construction, since
-// mappings operate within the Block's closed context space.
-func NewWindowed(b *core.Block, slots int) (*WindowedSM, error) {
+// ValidateWindowShape checks whether a per-window Block fits the windowed
+// engine with the given slot budget: non-empty block, at least one slot,
+// dense-ish template IDs (same guard as the batch State), non-zero instance
+// counts, a slot·local product that fits the context encoding, and arcs
+// that stay inside the window block. It is the single source of truth for
+// NewWindowed's admission conditions, shared with ddmlint's streaming
+// budget check so the verifier rejects exactly the shapes the engine would.
+func ValidateWindowShape(b *core.Block, slots int) error {
 	if b == nil || len(b.Templates) == 0 {
-		return nil, fmt.Errorf("tsu: windowed SM needs a non-empty window block")
+		return fmt.Errorf("tsu: windowed SM needs a non-empty window block")
 	}
 	if slots < 1 {
-		return nil, fmt.Errorf("tsu: %d window slots, need at least 1", slots)
+		return fmt.Errorf("tsu: %d window slots, need at least 1", slots)
 	}
 	var maxID core.ThreadID
 	for _, t := range b.Templates {
@@ -113,20 +116,49 @@ func NewWindowed(b *core.Block, slots int) (*WindowedSM, error) {
 		}
 	}
 	if int64(maxID) > 64*int64(len(b.Templates))+1024 {
-		return nil, fmt.Errorf("tsu: windowed thread ID space is too sparse (max ID %d for %d templates)", maxID, len(b.Templates))
+		return fmt.Errorf("tsu: windowed thread ID space is too sparse (max ID %d for %d templates)", maxID, len(b.Templates))
+	}
+	ids := make(map[core.ThreadID]bool, len(b.Templates))
+	for _, t := range b.Templates {
+		if t.Instances == 0 {
+			return fmt.Errorf("tsu: windowed template %d (%q) has zero instances per window", t.ID, t.Name)
+		}
+		// The slot/local encoding packs both into a core.Context.
+		if int64(slots)*int64(t.Instances) > math.MaxUint32 {
+			return fmt.Errorf("tsu: %d slots × %d instances of template %d overflow the context encoding", slots, t.Instances, t.ID)
+		}
+		ids[t.ID] = true
+	}
+	for _, t := range b.Templates {
+		for _, a := range t.Arcs {
+			if !ids[a.To] {
+				return fmt.Errorf("tsu: windowed arc %d → %d leaves the window block", t.ID, a.To)
+			}
+		}
+	}
+	return nil
+}
+
+// NewWindowed builds the windowed engine for the given per-window Block
+// with the given slot budget. Template IDs must be dense-ish (same guard as
+// the batch State); every arc is window-local by construction, since
+// mappings operate within the Block's closed context space. The admission
+// conditions are exactly ValidateWindowShape.
+func NewWindowed(b *core.Block, slots int) (*WindowedSM, error) {
+	if err := ValidateWindowShape(b, slots); err != nil {
+		return nil, err
+	}
+	var maxID core.ThreadID
+	for _, t := range b.Templates {
+		if t.ID > maxID {
+			maxID = t.ID
+		}
 	}
 	w := &WindowedSM{
 		block:  b,
 		winfos: make([]winfo, maxID+1),
 	}
 	for di, t := range b.Templates {
-		if t.Instances == 0 {
-			return nil, fmt.Errorf("tsu: windowed template %d (%q) has zero instances per window", t.ID, t.Name)
-		}
-		// The slot/local encoding packs both into a core.Context.
-		if int64(slots)*int64(t.Instances) > math.MaxUint32 {
-			return nil, fmt.Errorf("tsu: %d slots × %d instances of template %d overflow the context encoding", slots, t.Instances, t.ID)
-		}
 		w.winfos[t.ID] = winfo{
 			t:     t,
 			inst:  t.Instances,

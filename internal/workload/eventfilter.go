@@ -78,30 +78,65 @@ func filterVal(v uint64) uint64 {
 }
 
 // Pipeline returns the three-stage streaming pipeline over this state.
+// The scratch declarations mirror the three slot-indexed arrays above,
+// all ZeroOnExport (export zeroes the slot), so the streaming verifier
+// can prove no read observes a recycled slot's stale data — including
+// in the padded partial final window. The accepted counter and the
+// export checksum accumulate across windows and are declared
+// shed-tolerant: under the Shed policy the benchmark deliberately
+// reports what was admitted, not what was offered.
 func (e *EventFilter) Pipeline() *stream.Pipeline {
 	return &stream.Pipeline{
 		Name:   "eventfilter",
 		Window: e.w,
-		Stages: []stream.Stage{
-			{Name: "decode", Instances: e.w, Map: core.OneToOne{}, Body: func(c stream.Ctx) {
-				e.decoded[c.Slot][c.Local] = e.decodeVal(c.Seq)
-			}},
-			{Name: "filter", Instances: e.w, Map: core.Gather{Fan: efFan}, Body: func(c stream.Ctx) {
-				v := filterVal(e.decoded[c.Slot][c.Local])
-				e.filtered[c.Slot][c.Local] = v
-				if v != 0 {
-					e.accepted.Add(1)
-				}
-			}},
-			{Name: "aggregate", Instances: e.w / efFan, Body: func(c stream.Ctx) {
-				var sum uint64
-				for i := core.Context(0); i < efFan; i++ {
-					sum += e.filtered[c.Slot][c.Local*efFan+i]
-				}
-				e.sums[c.Slot][c.Local] = sum
-			}},
+		Scratch: []stream.ScratchDecl{
+			{Name: "decoded", Len: e.w, ZeroOnExport: true},
+			{Name: "filtered", Len: e.w, ZeroOnExport: true},
+			{Name: "sums", Len: e.w / efFan, ZeroOnExport: true},
 		},
-		Export: e.export,
+		Stages: []stream.Stage{
+			{Name: "decode", Instances: e.w, Map: core.OneToOne{},
+				Body: func(c stream.Ctx) {
+					e.decoded[c.Slot][c.Local] = e.decodeVal(c.Seq)
+				},
+				Scratch: func(l core.Context) []stream.ScratchAccess {
+					return []stream.ScratchAccess{
+						{Array: "decoded", Lo: l, Hi: l + 1, Write: true},
+					}
+				}},
+			{Name: "filter", Instances: e.w, Map: core.Gather{Fan: efFan},
+				Accumulates: true, ShedTolerant: true,
+				Body: func(c stream.Ctx) {
+					v := filterVal(e.decoded[c.Slot][c.Local])
+					e.filtered[c.Slot][c.Local] = v
+					if v != 0 {
+						e.accepted.Add(1)
+					}
+				},
+				Scratch: func(l core.Context) []stream.ScratchAccess {
+					return []stream.ScratchAccess{
+						{Array: "decoded", Lo: l, Hi: l + 1},
+						{Array: "filtered", Lo: l, Hi: l + 1, Write: true},
+					}
+				}},
+			{Name: "aggregate", Instances: e.w / efFan,
+				Body: func(c stream.Ctx) {
+					var sum uint64
+					for i := core.Context(0); i < efFan; i++ {
+						sum += e.filtered[c.Slot][c.Local*efFan+i]
+					}
+					e.sums[c.Slot][c.Local] = sum
+				},
+				Scratch: func(l core.Context) []stream.ScratchAccess {
+					return []stream.ScratchAccess{
+						{Array: "filtered", Lo: l * efFan, Hi: (l + 1) * efFan},
+						{Array: "sums", Lo: l, Hi: l + 1, Write: true},
+					}
+				}},
+		},
+		ExportAccumulates:  true,
+		ExportShedTolerant: true,
+		Export:             e.export,
 	}
 }
 

@@ -1,0 +1,61 @@
+package workload
+
+import (
+	"fmt"
+
+	"tflux/internal/core"
+	"tflux/internal/stream"
+)
+
+// StreamSpec describes one built-in streaming workload, the streaming
+// analogue of Spec: enough to build a fresh pipeline for verification
+// (cmd/tfluxvet -stream) or execution.
+type StreamSpec struct {
+	Name        string
+	Description string
+	// Policies are the backpressure policies the workload supports; the
+	// streaming verifier lints the pipeline under each (a workload whose
+	// accumulators are not shed-tolerant lists only stream.Block).
+	Policies []stream.Policy
+	// Make builds fresh workload state for windows of w events over the
+	// given slot budget and returns its pipeline. Zero w/slots select
+	// the workload's defaults.
+	Make func(w core.Context, slots int) (*stream.Pipeline, error)
+}
+
+// EventFilterSpec is the EVENTFILTER benchmark's streaming spec.
+func EventFilterSpec() StreamSpec {
+	return StreamSpec{
+		Name:        "eventfilter",
+		Description: "three-stage event filter (decode → filter → aggregate), checksum-verified",
+		Policies:    []stream.Policy{stream.Block, stream.Shed},
+		Make: func(w core.Context, slots int) (*stream.Pipeline, error) {
+			if w == 0 {
+				w = 64
+			}
+			if slots == 0 {
+				slots = stream.DefaultSlots
+			}
+			e, err := NewEventFilter(w, slots, 1)
+			if err != nil {
+				return nil, err
+			}
+			return e.Pipeline(), nil
+		},
+	}
+}
+
+// StreamSuite returns every built-in streaming workload.
+func StreamSuite() []StreamSpec {
+	return []StreamSpec{EventFilterSpec()}
+}
+
+// StreamByName returns the streaming workload with the given name.
+func StreamByName(name string) (StreamSpec, error) {
+	for _, s := range StreamSuite() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return StreamSpec{}, fmt.Errorf("workload: unknown streaming workload %q", name)
+}

@@ -358,6 +358,12 @@ type (
 	// StreamStats is the streaming run report: achieved rate, shed
 	// counts, and admission-to-retire latency quantiles (stream.Stats).
 	StreamStats = stream.Stats
+	// StreamScratchDecl declares one slot-indexed scratch array for
+	// static verification (stream.ScratchDecl).
+	StreamScratchDecl = stream.ScratchDecl
+	// StreamScratchAccess declares one element range of a scratch array
+	// a stage instance touches (stream.ScratchAccess).
+	StreamScratchAccess = stream.ScratchAccess
 )
 
 // The backpressure policies.
@@ -385,15 +391,25 @@ func RunStream(p *StreamPipeline, src StreamSource, opt StreamOptions) (StreamSt
 	return rts.RunStream(p, src, opt)
 }
 
-// VetStream statically verifies one window of the pipeline with the
-// instance-level linter (see Vet): the window graph is expanded to its
-// dynamic contexts and checked for Ready-Count consistency, deadlock and
-// unreachable instances. Because every window executes the same graph,
-// vetting one window vets the stream.
-func VetStream(p *StreamPipeline) (*VetReport, error) {
-	prog, err := p.Program()
-	if err != nil {
-		return nil, err
-	}
-	return ddmlint.Lint(prog)
+// VetStream statically verifies the pipeline across window generations
+// for the given run configuration (opt.Slots, opt.Workers and
+// opt.Policy parameterize the verdict; zero values mean the RunStream
+// defaults). Beyond the batch checks on the per-window graph (see Vet),
+// it analyzes the declared slot-scratch model for reads that would
+// observe a recycled slot's stale data — in full windows
+// (stale-scratch) and in the padded partial final window (pad-leak) —
+// flags cross-window accumulators under the Shed policy (shed-unsafe),
+// proves the tsu.WindowedSM lifecycle panics unreachable (lifecycle),
+// and re-derives RunStream's work-channel capacity argument (budget).
+//
+// The scratch analysis is exactly as sound as the declarations: stages
+// without a ScratchFn contribute nothing to it, and an undeclared
+// access is invisible. A pipeline with no scratch model gets only the
+// structural, lifecycle and budget guarantees.
+func VetStream(p *StreamPipeline, opt StreamOptions) (*VetReport, error) {
+	return ddmlint.LintStream(p, ddmlint.StreamConfig{
+		Slots:   opt.Slots,
+		Workers: opt.Workers,
+		Policy:  opt.Policy,
+	})
 }
