@@ -87,6 +87,7 @@ func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal) int {
 		arenaMB     = fs.Int64("arena-mb", 0, "buffer arena size in MiB (0 = default 64)")
 		weights     = fs.String("weights", "", "tenant scheduling weights, e.g. team-a=3,team-b=1")
 		noLint      = fs.Bool("no-lint", false, "skip the ddmlint admission gate (runtime guards still apply)")
+		progCache   = fs.Int("program-cache", 0, "admission-cache entries: resolved programs memoized across submissions (0 = default 64, negative disables)")
 		reportEvery = fs.Duration("report-every", 0, "print the dashboard at this interval (0 = only on shutdown)")
 		faults      = fs.String("faults", "", "seeded chaos plan for the worker links, e.g. seed=7,plan=sever:node=1:after=40 (see internal/chaos)")
 	)
@@ -124,13 +125,14 @@ func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal) int {
 		return fail(err)
 	}
 	srv, err := serve.New(flt, serve.Options{
-		Resolver:    resolver,
-		MaxPrograms: *maxPrograms,
-		MaxQueue:    *maxQueue,
-		TenantQuota: *tenantQuota,
-		ArenaBytes:  *arenaMB << 20,
-		Weights:     w,
-		DisableLint: *noLint,
+		Resolver:     resolver,
+		MaxPrograms:  *maxPrograms,
+		MaxQueue:     *maxQueue,
+		TenantQuota:  *tenantQuota,
+		ArenaBytes:   *arenaMB << 20,
+		Weights:      w,
+		DisableLint:  *noLint,
+		ProgramCache: *progCache,
 	})
 	if err != nil {
 		flt.Close() //nolint:errcheck

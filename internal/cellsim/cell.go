@@ -2,6 +2,7 @@ package cellsim
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -29,6 +30,17 @@ func (s *SharedVariableBuffer) Register(name string, data []byte) {
 
 // Bytes returns the backing slice for name, or nil.
 func (s *SharedVariableBuffer) Bytes(name string) []byte { return s.bufs[name] }
+
+// Names returns the registered buffer names in sorted order — the
+// enumeration worker-side replica recycling snapshots and restores.
+func (s *SharedVariableBuffer) Names() []string {
+	out := make([]string, 0, len(s.bufs))
+	for name := range s.bufs {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
 
 // slice resolves a region to its backing bytes, bounds-checked.
 func (s *SharedVariableBuffer) slice(r core.MemRegion) ([]byte, error) {

@@ -30,8 +30,11 @@ const (
 	// protoVersion 2 added program multiplexing: Exec/Done carry the
 	// owning program id, OpenProg/ProgAck/CloseProg manage per-program
 	// worker replicas, and Submit/Accept/Reject/Result carry the
-	// client↔daemon service protocol.
-	protoVersion = 2
+	// client↔daemon service protocol. Version 3 adds content-addressed
+	// program installs: InstallProgram ships a spec once per (worker,
+	// hash) and OpenProg may then open a session by 8-byte ref instead of
+	// re-shipping the spec.
+	protoVersion = 3
 	// maxFrame caps a frame's declared payload size. The decoder also
 	// reads payloads incrementally, so a lying length prefix cannot
 	// force a large allocation without the peer actually sending the
@@ -66,6 +69,10 @@ const (
 	ftAccept
 	ftReject
 	ftResult
+	// Content-addressed program install (protocol v3): the coordinator
+	// ships a spec once per (worker, hash); later OpenProg frames may
+	// reference it by hash alone.
+	ftInstallProgram
 )
 
 func (t frameType) String() string {
@@ -96,6 +103,8 @@ func (t frameType) String() string {
 		return "Reject"
 	case ftResult:
 		return "Result"
+	case ftInstallProgram:
+		return "InstallProgram"
 	}
 	return fmt.Sprintf("frameType(%d)", byte(t))
 }
@@ -108,13 +117,14 @@ type frame struct {
 	dones []Done
 	seq   int64 // Ping / Pong
 
-	open      OpenProg // OpenProg
-	ack       ProgAck  // ProgAck
-	closeProg uint32   // CloseProg
-	submit    Submit   // Submit
-	accept    Accept   // Accept
-	reject    Reject   // Reject
-	result    Result   // Result
+	open      OpenProg       // OpenProg
+	ack       ProgAck        // ProgAck
+	closeProg uint32         // CloseProg
+	install   InstallProgram // InstallProgram
+	submit    Submit         // Submit
+	accept    Accept         // Accept
+	reject    Reject         // Reject
+	result    Result         // Result
 }
 
 // framePool recycles encode-side buffers; each holds header space plus
@@ -385,7 +395,15 @@ func parseFrame(ft frameType, payload []byte) (frame, error) {
 		f.seq = int64(r.uvarint())
 	case ftOpenProg:
 		f.open.Prog = uint32(r.uvarint())
-		r.spec(&f.open.Spec)
+		switch mode := r.byte(); mode {
+		case 0:
+			r.spec(&f.open.Spec)
+		case 1:
+			f.open.Ref = true
+			f.open.Hash = r.uvarint()
+		default:
+			r.fail("unknown OpenProg mode %d", mode)
+		}
 	case ftProgAck:
 		f.ack.Prog = uint32(r.uvarint())
 		f.ack.Err = r.str()
@@ -409,6 +427,9 @@ func parseFrame(ft frameType, payload []byte) (frame, error) {
 		f.result.Failovers = r.uvarint()
 		f.result.Retries = r.uvarint()
 		f.result.Regions = r.regions("result region")
+	case ftInstallProgram:
+		f.install.Hash = r.uvarint()
+		r.spec(&f.install.Spec)
 	default:
 		return f, fmt.Errorf("dist: unknown frame type 0x%x", byte(ft))
 	}

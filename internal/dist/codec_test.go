@@ -48,7 +48,12 @@ func sampleFrames() []frame {
 			Prog: 7,
 			Spec: ProgramSpec{Name: "matmul", Param: -64, Kernels: 4, Unroll: 2},
 		}},
+		{typ: ftOpenProg, open: OpenProg{Prog: 8, Ref: true, Hash: 0xdeadbeefcafe}},
 		{typ: ftProgAck, ack: ProgAck{Prog: 7, Err: "unknown workload \"matmul\""}},
+		{typ: ftInstallProgram, install: InstallProgram{
+			Hash: 0x1234567890abcdef,
+			Spec: ProgramSpec{Name: "trapez", Param: 1 << 20, Kernels: 8, Unroll: 16},
+		}},
 		{typ: ftCloseProg, closeProg: 7},
 		{typ: ftSubmit, submit: Submit{
 			Seq:    42,
@@ -94,7 +99,13 @@ func encodeFrame(f frame) ([]byte, error) {
 		b = appendUvarint(b, uint64(f.seq))
 	case ftOpenProg:
 		b = appendUvarint(b, uint64(f.open.Prog))
-		b = appendSpec(b, &f.open.Spec)
+		if f.open.Ref {
+			b = append(b, 1)
+			b = appendUvarint(b, f.open.Hash)
+		} else {
+			b = append(b, 0)
+			b = appendSpec(b, &f.open.Spec)
+		}
 	case ftProgAck:
 		b = appendUvarint(b, uint64(f.ack.Prog))
 		b = appendString(b, f.ack.Err)
@@ -118,6 +129,9 @@ func encodeFrame(f frame) ([]byte, error) {
 		b = appendUvarint(b, f.result.Failovers)
 		b = appendUvarint(b, f.result.Retries)
 		b = appendRegions(b, f.result.Regions)
+	case ftInstallProgram:
+		b = appendUvarint(b, f.install.Hash)
+		b = appendSpec(b, &f.install.Spec)
 	}
 	return finishFrame(b, f.typ)
 }
@@ -192,7 +206,11 @@ func TestCodecRoundTrip(t *testing.T) {
 			case ftPong:
 				err = ls.sendPong(want.seq)
 			case ftOpenProg:
-				err = ls.sendOpenProg(want.open.Prog, want.open.Spec)
+				if want.open.Ref {
+					err = ls.sendOpenProgRef(want.open.Prog, want.open.Hash)
+				} else {
+					err = ls.sendOpenProg(want.open.Prog, want.open.Spec)
+				}
 			case ftProgAck:
 				err = ls.sendProgAck(want.ack.Prog, want.ack.Err)
 			case ftCloseProg:
@@ -205,6 +223,8 @@ func TestCodecRoundTrip(t *testing.T) {
 				err = ls.sendReject(want.reject.Seq, want.reject.Reason)
 			case ftResult:
 				err = ls.sendResult(&want.result)
+			case ftInstallProgram:
+				err = ls.sendInstallProgram(want.install.Hash, want.install.Spec)
 			}
 			errc <- err
 		}()

@@ -87,6 +87,7 @@ type Fleet struct {
 	cRetries      *obs.Counter
 	cDupeDones    *obs.Counter
 	cUnknownDones *obs.Counter
+	cProgInstalls *obs.Counter
 	cTSUDec       *obs.Counter
 	cTSUFired     *obs.Counter
 }
@@ -111,6 +112,9 @@ type session struct {
 	timers    []*time.Timer
 	start     time.Time
 	closed    bool
+	// pooled marks a state acquired from OpenReq.Tables; closeSession
+	// releases it back to the tables' pool after the final Stats copy.
+	pooled bool
 }
 
 // OpenReq asks the fleet to run one program as a new session.
@@ -121,6 +125,17 @@ type OpenReq struct {
 	// build their replica. Coordinate leaves it zero (workers built
 	// their replica from a closure at Serve time).
 	Spec ProgramSpec
+	// Hash, when non-zero, is the content address of Spec (protocol v3):
+	// the fleet ships an InstallProgram once per (node, hash) and opens
+	// this and every later session of the same program by 8-byte ref,
+	// letting workers recycle pooled replicas instead of rebuilding.
+	Hash uint64
+	// Tables, when non-nil, supplies pre-built frozen TSU tables for the
+	// program: the session acquires a snapshot-backed state (skipping
+	// table construction and per-block in-degree recomputation) and
+	// releases it back to the pool at close. Ignored unless it was built
+	// for exactly Prog and the fleet's kernel count.
+	Tables *tsu.Tables
 	// Weight is the session's share in the per-node weighted round-robin
 	// over deferred ready instances; values < 1 mean 1.
 	Weight int
@@ -178,6 +193,10 @@ type nodeIO struct {
 	deferred   map[uint32][]tsu.Ready
 	rr         []uint32       // sessions with deferred work, in rotation order
 	credit     map[uint32]int // remaining WRR credit per session
+	// installed is the set of content-addressed program hashes this node
+	// holds (protocol v3). Cleared on markDead: a reconnected worker
+	// starts empty, so stale refs are never assumed.
+	installed map[uint64]bool
 }
 
 // NewFleet performs the handshake with every worker connection and
@@ -221,6 +240,7 @@ func NewFleet(conns []net.Conn, opt Options) (*Fleet, error) {
 		cRetries:      reg.Counter("dist.retries"),
 		cDupeDones:    reg.Counter("dist.dupe_done"),
 		cUnknownDones: reg.Counter("dist.unknown_done"),
+		cProgInstalls: reg.Counter("dist.program_installs"),
 		cTSUDec:       reg.Counter("tsu.decrements"),
 		cTSUFired:     reg.Counter("tsu.fired"),
 	}
@@ -562,12 +582,23 @@ func (f *Fleet) openSession(id uint32, req *OpenReq) {
 			return
 		}
 	}
-	state, err := tsu.NewState(req.Prog, f.totalKernels)
-	if err != nil {
-		fail(err)
-		return
+	var state *tsu.State
+	var pooled bool
+	if req.Tables != nil && req.Tables.Program() == req.Prog && req.Tables.Kernels() == f.totalKernels {
+		state = req.Tables.Acquire()
+		pooled = true
+	} else {
+		var err error
+		state, err = tsu.NewState(req.Prog, f.totalKernels)
+		if err != nil {
+			fail(err)
+			return
+		}
 	}
 	if f.aliveN == 0 {
+		if pooled {
+			state.Release()
+		}
 		fail(fmt.Errorf("dist: all %d nodes lost; last failure: %w", f.n, f.lastLoss))
 		return
 	}
@@ -579,6 +610,7 @@ func (f *Fleet) openSession(id uint32, req *OpenReq) {
 		id:        id,
 		svb:       req.SVB,
 		state:     state,
+		pooled:    pooled,
 		stats:     &Stats{Nodes: make([]NodeStats, f.n)},
 		weight:    weight,
 		onDone:    req.OnDone,
@@ -600,12 +632,33 @@ func (f *Fleet) openSession(id uint32, req *OpenReq) {
 	f.sessions[id] = s
 	// Announce the program before any of its Execs can be flushed; frame
 	// ordering on each link guarantees the worker builds the replica
-	// first, so no ack round trip gates dispatch.
+	// first, so no ack round trip gates dispatch. With a content address
+	// (protocol v3) the spec itself travels at most once per (node,
+	// hash); every session after that opens by 8-byte ref, and the worker
+	// recycles a pooled replica instead of rebuilding.
 	for i, l := range f.links {
 		if !f.alive[i] {
 			continue
 		}
-		if err := l.sendOpenProg(id, req.Spec); err != nil {
+		var err error
+		if req.Hash != 0 {
+			nio := &f.nodes[i]
+			if !nio.installed[req.Hash] {
+				if err = l.sendInstallProgram(req.Hash, req.Spec); err == nil {
+					if nio.installed == nil {
+						nio.installed = make(map[uint64]bool)
+					}
+					nio.installed[req.Hash] = true
+					f.cProgInstalls.Add(1)
+				}
+			}
+			if err == nil {
+				err = l.sendOpenProgRef(id, req.Hash)
+			}
+		} else {
+			err = l.sendOpenProg(id, req.Spec)
+		}
+		if err != nil {
 			f.markDead(i, fmt.Errorf("open program %d: %w", id, err))
 			if s.closed {
 				return // markDead lost the last node and failed the session
@@ -666,6 +719,11 @@ func (f *Fleet) closeSession(s *session, err error) {
 	s.stats.TSU = s.state.Stats()
 	f.cTSUDec.Add(s.stats.TSU.Decrements)
 	f.cTSUFired.Add(s.stats.TSU.Fired)
+	if s.pooled {
+		// Stats are copied out above; the snapshot-backed state goes back
+		// to its Tables' pool for the next session of this program.
+		s.state.Release()
+	}
 	if s.onDone != nil {
 		s.onDone(s.stats, err)
 	}
@@ -1043,6 +1101,10 @@ func (f *Fleet) markDead(node int, reason error) {
 	f.setInflight(node)
 	deferred := nio.deferred
 	nio.deferred, nio.rr, nio.credit = nil, nil, nil
+	// A dead node's installed programs die with the connection: a worker
+	// that rejoins runs a fresh ServeFleet with an empty install set, so
+	// the coordinator must never assume a ref survived.
+	nio.installed = nil
 
 	failedAt := time.Now()
 	sess := f.snapshotSessions()

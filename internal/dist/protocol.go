@@ -78,12 +78,44 @@ type ProgramSpec struct {
 	Unroll  int    // DThread granularity (paper's loop-unrolling factor)
 }
 
+// Hash returns the spec's content address: FNV-1a 64 over the canonical
+// wire encoding (appendSpec), which length-prefixes the name, so two
+// distinct specs cannot alias by field concatenation. This is the wire
+// ref — correctness-critical lookups (the daemon's admission cache) key
+// on the spec itself and use the hash only as the transport name.
+func (sp *ProgramSpec) Hash() uint64 {
+	var stack [64]byte
+	b := appendSpec(stack[:0], sp)
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
+}
+
 // OpenProg installs a program replica on a worker before any of its
 // Execs arrive. Frame ordering on the link guarantees the worker builds
 // the replica first, so no acknowledgement round trip gates dispatch;
-// ProgAck only reports resolution/build failures.
+// ProgAck only reports resolution/build failures. With Ref set (protocol
+// v3) the spec does not travel: Hash names a program previously shipped
+// in an InstallProgram frame, and the worker opens the session from its
+// installed copy — rejecting unknown hashes via ProgAck.
 type OpenProg struct {
 	Prog uint32
+	Spec ProgramSpec
+	Ref  bool
+	Hash uint64
+}
+
+// InstallProgram publishes a content-addressed program on a worker: Hash
+// is the coordinator-computed identity of Spec, and every later OpenProg
+// carrying that hash opens a session without re-shipping the spec. The
+// frame is not acknowledged — build failures surface on the first
+// ref-open's ProgAck, keeping the install path one-way like Exec
+// dispatch.
+type InstallProgram struct {
+	Hash uint64
 	Spec ProgramSpec
 }
 
@@ -200,6 +232,22 @@ func (l *link) sendShutdown() error { return l.send(ftShutdown, nil) }
 func (l *link) sendOpenProg(prog uint32, spec ProgramSpec) error {
 	return l.send(ftOpenProg, func(b []byte) []byte {
 		b = appendUvarint(b, uint64(prog))
+		b = append(b, 0) // mode 0: full spec
+		return appendSpec(b, &spec)
+	})
+}
+
+func (l *link) sendOpenProgRef(prog uint32, hash uint64) error {
+	return l.send(ftOpenProg, func(b []byte) []byte {
+		b = appendUvarint(b, uint64(prog))
+		b = append(b, 1) // mode 1: content-addressed ref
+		return appendUvarint(b, hash)
+	})
+}
+
+func (l *link) sendInstallProgram(hash uint64, spec ProgramSpec) error {
+	return l.send(ftInstallProgram, func(b []byte) []byte {
+		b = appendUvarint(b, hash)
 		return appendSpec(b, &spec)
 	})
 }

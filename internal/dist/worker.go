@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"tflux/internal/cellsim"
 	"tflux/internal/core"
@@ -39,6 +40,31 @@ type replica struct {
 	bufs      *cellsim.SharedVariableBuffer
 	cache     map[regionKey]cacheEntry
 	mu        sync.Mutex
+
+	// pristine snapshots every registered buffer's content at build time
+	// so a content-addressed replica can be recycled between sessions
+	// (set only for installed programs).
+	pristine map[string][]byte
+	// pending counts Execs queued to kernel goroutines but not yet
+	// completed. The recv loop increments before queueing and reads it at
+	// CloseProg: a replica with in-flight bodies is dropped instead of
+	// recycled, since a body may still write its buffers.
+	pending atomic.Int32
+}
+
+// maxReplicaPool caps how many idle recycled replicas an installed
+// program keeps per worker; beyond that, closed sessions are left to
+// the GC.
+const maxReplicaPool = 4
+
+// installEntry is one content-addressed program on a worker: the spec it
+// was installed with (for collision detection), a build error if the
+// install failed (reported at every ref-open), and a pool of idle
+// replicas restored to pristine buffer contents.
+type installEntry struct {
+	spec ProgramSpec
+	err  string
+	pool []*replica
 }
 
 // workItem is one Exec queued to a kernel goroutine, resolved to its
@@ -136,6 +162,7 @@ func ServeFleet(conn net.Conn, kernels int, resolve Resolver) error {
 				w.rep.mu.Lock()
 				done := execOne(w.rep, w.ex)
 				w.rep.mu.Unlock()
+				w.rep.pending.Add(-1)
 				dones <- done
 			}
 		}(queues[k])
@@ -156,8 +183,13 @@ func ServeFleet(conn net.Conn, kernels int, resolve Resolver) error {
 
 	// replicas is touched only by this recv loop; kernel goroutines get
 	// replica pointers through their queues, so a CloseProg delete never
-	// races an in-flight body.
+	// races an in-flight body. installed/refOf track the content-addressed
+	// programs (protocol v3): installs are per-connection state, so a
+	// worker that reconnects after markDead starts empty and the
+	// coordinator must re-install.
 	replicas := make(map[uint32]*replica)
+	installed := make(map[uint64]*installEntry)
+	refOf := make(map[uint32]uint64)
 	reps := make([]*replica, 0, 64) // per-frame staging scratch
 
 	for {
@@ -166,32 +198,77 @@ func ServeFleet(conn net.Conn, kernels int, resolve Resolver) error {
 			return fmt.Errorf("dist worker: %w", err)
 		}
 		switch f.typ {
+		case ftInstallProgram:
+			// Unacknowledged by design; failures surface on the first
+			// ref-open's ProgAck. A duplicate install with a different spec
+			// means the 8-byte address space collided (or the coordinator
+			// lies): poison the entry rather than guess which spec wins.
+			if ent, ok := installed[f.install.Hash]; ok {
+				if ent.spec != f.install.Spec {
+					ent.err = fmt.Sprintf("program ref %#x hash collision: installed as %+v, re-installed as %+v", f.install.Hash, ent.spec, f.install.Spec)
+				}
+				continue
+			}
+			ent := &installEntry{spec: f.install.Spec}
+			if rep, err := buildReplica(resolve, f.install.Spec); err != nil {
+				ent.err = err.Error()
+			} else {
+				rep.snapshotPristine()
+				ent.pool = append(ent.pool, rep)
+			}
+			installed[f.install.Hash] = ent
 		case ftOpenProg:
-			prog, bufs, err := resolve(f.open.Spec)
-			if err == nil && prog == nil {
-				err = errors.New("dist: resolver returned nil program")
+			if f.open.Ref {
+				ent := installed[f.open.Hash]
+				var rep *replica
+				var openErr string
+				switch {
+				case ent == nil:
+					openErr = fmt.Sprintf("unknown program ref %#x (not installed on this worker)", f.open.Hash)
+				case ent.err != "":
+					openErr = ent.err
+				case len(ent.pool) > 0:
+					rep = ent.pool[len(ent.pool)-1]
+					ent.pool = ent.pool[:len(ent.pool)-1]
+				default:
+					var err error
+					if rep, err = buildReplica(resolve, ent.spec); err != nil {
+						openErr = err.Error()
+					} else {
+						rep.snapshotPristine()
+					}
+				}
+				if openErr != "" {
+					l.sendProgAck(f.open.Prog, openErr) //nolint:errcheck // conn errors surface in recv
+					continue
+				}
+				replicas[f.open.Prog] = rep
+				refOf[f.open.Prog] = f.open.Hash
+				l.sendProgAck(f.open.Prog, "") //nolint:errcheck // conn errors surface in recv
+				continue
 			}
-			if err == nil {
-				err = prog.Validate()
-			}
+			rep, err := buildReplica(resolve, f.open.Spec)
 			if err != nil {
 				l.sendProgAck(f.open.Prog, err.Error()) //nolint:errcheck // conn errors surface in recv
 				continue
 			}
-			templates := make(map[core.ThreadID]*core.Template)
-			for _, b := range prog.Blocks {
-				for _, t := range b.Templates {
-					templates[t.ID] = t
-				}
-			}
-			replicas[f.open.Prog] = &replica{
-				templates: templates,
-				bufs:      bufs,
-				cache:     make(map[regionKey]cacheEntry),
-			}
+			replicas[f.open.Prog] = rep
 			l.sendProgAck(f.open.Prog, "") //nolint:errcheck // conn errors surface in recv
 		case ftCloseProg:
+			rep := replicas[f.closeProg]
 			delete(replicas, f.closeProg)
+			if h, ok := refOf[f.closeProg]; ok {
+				delete(refOf, f.closeProg)
+				// Recycle only when no body is still in flight (a dropped
+				// lease can close a program whose Execs are mid-run): an
+				// in-flight body may still write the buffers the pristine
+				// restore just rewrote.
+				if ent := installed[h]; ent != nil && rep != nil &&
+					rep.pending.Load() == 0 && len(ent.pool) < maxReplicaPool {
+					rep.restorePristine()
+					ent.pool = append(ent.pool, rep)
+				}
+			}
 		case ftExecBatch:
 			reps = reps[:0]
 			for i := range f.execs {
@@ -228,6 +305,7 @@ func ServeFleet(conn net.Conn, kernels int, resolve Resolver) error {
 				if k < 0 || k >= kernels {
 					k = 0
 				}
+				reps[i].pending.Add(1)
 				queues[k] <- workItem{ex: ex, rep: reps[i]}
 			}
 		case ftPing:
@@ -238,6 +316,51 @@ func ServeFleet(conn net.Conn, kernels int, resolve Resolver) error {
 			return fmt.Errorf("dist worker: unexpected frame %v", f.typ)
 		}
 	}
+}
+
+// buildReplica resolves a spec into a fresh, validated replica.
+func buildReplica(resolve Resolver, spec ProgramSpec) (*replica, error) {
+	prog, bufs, err := resolve(spec)
+	if err == nil && prog == nil {
+		err = errors.New("dist: resolver returned nil program")
+	}
+	if err == nil {
+		err = prog.Validate()
+	}
+	if err != nil {
+		return nil, err
+	}
+	templates := make(map[core.ThreadID]*core.Template)
+	for _, b := range prog.Blocks {
+		for _, t := range b.Templates {
+			templates[t.ID] = t
+		}
+	}
+	return &replica{
+		templates: templates,
+		bufs:      bufs,
+		cache:     make(map[regionKey]cacheEntry),
+	}, nil
+}
+
+// snapshotPristine captures every registered buffer's build-time content
+// so the replica can be recycled between sessions of the same installed
+// program.
+func (rep *replica) snapshotPristine() {
+	rep.pristine = make(map[string][]byte)
+	for _, name := range rep.bufs.Names() {
+		rep.pristine[name] = append([]byte(nil), rep.bufs.Bytes(name)...)
+	}
+}
+
+// restorePristine rewinds the replica to its build-time state: buffer
+// contents back to the snapshot, region cache emptied (the next session
+// negotiates its own versions).
+func (rep *replica) restorePristine() {
+	for name, data := range rep.pristine {
+		copy(rep.bufs.Bytes(name), data)
+	}
+	rep.cache = make(map[regionKey]cacheEntry)
 }
 
 // stageImports applies one Exec's import regions to its replica in

@@ -30,6 +30,13 @@ type Options struct {
 	// contents). Nil keeps the paper's chunked range split. Works in both
 	// the legacy and the sharded mode.
 	TSUMapping tsu.Mapping
+	// TSUTables, when non-nil, supplies pre-built frozen TSU tables: the
+	// run acquires a snapshot-backed State from them (skipping table
+	// construction and per-block in-degree computation) and releases it
+	// back to the pool when done. The tables' kernel count must equal
+	// Kernels; TSUSize and TSUMapping were fixed at NewTables time and are
+	// ignored here.
+	TSUTables *tsu.Tables
 	// TUB configures the Thread-to-Update Buffer.
 	TUB tsu.TUBConfig
 	// Policy is the ready-queue scheduling policy (default locality).
@@ -102,9 +109,22 @@ func Run(p *core.Program, opt Options) (*Stats, error) {
 	if opt.Kernels <= 0 {
 		opt.Kernels = 1
 	}
-	state, err := tsu.NewStateCfg(p, opt.Kernels, tsu.Config{MaxBlockInstances: opt.TSUSize, Mapping: opt.TSUMapping})
-	if err != nil {
-		return nil, err
+	var state *tsu.State
+	var err error
+	if opt.TSUTables != nil {
+		if opt.TSUTables.Kernels() != opt.Kernels {
+			return nil, fmt.Errorf("rts: TSUTables built for %d kernels, run wants %d", opt.TSUTables.Kernels(), opt.Kernels)
+		}
+		if opt.TSUTables.Program() != p {
+			return nil, fmt.Errorf("rts: TSUTables built for a different program")
+		}
+		state = opt.TSUTables.Acquire()
+		defer state.Release()
+	} else {
+		state, err = tsu.NewStateCfg(p, opt.Kernels, tsu.Config{MaxBlockInstances: opt.TSUSize, Mapping: opt.TSUMapping})
+		if err != nil {
+			return nil, err
+		}
 	}
 	shards := opt.TSUShards
 	if shards > opt.Kernels {

@@ -27,8 +27,12 @@ type Snapshot struct {
 	Queued    int
 	// ProgramsPerSec is completed programs over uptime.
 	ProgramsPerSec float64
-	// P50 and P99 are admission-to-completion latency quantile bounds
-	// from the serve.latency_ns histogram.
+	// CacheHits and CacheMisses count admission-cache outcomes (a hit
+	// skips resolve + lint + TSU table construction).
+	CacheHits, CacheMisses int64
+	// P50 and P99 are admission-to-completion latency quantiles
+	// (linearly interpolated within buckets) from the serve.latency_ns
+	// histogram.
 	P50, P99 time.Duration
 	// ArenaUsed / ArenaSize is the canonical-buffer arena occupancy.
 	ArenaUsed, ArenaSize int64
@@ -64,8 +68,10 @@ func (s *Server) Snapshot() Snapshot {
 	if sec := snap.Uptime.Seconds(); sec > 0 {
 		snap.ProgramsPerSec = float64(snap.Completed) / sec
 	}
-	snap.P50 = time.Duration(s.latHist.QuantileBound(0.50))
-	snap.P99 = time.Duration(s.latHist.QuantileBound(0.99))
+	snap.CacheHits = s.cCacheHits.Value()
+	snap.CacheMisses = s.cCacheMisses.Value()
+	snap.P50 = time.Duration(s.latHist.Quantile(0.50))
+	snap.P99 = time.Duration(s.latHist.Quantile(0.99))
 	return snap
 }
 
@@ -85,8 +91,14 @@ func (s *Server) WriteDashboard(w io.Writer) error {
 		snap.Submitted, snap.Accepted, snap.Rejected, snap.Completed, snap.Failed)
 	pr("load      running %d  queued %d  arena %d/%d bytes\n",
 		snap.Running, snap.Queued, snap.ArenaUsed, snap.ArenaSize)
-	pr("latency   %.1f programs/sec  p50 ≤ %v  p99 ≤ %v (admission→completion)\n",
+	pr("latency   %.1f programs/sec  p50 %v  p99 %v (admission→completion)\n",
 		snap.ProgramsPerSec, snap.P50, snap.P99)
+	hitRate := 0.0
+	if total := snap.CacheHits + snap.CacheMisses; total > 0 {
+		hitRate = 100 * float64(snap.CacheHits) / float64(total)
+	}
+	pr("cache     %d hits  %d misses  %.1f%% hit rate (program admission)\n",
+		snap.CacheHits, snap.CacheMisses, hitRate)
 	for _, t := range snap.Tenants {
 		pr("tenant %-12s weight %d  queued %d  in-flight %d\n",
 			t.Name, t.Weight, t.Queued, t.InUse)

@@ -12,6 +12,7 @@ import (
 	"tflux/internal/ddmlint"
 	"tflux/internal/dist"
 	"tflux/internal/obs"
+	"tflux/internal/tsu"
 )
 
 // Options tunes the daemon. Zero values select the defaults.
@@ -44,6 +45,14 @@ type Options struct {
 	// DisableLint skips the ddmlint admission gate. For tests proving
 	// the runtime guards hold without it.
 	DisableLint bool
+	// ProgramCache caps the admission cache: resolved program identities
+	// (spec → built program, lint verdict, frozen TSU tables, wire ref)
+	// memoized across submissions, so a warm Submit skips Build + lint
+	// and its sessions skip TSU table construction and worker replica
+	// builds. 0 selects 64 entries; negative disables caching (every
+	// submission resolves from scratch, protocol falls back to full-spec
+	// opens).
+	ProgramCache int
 	// WriteTimeout bounds each client-bound frame write. Default 10s.
 	WriteTimeout time.Duration
 
@@ -71,6 +80,9 @@ func (o Options) withDefaults(fleetNodes int) Options {
 	if o.WriteTimeout <= 0 {
 		o.WriteTimeout = 10 * time.Second
 	}
+	if o.ProgramCache == 0 {
+		o.ProgramCache = 64
+	}
 	if o.Metrics == nil {
 		o.Metrics = obs.NewRegistry()
 	}
@@ -85,6 +97,8 @@ type program struct {
 	spec      dist.ProgramSpec
 	prog      *core.Program
 	src       *cellsim.SharedVariableBuffer // resolver's buffers (inputs)
+	hash      uint64                        // content address (0: cache disabled)
+	tables    *tsu.Tables                   // frozen TSU tables (nil: cache disabled)
 	overlay   []dist.RegionData             // client-supplied input regions
 	ob        *outbox
 	submitted time.Time
@@ -122,14 +136,18 @@ type Server struct {
 	arena   *arena
 	start   time.Time
 
-	cSubmitted *obs.Counter
-	cAccepted  *obs.Counter
-	cRejected  *obs.Counter
-	cCompleted *obs.Counter
-	cFailed    *obs.Counter
-	latHist    *obs.Histogram
-	gRunning   *obs.Gauge
-	gArena     *obs.Gauge
+	cache *programCache // nil when Options.ProgramCache < 0
+
+	cSubmitted   *obs.Counter
+	cAccepted    *obs.Counter
+	cRejected    *obs.Counter
+	cCompleted   *obs.Counter
+	cFailed      *obs.Counter
+	cCacheHits   *obs.Counter
+	cCacheMisses *obs.Counter
+	latHist      *obs.Histogram
+	gRunning     *obs.Gauge
+	gArena       *obs.Gauge
 }
 
 // New builds a Server over an already-handshaked fleet and starts the
@@ -148,14 +166,19 @@ func New(fleet *dist.Fleet, opt Options) (*Server, error) {
 		start:   time.Now(),
 		nextID:  1,
 
-		cSubmitted: opt.Metrics.Counter("serve.submitted"),
-		cAccepted:  opt.Metrics.Counter("serve.accepted"),
-		cRejected:  opt.Metrics.Counter("serve.rejected"),
-		cCompleted: opt.Metrics.Counter("serve.completed"),
-		cFailed:    opt.Metrics.Counter("serve.failed"),
-		latHist:    opt.Metrics.Histogram("serve.latency_ns", obs.LatencyBuckets),
-		gRunning:   opt.Metrics.Gauge("serve.running"),
-		gArena:     opt.Metrics.Gauge("serve.arena_used"),
+		cSubmitted:   opt.Metrics.Counter("serve.submitted"),
+		cAccepted:    opt.Metrics.Counter("serve.accepted"),
+		cRejected:    opt.Metrics.Counter("serve.rejected"),
+		cCompleted:   opt.Metrics.Counter("serve.completed"),
+		cFailed:      opt.Metrics.Counter("serve.failed"),
+		cCacheHits:   opt.Metrics.Counter("serve.program_cache_hits"),
+		cCacheMisses: opt.Metrics.Counter("serve.program_cache_misses"),
+		latHist:      opt.Metrics.Histogram("serve.latency_ns", obs.LatencyBuckets),
+		gRunning:     opt.Metrics.Gauge("serve.running"),
+		gArena:       opt.Metrics.Gauge("serve.arena_used"),
+	}
+	if opt.ProgramCache > 0 {
+		s.cache = newProgramCache(opt.ProgramCache)
 	}
 	s.cond = sync.NewCond(&s.mu)
 	if opt.Sink != nil {
@@ -235,39 +258,18 @@ func (s *Server) submit(ob *outbox, sub *dist.Submit) {
 	if spec.Unroll <= 0 {
 		spec.Unroll = 1
 	}
-	prog, src, err := s.opt.Resolver(spec)
-	if err != nil {
-		reject(fmt.Sprintf("resolve: %v", err))
+	ent, reason := s.resolveProgram(spec)
+	if ent == nil {
+		reject(reason)
 		return
 	}
-	if prog == nil {
-		reject("resolve: resolver returned nil program")
+	prog := ent.prog
+	if ent.need > s.opt.ArenaBytes {
+		reject(fmt.Sprintf("program needs %d buffer bytes, arena capacity is %d", ent.need, s.opt.ArenaBytes))
 		return
 	}
-	if !s.opt.DisableLint {
-		if err := ddmlint.Admit(prog); err != nil {
-			reject(err.Error())
-			return
-		}
-	} else if err := prog.Validate(); err != nil {
-		reject(fmt.Sprintf("validate: %v", err))
-		return
-	}
-	// The program's namespace is its declared buffers: the resolver must
-	// populate each (they seed the canonical copies), the client's input
-	// regions must land inside them, and the total must fit the arena.
-	var need int64
-	for _, b := range prog.Buffers {
-		if got := src.Bytes(b.Name); int64(len(got)) < b.Size {
-			reject(fmt.Sprintf("resolver registered buffer %q with %d bytes, program declares %d", b.Name, len(got), b.Size))
-			return
-		}
-		need += alignUp(b.Size)
-	}
-	if need > s.opt.ArenaBytes {
-		reject(fmt.Sprintf("program needs %d buffer bytes, arena capacity is %d", need, s.opt.ArenaBytes))
-		return
-	}
+	// The client's input regions must land inside the program's declared
+	// buffers — per-submission state, checked on hits and misses alike.
 	for i := range sub.Regions {
 		rd := &sub.Regions[i]
 		if rd.Ref {
@@ -319,7 +321,9 @@ func (s *Server) submit(ob *outbox, sub *dist.Submit) {
 		tenant:    sub.Tenant,
 		spec:      spec,
 		prog:      prog,
-		src:       src,
+		src:       ent.src,
+		hash:      ent.hash,
+		tables:    ent.tables,
 		overlay:   sub.Regions,
 		ob:        ob,
 		submitted: time.Now(),
@@ -337,6 +341,66 @@ func (s *Server) submit(ob *outbox, sub *dist.Submit) {
 	ob.accept(sub.Seq, p.id)
 	s.schedule()
 	s.mu.Unlock()
+}
+
+// resolveProgram returns the admission-cache entry for spec, resolving,
+// linting and building it on a miss. A non-nil entry means the program
+// passed every per-identity gate (resolve, lint/validate, buffer-fit);
+// a nil entry carries the rejection reason. The hit path is one map
+// lookup plus an LRU splice — no allocation (TestSubmitWarmPathAllocs).
+func (s *Server) resolveProgram(spec dist.ProgramSpec) (*cacheEntry, string) {
+	key := specKey{name: spec.Name, param: spec.Param, kernels: spec.Kernels, unroll: spec.Unroll}
+	if s.cache != nil {
+		if ent := s.cache.get(key); ent != nil {
+			s.cCacheHits.Inc()
+			return ent, ""
+		}
+	}
+	prog, src, err := s.opt.Resolver(spec)
+	if err != nil {
+		return nil, fmt.Sprintf("resolve: %v", err)
+	}
+	if prog == nil {
+		return nil, "resolve: resolver returned nil program"
+	}
+	if !s.opt.DisableLint {
+		if err := ddmlint.Admit(prog); err != nil {
+			return nil, err.Error()
+		}
+	} else if err := prog.Validate(); err != nil {
+		return nil, fmt.Sprintf("validate: %v", err)
+	}
+	// The program's namespace is its declared buffers: the resolver must
+	// populate each (they seed the canonical copies) and the total must
+	// fit the arena.
+	var need int64
+	for _, b := range prog.Buffers {
+		if got := src.Bytes(b.Name); int64(len(got)) < b.Size {
+			return nil, fmt.Sprintf("resolver registered buffer %q with %d bytes, program declares %d", b.Name, len(got), b.Size)
+		}
+		need += alignUp(b.Size)
+	}
+	ent := &cacheEntry{key: key, prog: prog, src: src, need: need}
+	if s.cache != nil {
+		s.cCacheMisses.Inc()
+		ent.hash = spec.Hash()
+		// Frozen TSU tables let every session of this program skip table
+		// construction; a build failure (e.g. a program the TSU rejects at
+		// open) just leaves tables nil and the fleet falls back.
+		ent.tables, _ = tsu.NewTables(prog, s.fleet.Kernels(), tsu.Config{})
+		s.cache.put(ent)
+	}
+	return ent, ""
+}
+
+// InvalidateProgramCache empties the admission cache, forcing the next
+// submission of every spec to re-resolve and re-lint. Use after the
+// resolver's behavior changes (new program registry contents, changed
+// builders). No-op when caching is disabled.
+func (s *Server) InvalidateProgramCache() {
+	if s.cache != nil {
+		s.cache.invalidate()
+	}
 }
 
 // schedule opens queued programs while capacity, arena space and the
@@ -422,6 +486,8 @@ func (s *Server) open(p *program) {
 		Prog:   p.prog,
 		SVB:    p.svb,
 		Spec:   p.spec,
+		Hash:   p.hash,
+		Tables: p.tables,
 		Weight: ts.weight,
 		// OnDone runs on the fleet's event loop and must not block;
 		// result assembly takes the admission lock, so hop goroutines.

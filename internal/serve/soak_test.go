@@ -138,6 +138,13 @@ func TestSoak(t *testing.T) {
 	if snap.AliveNodes != 3 {
 		t.Fatalf("alive nodes = %d, want 3 (one severed mid-soak)", snap.AliveNodes)
 	}
+	// The soak submits one spec a thousand times with the admission cache
+	// at its default capacity: all but the first submission must hit, and
+	// the byte-for-byte output checks above prove hits don't change
+	// results — even across a mid-soak node loss.
+	if snap.CacheHits == 0 {
+		t.Fatalf("soak ran with the admission cache on but recorded no hits (misses %d)", snap.CacheMisses)
+	}
 	var sb strings.Builder
 	if err := d.srv.WriteDashboard(&sb); err != nil {
 		t.Fatal(err)

@@ -103,6 +103,11 @@ type State struct {
 	// closed-form chunked range split (the paper's TKT arithmetic).
 	mapping Mapping
 
+	// tables is set when the State was built over a frozen Tables: block
+	// loads restore the SMs from the snapshot instead of recomputing
+	// in-degrees, and Release returns the State to the Tables' pool.
+	tables *Tables
+
 	curBlock  int
 	remaining int64 // application instances left in the current block
 	sms       []sm  // one per kernel
@@ -509,6 +514,9 @@ func (s *State) inletDone(dst []Ready, blk int) []Ready {
 	s.curBlock = blk
 	s.loaded = true
 	s.stats.Inlets++
+	if s.tables != nil {
+		return s.inletLoadSnapshot(dst, blk)
+	}
 	b := s.prog.Blocks[blk]
 	s.remaining = b.TotalInstances()
 	for k := range s.sms {
@@ -565,9 +573,13 @@ func (s *State) outletDone(dst []Ready, blk int, k KernelID) (ready []Ready, blo
 	}
 	s.loaded = false
 	s.stats.Outlets++
-	for i := range s.sms {
-		s.sms[i].counts = nil
-		s.sms[i].base = nil
+	if s.tables == nil {
+		// Snapshot-backed States keep the SM backing arrays so the next
+		// block load (or the next run after Reset) reuses them.
+		for i := range s.sms {
+			s.sms[i].counts = nil
+			s.sms[i].base = nil
+		}
 	}
 	if blk == len(s.prog.Blocks)-1 {
 		s.done = true

@@ -1,0 +1,161 @@
+package tsu
+
+import (
+	"reflect"
+	"testing"
+
+	"tflux/internal/core"
+)
+
+// driveReadySequence runs the program to completion with the deterministic
+// FIFO scheduler and returns every Ready the TSU surfaced, in order —
+// the full observable output of the synchronization engine.
+func driveReadySequence(t *testing.T, s *State) []Ready {
+	t.Helper()
+	var trace []Ready
+	queue := []Ready{s.Start()}
+	for len(queue) > 0 {
+		r := queue[0]
+		queue = queue[1:]
+		trace = append(trace, r)
+		res := s.Complete(r.Inst, r.Kernel)
+		queue = append(queue, res.NewReady...)
+		if res.ProgramDone {
+			return trace
+		}
+	}
+	t.Fatal("queue drained before ProgramDone")
+	return nil
+}
+
+// TestTablesEquivalence pins the compile-once contract: a State built over
+// frozen Tables must surface the exact Ready sequence and stats of a State
+// built directly by NewStateCfg — under the default range split and under
+// a configured table mapping.
+func TestTablesEquivalence(t *testing.T) {
+	for _, cfg := range []Config{{}, {Mapping: RoundRobinMapping{}}} {
+		p := twoBlockProgram()
+		direct, err := NewStateCfg(p, 3, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := driveReadySequence(t, direct)
+
+		tb, err := NewTables(twoBlockProgram(), 3, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := driveReadySequence(t, tb.NewState())
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("mapping=%v: snapshot-backed ready sequence diverges:\n got %v\nwant %v", cfg.Mapping, got, want)
+		}
+		ds := direct.Stats()
+		snap := tb.Acquire()
+		trace := driveReadySequence(t, snap)
+		if !reflect.DeepEqual(trace, want) {
+			t.Fatalf("mapping=%v: acquired-state ready sequence diverges", cfg.Mapping)
+		}
+		ss := snap.Stats()
+		if ds.Inlets != ss.Inlets || ds.Outlets != ss.Outlets || ds.Decrements != ss.Decrements ||
+			ds.Fired != ss.Fired || !reflect.DeepEqual(ds.PerKernel, ss.PerKernel) {
+			t.Fatalf("mapping=%v: stats diverge: direct %+v snapshot %+v", cfg.Mapping, ds, ss)
+		}
+		snap.Release()
+	}
+}
+
+// TestTablesPoolReuse runs the same State through Acquire → drive → Release
+// repeatedly: the pool must hand the identical State back, Reset must make
+// each run's output byte-identical to the first, and Stats must not leak
+// across runs.
+func TestTablesPoolReuse(t *testing.T) {
+	tb, err := NewTables(twoBlockProgram(), 4, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := tb.Acquire()
+	want := driveReadySequence(t, first)
+	wantStats := first.Stats()
+	first.Release()
+	for run := 0; run < 5; run++ {
+		s := tb.Acquire()
+		if s != first {
+			t.Fatalf("run %d: pool returned a different State", run)
+		}
+		got := driveReadySequence(t, s)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("run %d: ready sequence diverged after Reset", run)
+		}
+		if st := s.Stats(); !reflect.DeepEqual(st, wantStats) {
+			t.Fatalf("run %d: stats leaked across runs: %+v vs %+v", run, st, wantStats)
+		}
+		s.Release()
+	}
+}
+
+// TestTablesShardedState wraps a snapshot-backed State in the sharded
+// engine: serviceDone's inlet path must take the snapshot restore and the
+// sharded drive must still execute every application instance exactly once.
+func TestTablesShardedState(t *testing.T) {
+	tb, err := NewTables(twoBlockProgram(), 4, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tb.Acquire()
+	ss, err := NewSharded(s, 2, TUBConfig{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss.State() != s {
+		t.Fatal("sharded engine wraps a different state")
+	}
+	// The sharded engine shares inletDone/outletDone with the serial path;
+	// a serial FIFO drive through the same State suffices to prove the
+	// snapshot branch composes (the concurrency is exercised by the
+	// existing sharded suite).
+	trace := driveReadySequence(t, s)
+	apps := 0
+	for _, r := range trace {
+		if !s.IsService(r.Inst) {
+			apps++
+		}
+	}
+	if apps != 8 {
+		t.Fatalf("executed %d app instances, want 8", apps)
+	}
+	s.Release()
+}
+
+// TestTablesWarmLoadAllocs pins the warm block-load path at zero
+// allocations: after one full run the SM backings are retained, so every
+// subsequent Inlet restore is pure memcpy.
+func TestTablesWarmLoadAllocs(t *testing.T) {
+	tb, err := NewTables(twoBlockProgram(), 2, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tb.Acquire()
+	driveReadySequence(t, s)
+	dst := make([]Ready, 0, 16)
+	allocs := testing.AllocsPerRun(100, func() {
+		s.Reset()
+		s.curBlock = 0
+		s.loaded = true
+		dst = s.inletLoadSnapshot(dst[:0], 0)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm inlet restore allocates %.1f per load, want 0", allocs)
+	}
+	s.Reset()
+	s.Release()
+}
+
+// TestTablesRejectsInvalidProgram mirrors NewStateCfg's validation.
+func TestTablesRejectsInvalidProgram(t *testing.T) {
+	if _, err := NewTables(core.NewProgram("empty"), 2, Config{}); err == nil {
+		t.Fatal("NewTables accepted an empty program")
+	}
+	if _, err := NewTables(twoBlockProgram(), 0, Config{}); err == nil {
+		t.Fatal("NewTables accepted 0 kernels")
+	}
+}
